@@ -1,0 +1,202 @@
+(* The benchmark harness.
+
+   Two layers:
+
+   1. The paper reproduction (default): every table and figure from the
+      libmpk evaluation, regenerated on the deterministic simulator and
+      printed with paper-value annotations. `--only <id>` runs one of
+      table1 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table3.
+
+   2. A Bechamel suite (`--bechamel` to run alone; also run by default
+      after the tables): one Test.make per table/figure measuring the
+      host wall-clock cost of that experiment's innermost operation — a
+      regression canary for the simulator itself. *)
+
+open Bechamel
+open Toolkit
+
+let list_ids () =
+  String.concat " " (List.map (fun e -> e.Mpk_experiments.Report.id) Mpk_experiments.Report.all)
+
+(* --- Bechamel micro-suite: the innermost operation of each experiment --- *)
+
+open Mpk_hw
+open Mpk_kernel
+
+let page = Physmem.page_size
+
+let test_table1_pkey_mprotect () =
+  let env = Mpk_experiments.Env.make () in
+  let task = Mpk_experiments.Env.main env in
+  let proc = env.Mpk_experiments.Env.proc in
+  let addr = Syscall.mmap proc task ~len:page ~prot:Perm.rw () in
+  Mm.populate (Proc.mm proc) (Task.core task) ~addr ~len:page;
+  let k = Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write in
+  Staged.stage (fun () ->
+      Syscall.pkey_mprotect proc task ~addr ~len:page ~prot:Perm.rw ~pkey:k)
+
+let test_fig2_wrpkru () =
+  let cpu = Cpu.create ~id:0 () in
+  Staged.stage (fun () ->
+      Cpu.wrpkru cpu (Cpu.pkru cpu);
+      Cpu.exec_adds cpu 16)
+
+let test_fig3_mprotect_100 () =
+  let env = Mpk_experiments.Env.make () in
+  let task = Mpk_experiments.Env.main env in
+  let proc = env.Mpk_experiments.Env.proc in
+  let addr = Syscall.mmap proc task ~len:(100 * page) ~prot:Perm.rw () in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      let prot = if !i land 1 = 0 then Perm.r else Perm.rw in
+      Syscall.mprotect proc task ~addr ~len:(100 * page) ~prot)
+
+let test_fig8_hit () =
+  let env = Mpk_experiments.Env.make () in
+  let task = Mpk_experiments.Env.main env in
+  let mpk = Libmpk.init ~evict_rate:1.0 env.Mpk_experiments.Env.proc task in
+  ignore (Libmpk.mpk_mmap mpk task ~vkey:1 ~len:page ~prot:Perm.rw);
+  Libmpk.mpk_mprotect mpk task ~vkey:1 ~prot:Perm.rw;
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      Libmpk.mpk_mprotect mpk task ~vkey:1 ~prot:(if !i land 1 = 0 then Perm.r else Perm.rw))
+
+let test_fig9_patch () =
+  let env = Mpk_experiments.Env.make ~mem_mib:256 () in
+  let task = Mpk_experiments.Env.main env in
+  let proc = env.Mpk_experiments.Env.proc in
+  let mpk = Libmpk.init ~evict_rate:1.0 proc task in
+  let engine =
+    Mpk_jit.Engine.create Mpk_jit.Engine.Chakracore Mpk_jit.Wx.Key_per_page proc task ~mpk ()
+  in
+  let name = Mpk_jit.Engine.compile engine task ~ops:50 ~seed:1 () in
+  Staged.stage (fun () -> Mpk_jit.Engine.patch engine task name)
+
+let test_fig10_sync () =
+  let env = Mpk_experiments.Env.make ~threads:4 () in
+  let task = Mpk_experiments.Env.main env in
+  let mpk = Libmpk.init ~evict_rate:1.0 env.Mpk_experiments.Env.proc task in
+  ignore (Libmpk.mpk_mmap mpk task ~vkey:1 ~len:page ~prot:Perm.rw);
+  Libmpk.mpk_mprotect mpk task ~vkey:1 ~prot:Perm.rw;
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      Libmpk.mpk_mprotect mpk task ~vkey:1 ~prot:(if !i land 1 = 0 then Perm.r else Perm.rw))
+
+let test_fig11_serve () =
+  let env = Mpk_experiments.Env.make ~threads:1 ~mem_mib:256 () in
+  let task = Mpk_experiments.Env.main env in
+  let proc = env.Mpk_experiments.Env.proc in
+  let mpk = Libmpk.init ~evict_rate:1.0 proc task in
+  let server =
+    Mpk_secstore.Tls_server.create ~mode:Mpk_secstore.Keystore.Protected proc task ~mpk
+      ~seed:0x42L ()
+  in
+  let prng = Mpk_util.Prng.create ~seed:7L in
+  let blob, _ = Mpk_secstore.Tls_server.client_hello server prng in
+  let session = Mpk_secstore.Tls_server.accept server task blob in
+  Staged.stage (fun () ->
+      ignore (Mpk_secstore.Tls_server.serve server task session ~size:4096))
+
+let test_fig12_engine_run () =
+  let env = Mpk_experiments.Env.make ~mem_mib:256 () in
+  let task = Mpk_experiments.Env.main env in
+  let proc = env.Mpk_experiments.Env.proc in
+  let mpk = Libmpk.init ~evict_rate:1.0 proc task in
+  let engine =
+    Mpk_jit.Engine.create Mpk_jit.Engine.Chakracore Mpk_jit.Wx.Key_per_process proc task ~mpk ()
+  in
+  let name = Mpk_jit.Engine.compile engine task ~ops:40 ~seed:2 () in
+  Staged.stage (fun () -> ignore (Mpk_jit.Engine.run engine task name))
+
+let test_fig13_sdcg_patch () =
+  let env = Mpk_experiments.Env.make ~mem_mib:256 () in
+  let task = Mpk_experiments.Env.main env in
+  let proc = env.Mpk_experiments.Env.proc in
+  let engine = Mpk_jit.Engine.create Mpk_jit.Engine.V8 Mpk_jit.Wx.Sdcg proc task () in
+  let name = Mpk_jit.Engine.compile engine task ~ops:40 ~seed:3 () in
+  Staged.stage (fun () -> Mpk_jit.Engine.patch engine task name)
+
+let test_fig14_kv_get () =
+  let srv =
+    Mpk_kvstore.Server.create ~mode:Mpk_kvstore.Server.Domain ~workers:1 ~slab_mib:8
+      ~buckets:1024 ()
+  in
+  Mpk_kvstore.Server.set srv ~worker:0 ~key:"bench" ~value:(Bytes.make 512 'v');
+  Staged.stage (fun () -> ignore (Mpk_kvstore.Server.get srv ~worker:0 ~key:"bench"))
+
+let test_table3_begin_end () =
+  let env = Mpk_experiments.Env.make () in
+  let task = Mpk_experiments.Env.main env in
+  let mpk = Libmpk.init ~evict_rate:1.0 env.Mpk_experiments.Env.proc task in
+  ignore (Libmpk.mpk_mmap mpk task ~vkey:1 ~len:page ~prot:Perm.rw);
+  Staged.stage (fun () ->
+      Libmpk.mpk_begin mpk task ~vkey:1 ~prot:Perm.rw;
+      Libmpk.mpk_end mpk task ~vkey:1)
+
+let bechamel_tests () =
+  Test.make_grouped ~name:"libmpk-sim"
+    [
+      Test.make ~name:"table1/pkey_mprotect" (test_table1_pkey_mprotect ());
+      Test.make ~name:"fig2/wrpkru+adds" (test_fig2_wrpkru ());
+      Test.make ~name:"fig3/mprotect-100p" (test_fig3_mprotect_100 ());
+      Test.make ~name:"fig8/cache-hit" (test_fig8_hit ());
+      Test.make ~name:"fig9/keypage-patch" (test_fig9_patch ());
+      Test.make ~name:"fig10/sync-4t" (test_fig10_sync ());
+      Test.make ~name:"fig11/tls-serve" (test_fig11_serve ());
+      Test.make ~name:"fig12/jit-run" (test_fig12_engine_run ());
+      Test.make ~name:"fig13/sdcg-patch" (test_fig13_sdcg_patch ());
+      Test.make ~name:"fig14/kv-get" (test_fig14_kv_get ());
+      Test.make ~name:"table3/begin-end" (test_table3_begin_end ());
+    ]
+
+let run_bechamel () =
+  print_endline (String.make 78 '=');
+  print_endline "Bechamel: host wall-clock of each experiment's innermost operation";
+  print_endline (String.make 78 '=');
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_endline
+    (Mpk_util.Table.render
+       ~aligns:[ Mpk_util.Table.Left; Mpk_util.Table.Right ]
+       ~header:[ "benchmark"; "ns/op (host)" ]
+       (List.map (fun (n, ns) -> [ n; Printf.sprintf "%.0f" ns ]) rows))
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let only =
+    let rec scan = function
+      | "--only" :: id :: _ -> Some id
+      | _ :: rest -> scan rest
+      | [] -> None
+    in
+    scan args
+  in
+  let skip_bechamel = List.mem "--no-bechamel" args in
+  let bechamel_only = List.mem "--bechamel" args in
+  if bechamel_only then run_bechamel ()
+  else
+    match only with
+    | Some id ->
+        if not (Mpk_experiments.Report.run_one id) then begin
+          Printf.eprintf "unknown experiment %S; available: %s\n" id (list_ids ());
+          exit 1
+        end
+    | None ->
+        Mpk_experiments.Report.run_all ();
+        if not skip_bechamel then run_bechamel ()

@@ -1,0 +1,94 @@
+(* mpkctl — command-line driver for the libmpk reproduction.
+
+     mpkctl list                 show the available experiments
+     mpkctl run [ID ...]         run experiments (default: all)
+     mpkctl attack [STRATEGY]    run the JIT race attack under a W^X strategy *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the paper's tables and figures that can be regenerated." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-8s %s\n" e.Mpk_experiments.Report.id e.Mpk_experiments.Report.title)
+      Mpk_experiments.Report.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments by id (all of them when none is given)." in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"experiment ids, e.g. fig8 table1")
+  in
+  let run ids =
+    match ids with
+    | [] ->
+        Mpk_experiments.Report.run_all ();
+        `Ok ()
+    | ids ->
+        let ok =
+          List.for_all
+            (fun id ->
+              let found = Mpk_experiments.Report.run_one id in
+              if not found then Printf.eprintf "unknown experiment %S (try `mpkctl list`)\n" id;
+              found)
+            ids
+        in
+        if ok then `Ok () else `Error (false, "unknown experiment id")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ ids))
+
+let strategy_conv =
+  let parse = function
+    | "none" -> Ok Mpk_jit.Wx.No_wx
+    | "mprotect" -> Ok Mpk_jit.Wx.Mprotect
+    | "key-per-page" | "key/page" -> Ok Mpk_jit.Wx.Key_per_page
+    | "key-per-process" | "key/process" -> Ok Mpk_jit.Wx.Key_per_process
+    | "sdcg" -> Ok Mpk_jit.Wx.Sdcg
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Mpk_jit.Wx.to_string s))
+
+let attack_cmd =
+  let doc = "Run the JIT race-condition attack under a W^X strategy." in
+  let strategy =
+    Arg.(
+      value
+      & pos 0 strategy_conv Mpk_jit.Wx.Mprotect
+      & info [] ~docv:"STRATEGY"
+          ~doc:"one of: none, mprotect, key-per-page, key-per-process, sdcg")
+  in
+  let run strategy =
+    match Mpk_jit.Attack.run ~strategy () with
+    | Mpk_jit.Attack.Injected v ->
+        Printf.printf "VULNERABLE: attacker shellcode executed (0x%x)\n" v
+    | Mpk_jit.Attack.Blocked reason -> Printf.printf "blocked: %s\n" reason
+  in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ strategy)
+
+let maps_cmd =
+  let doc =
+    "Show a /proc-style memory map of a demo process with libmpk groups (note the \
+     protection-key tags and per-area residency)."
+  in
+  let run () =
+    let machine = Mpk_hw.Machine.create ~cores:2 ~mem_mib:64 () in
+    let proc = Mpk_kernel.Proc.create machine in
+    let task = Mpk_kernel.Proc.spawn proc ~core_id:0 () in
+    let mpk = Libmpk.init ~evict_rate:1.0 proc task in
+    let a = Libmpk.mpk_mmap mpk task ~vkey:1 ~len:16384 ~prot:Mpk_hw.Perm.rw in
+    ignore (Libmpk.mpk_mmap mpk task ~vkey:2 ~len:4096 ~prot:Mpk_hw.Perm.rwx);
+    Libmpk.mpk_mprotect mpk task ~vkey:2 ~prot:Mpk_hw.Perm.x_only;
+    Libmpk.mpk_begin mpk task ~vkey:1 ~prot:Mpk_hw.Perm.rw;
+    Mpk_hw.Mmu.write_byte (Mpk_kernel.Proc.mmu proc) (Mpk_kernel.Task.core task) ~addr:a 'x';
+    Libmpk.mpk_end mpk task ~vkey:1;
+    print_string (Mpk_kernel.Mm.show_maps (Mpk_kernel.Proc.mm proc));
+    Format.printf "\nlibmpk stats: %a\n" Libmpk.pp_stats (Libmpk.stats mpk)
+  in
+  Cmd.v (Cmd.info "maps" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "libmpk (USENIX ATC'19) reproduction on a simulated MPK machine" in
+  let info = Cmd.info "mpkctl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; attack_cmd; maps_cmd ]))

@@ -1,0 +1,1 @@
+examples/jit_wxorx.ml: Attack Codecache Engine Libmpk List Mpk_hw Mpk_jit Mpk_kernel Printf Wx

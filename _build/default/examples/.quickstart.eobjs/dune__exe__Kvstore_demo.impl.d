@@ -1,0 +1,1 @@
+examples/kvstore_demo.ml: Array Bytes Cpu List Mmu Mpk_hw Mpk_kernel Mpk_kvstore Option Printf Proc Server Task

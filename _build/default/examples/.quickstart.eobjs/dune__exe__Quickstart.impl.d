@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cpu Libmpk Machine Mmu Mpk_hw Mpk_kernel Perm Printf Proc Syscall Task

@@ -1,0 +1,1 @@
+examples/secure_keystore.ml: Bytes Heartbleed Keystore Libmpk Mpk_hw Mpk_kernel Mpk_secstore Mpk_util Printf Proc String Tls_server

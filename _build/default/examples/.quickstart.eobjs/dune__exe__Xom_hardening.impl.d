@@ -1,0 +1,1 @@
+examples/xom_hardening.ml: Bytecode Format Libmpk List Machine Mm Mmu Mpk_hw Mpk_jit Mpk_kernel Printf Proc Task Xom

@@ -1,0 +1,1 @@
+examples/xom_hardening.mli:

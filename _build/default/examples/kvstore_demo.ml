@@ -1,0 +1,61 @@
+(* The Memcached case study (paper §5.3/Fig 14): a 4-thread key-value
+   store whose slabs and hash table live in protected memory.
+
+     dune exec examples/kvstore_demo.exe
+
+   Shows (1) all protection modes serving the same workload, (2) the
+   attacker's view of slab memory per mode, and (3) why mprotect-based
+   protection collapses once the store holds real data. *)
+
+open Mpk_hw
+open Mpk_kernel
+open Mpk_kvstore
+
+let modes = [ Server.Baseline; Server.Domain; Server.Sync; Server.Mprotect_sys ]
+
+let () =
+  print_endline "== correctness: every mode serves the same workload ==";
+  List.iter
+    (fun mode ->
+      let srv = Server.create ~mode ~workers:2 ~slab_mib:8 ~buckets:256 () in
+      Server.set srv ~worker:0 ~key:"user:42" ~value:(Bytes.of_string "alice");
+      Server.set srv ~worker:1 ~key:"session" ~value:(Bytes.of_string "tok-9f1");
+      let v = Option.map Bytes.to_string (Server.get srv ~worker:1 ~key:"user:42") in
+      Printf.printf "  %-13s get(user:42) = %s\n" (Server.mode_name mode)
+        (Option.value ~default:"<missing>" v))
+    modes;
+
+  print_endline "\n== security: attacker thread reads slab memory directly ==";
+  List.iter
+    (fun mode ->
+      let srv = Server.create ~mode ~workers:2 ~slab_mib:8 ~buckets:256 () in
+      Server.set srv ~worker:0 ~key:"card" ~value:(Bytes.of_string "4111-1111");
+      let attacker = Server.attacker_task srv in
+      match
+        Mmu.read_bytes (Proc.mmu (Server.proc srv)) (Task.core attacker)
+          ~addr:(Server.slab_base srv) ~len:64
+      with
+      | _ -> Printf.printf "  %-13s slab memory READABLE by a compromised thread\n"
+               (Server.mode_name mode)
+      | exception Mmu.Fault f ->
+          Printf.printf "  %-13s blocked (%s)\n" (Server.mode_name mode)
+            (Mmu.fault_to_string f))
+    modes;
+
+  print_endline "\n== performance: per-request cost with 256 MiB resident ==";
+  List.iter
+    (fun mode ->
+      let srv = Server.create ~mode ~workers:1 ~slab_mib:256 ~buckets:256 () in
+      Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.make 512 'v');
+      Server.populate_slab srv ~mib:256;
+      let core = Task.core (Server.workers srv).(0) in
+      let before = Cpu.cycles core in
+      for _ = 1 to 20 do
+        ignore (Server.get srv ~worker:0 ~key:"k")
+      done;
+      let per_req = (Cpu.cycles core -. before) /. 20.0 in
+      Printf.printf "  %-13s %10.0f cycles/request (%.1f us at 2.4 GHz)\n"
+        (Server.mode_name mode) per_req
+        (per_req /. 2400.0))
+    modes;
+  print_endline "\nkvstore demo done."

@@ -1,0 +1,1 @@
+lib/core/libmpk.ml: Api Group Key_cache Metadata Mpk_heap Vkey

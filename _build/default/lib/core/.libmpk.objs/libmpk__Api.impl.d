@@ -1,0 +1,1 @@
+lib/core/api.ml: Array Cpu Errno Float Format Group Hashtbl Key_cache List Logs Metadata Mm Mpk_heap Mpk_hw Mpk_kernel Mpk_util Option Perm Physmem Pkey Pkru Proc Syscall Task Vkey

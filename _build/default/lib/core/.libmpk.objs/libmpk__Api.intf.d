@@ -1,0 +1,1 @@
+lib/core/api.mli: Format Group Key_cache Logs Metadata Mpk_hw Mpk_kernel Perm Pkey Proc Task Vkey

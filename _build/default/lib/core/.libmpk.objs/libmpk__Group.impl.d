@@ -1,0 +1,1 @@
+lib/core/group.ml: Bytes Hashtbl Int32 Int64 Mpk_hw Perm Physmem Pkey Vkey

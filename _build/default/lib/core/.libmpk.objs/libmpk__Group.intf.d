@@ -1,0 +1,1 @@
+lib/core/group.mli: Hashtbl Mpk_hw Perm Pkey Vkey

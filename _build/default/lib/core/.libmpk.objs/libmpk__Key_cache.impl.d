@@ -1,0 +1,1 @@
+lib/core/key_cache.ml: Hashtbl List Mpk_hw Mpk_util Pkey Vkey

@@ -1,0 +1,1 @@
+lib/core/key_cache.mli: Mpk_hw Pkey Vkey

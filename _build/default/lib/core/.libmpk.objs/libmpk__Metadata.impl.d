@@ -1,0 +1,1 @@
+lib/core/metadata.ml: Array Bytes Group Mmu Mpk_hw Mpk_kernel Perm Proc Syscall Task

@@ -1,0 +1,1 @@
+lib/core/metadata.mli: Group Mpk_hw Mpk_kernel Perm Proc Task Vkey

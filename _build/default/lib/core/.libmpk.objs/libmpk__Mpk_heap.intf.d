@@ -1,0 +1,1 @@
+lib/core/mpk_heap.mli:

@@ -1,0 +1,1 @@
+lib/core/vkey.ml: Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/core/vkey.mli: Format

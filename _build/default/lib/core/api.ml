@@ -1,0 +1,442 @@
+open Mpk_hw
+open Mpk_kernel
+
+exception Key_exhausted
+exception Unregistered_vkey of Vkey.t
+
+(* Debug tracing: enable with Logs.Src.set_level Api.log_src (Some Debug). *)
+let log_src = Logs.Src.create "libmpk" ~doc:"libmpk key-management events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  proc : Proc.t;
+  evict_rate : float;
+  prng : Mpk_util.Prng.t;
+  cache : Key_cache.t;
+  metadata : Metadata.t;
+  groups : (Vkey.t, Group.t * int) Hashtbl.t;  (* vkey -> group, metadata slot *)
+  heaps : (Vkey.t, Mpk_heap.t) Hashtbl.t;
+  registry : (Vkey.t, unit) Hashtbl.t option;
+  default_heap_bytes : int;
+  mutable xonly_reserved : Pkey.t option;
+  mutable xonly_groups : int;
+  counters : int array;  (* indexed by counter below *)
+}
+
+(* counter indices *)
+let c_mmap = 0
+and c_munmap = 1
+and c_begin = 2
+and c_end = 3
+and c_mprotect = 4
+and c_malloc = 5
+and c_free = 6
+
+let count t c = t.counters.(c) <- t.counters.(c) + 1
+
+type stats = {
+  mmap_calls : int;
+  munmap_calls : int;
+  begin_calls : int;
+  end_calls : int;
+  mprotect_calls : int;
+  malloc_calls : int;
+  free_calls : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+}
+
+(* Userspace bookkeeping per API call: hashmap lookup plus internal data
+   structure maintenance. With WRPKRU (23.3) this puts the Fig 8 hit path
+   near the paper's 12.2x-faster-than-mprotect point. *)
+let user_op_cycles = 60.0
+
+let charge_user task = Cpu.charge (Task.core task) user_op_cycles
+
+let init ?vkeys ?(default_heap_bytes = 1 lsl 20) ?(seed = 0xC0FFEEL)
+    ?(policy = Key_cache.Lru) ?(hw_keys = 15) ~evict_rate proc task =
+  let evict_rate = if evict_rate < 0.0 then 1.0 else Float.min evict_rate 1.0 in
+  let hw_keys = max 1 (min 15 hw_keys) in
+  (* Take every hardware key away from the kernel so nothing else in the
+     process can create groups behind libmpk's back; only the first
+     [hw_keys] of them go into circulation. *)
+  let keys =
+    List.map
+      (fun _ -> Syscall.pkey_alloc proc task ~init_rights:Pkru.No_access)
+      Pkey.allocatable
+    |> List.filteri (fun i _ -> i < hw_keys)
+  in
+  {
+    proc;
+    evict_rate;
+    prng = Mpk_util.Prng.create ~seed;
+    cache = Key_cache.create ~policy ~seed ~keys ();
+    metadata = Metadata.create proc task;
+    groups = Hashtbl.create 64;
+    heaps = Hashtbl.create 16;
+    registry =
+      Option.map
+        (fun vkeys ->
+          let h = Hashtbl.create (List.length vkeys) in
+          List.iter (fun v -> Hashtbl.replace h v ()) vkeys;
+          h)
+        vkeys;
+    default_heap_bytes;
+    xonly_reserved = None;
+    xonly_groups = 0;
+    counters = Array.make 7 0;
+  }
+
+let proc t = t.proc
+let evict_rate t = t.evict_rate
+let group_count t = Hashtbl.length t.groups
+let find_group t vkey = Option.map fst (Hashtbl.find_opt t.groups vkey)
+let cache t = t.cache
+let metadata t = t.metadata
+let xonly_key t = t.xonly_reserved
+
+let stats t =
+  {
+    mmap_calls = t.counters.(c_mmap);
+    munmap_calls = t.counters.(c_munmap);
+    begin_calls = t.counters.(c_begin);
+    end_calls = t.counters.(c_end);
+    mprotect_calls = t.counters.(c_mprotect);
+    malloc_calls = t.counters.(c_malloc);
+    free_calls = t.counters.(c_free);
+    cache_hits = Key_cache.hits t.cache;
+    cache_misses = Key_cache.misses t.cache;
+    cache_evictions = Key_cache.evictions t.cache;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "mmap:%d munmap:%d begin:%d end:%d mprotect:%d malloc:%d free:%d | cache hit:%d miss:%d evict:%d"
+    s.mmap_calls s.munmap_calls s.begin_calls s.end_calls s.mprotect_calls s.malloc_calls
+    s.free_calls s.cache_hits s.cache_misses s.cache_evictions
+
+let check_vkey t vkey =
+  match t.registry with
+  | Some reg when not (Hashtbl.mem reg vkey) -> raise (Unregistered_vkey vkey)
+  | Some _ | None -> ()
+
+let group_slot t vkey =
+  match Hashtbl.find_opt t.groups vkey with
+  | Some pair -> pair
+  | None -> Errno.fail ENOENT "libmpk: no page group for vkey %d" vkey
+
+let sync_slot t task vkey =
+  let group, slot = group_slot t vkey in
+  Metadata.update_slot t.metadata task ~slot group
+
+(* Page-level permission used while a group is Mapped: data rights are
+   carried by PKRU, so pages stay readable/writable; the execute bit
+   cannot be expressed in PKRU and stays at page level. *)
+let mapped_page_perm (prot : Perm.t) : Perm.t = { read = true; write = true; exec = prot.exec }
+
+let set_own_rights task pkey rights =
+  let core = Task.core task in
+  Cpu.wrpkru core (Pkru.set_rights (Cpu.pkru core) pkey rights)
+
+let multi_threaded t = match Proc.tasks t.proc with [] | [ _ ] -> false | _ -> true
+
+(* Memory-side work of evicting [victim] from hardware key [pkey]. An
+   isolated (domain) group loses all data access, but keeps its execute
+   bit: PKRU never gated instruction fetch, so revoking it would break
+   running code (the JIT case) without adding protection. *)
+let evict_group t task ~victim ~pkey =
+  let group, _ = group_slot t victim in
+  let prot =
+    if group.Group.isolated then Perm.make ~exec:group.Group.prot.Perm.exec ()
+    else group.Group.prot
+  in
+  Log.debug (fun m ->
+      m "evict vkey:%d from %a (isolated:%b)" victim Pkey.pp pkey group.Group.isolated);
+  Syscall.pkey_unmap_group t.proc task ~addr:group.Group.base ~len:(Group.len group)
+    ~prot ~old_pkey:pkey;
+  group.Group.state <- Group.Unmapped;
+  sync_slot t task victim
+
+(* Map [group] onto hardware key [pkey]: tag its pages and set page-level
+   permission for the target protection. *)
+let attach_group t task group ~pkey ~page_prot =
+  Log.debug (fun m ->
+      m "attach vkey:%d -> %a (pages:%d prot:%a)" group.Group.vkey Pkey.pp pkey
+        group.Group.pages Perm.pp page_prot);
+  Syscall.pkey_mprotect t.proc task ~addr:group.Group.base ~len:(Group.len group)
+    ~prot:page_prot ~pkey;
+  group.Group.state <- Group.Mapped pkey
+
+let mpk_mmap t task ~vkey ~len ~prot =
+  check_vkey t vkey;
+  charge_user task;
+  count t c_mmap;
+  if Hashtbl.mem t.groups vkey then
+    Errno.fail EINVAL "mpk_mmap: vkey %d already has a page group" vkey;
+  let addr = Syscall.mmap t.proc task ~len ~prot () in
+  let pages = Mm.pages_of_len len in
+  let group = Group.make ~vkey ~base:addr ~pages ~prot in
+  (* Attach a hardware key when one is free so the group starts gated by
+     PKRU (inaccessible: every thread's rights default to no-access).
+     Without a free key, hold the pages at PROT_NONE instead. *)
+  (match Key_cache.acquire t.cache ~may_evict:false vkey with
+  | Key_cache.Fresh pkey ->
+      attach_group t task group ~pkey ~page_prot:(mapped_page_perm prot)
+  | Key_cache.Hit _ -> assert false  (* group did not exist *)
+  | Key_cache.Evicted _ -> assert false  (* may_evict:false *)
+  | Key_cache.Full ->
+      Syscall.mprotect t.proc task ~addr ~len ~prot:Perm.none;
+      group.Group.state <- Group.Unmapped);
+  let slot = Metadata.alloc_slot t.metadata task group in
+  Hashtbl.replace t.groups vkey (group, slot);
+  addr
+
+let reclaim_xonly_reserve t =
+  if t.xonly_groups = 0 then (
+    match t.xonly_reserved with
+    | Some k ->
+        Key_cache.add_key t.cache k;
+        t.xonly_reserved <- None
+    | None -> ())
+
+(* Propagate [rights] for [pkey] to every thread: the caller by WRPKRU,
+   the rest through the kernel's lazy do_pkey_sync. *)
+let sync_rights t task pkey rights =
+  set_own_rights task pkey rights;
+  if multi_threaded t then Syscall.pkey_sync t.proc task ~pkey rights
+
+(* A hardware key leaving circulation must carry no residual rights in
+   any thread's PKRU, or its next owner inherits them — the very
+   use-after-free class libmpk exists to close. *)
+let scrub_rights t task pkey =
+  set_own_rights task pkey Pkru.No_access;
+  if multi_threaded t then Syscall.pkey_sync t.proc task ~pkey Pkru.No_access
+
+let mpk_munmap t task ~vkey =
+  check_vkey t vkey;
+  charge_user task;
+  count t c_munmap;
+  let group, slot = group_slot t vkey in
+  if group.Group.begin_depth > 0 then
+    Errno.fail EINVAL "mpk_munmap: vkey %d still inside mpk_begin" vkey;
+  (match group.Group.state with
+  | Group.Mapped _ when group.Group.xonly ->
+      t.xonly_groups <- t.xonly_groups - 1;
+      reclaim_xonly_reserve t
+  | Group.Mapped pkey ->
+      scrub_rights t task pkey;
+      Key_cache.release t.cache vkey
+  | Group.Unmapped -> ());
+  Syscall.munmap t.proc task ~addr:group.Group.base ~len:(Group.len group);
+  Metadata.free_slot t.metadata task ~slot;
+  Hashtbl.remove t.groups vkey;
+  Hashtbl.remove t.heaps vkey
+
+(* Guarantee [group] holds a hardware key, evicting if necessary. A
+   globally-unlocked group re-attached to a (possibly recycled) key must
+   re-synchronize everyone's rights, or other threads would lose the
+   global permission the moment a domain is opened on the group. *)
+let ensure_mapped_for_begin t task group =
+  let restore_global_rights pkey =
+    if not group.Group.isolated then
+      sync_rights t task pkey (Pkru.rights_of_perm group.Group.prot)
+  in
+  match group.Group.state with
+  | Group.Mapped pkey -> pkey
+  | Group.Unmapped -> (
+      match Key_cache.acquire t.cache ~may_evict:true group.Group.vkey with
+      | Key_cache.Hit pkey | Key_cache.Fresh pkey ->
+          attach_group t task group ~pkey ~page_prot:(mapped_page_perm group.Group.prot);
+          restore_global_rights pkey;
+          pkey
+      | Key_cache.Evicted (pkey, victim) ->
+          evict_group t task ~victim ~pkey;
+          attach_group t task group ~pkey ~page_prot:(mapped_page_perm group.Group.prot);
+          restore_global_rights pkey;
+          pkey
+      | Key_cache.Full ->
+          Log.warn (fun m ->
+              m "mpk_begin vkey:%d: every hardware key pinned — Key_exhausted"
+                group.Group.vkey);
+          raise Key_exhausted)
+
+let mpk_begin t task ~vkey ~prot =
+  check_vkey t vkey;
+  charge_user task;
+  count t c_begin;
+  let group, _ = group_slot t vkey in
+  if group.Group.xonly then
+    Errno.fail EACCES "mpk_begin: vkey %d is execute-only" vkey;
+  if not (Perm.subsumes group.Group.max_prot prot) then
+    Errno.fail EACCES "mpk_begin: requested %s exceeds group permission %s"
+      (Perm.to_string prot)
+      (Perm.to_string group.Group.max_prot);
+  let pkey = ensure_mapped_for_begin t task group in
+  Key_cache.pin t.cache vkey;
+  group.Group.begin_depth <- group.Group.begin_depth + 1;
+  let id = Task.id task in
+  Hashtbl.replace group.Group.begin_holders id
+    (1 + Option.value ~default:0 (Hashtbl.find_opt group.Group.begin_holders id));
+  (* note: [isolated] is not touched — a begin on a globally-unlocked
+     group is a temporary elevation, not a switch of usage model *)
+  set_own_rights task pkey (Pkru.rights_of_perm prot);
+  sync_slot t task vkey
+
+let mpk_end t task ~vkey =
+  check_vkey t vkey;
+  charge_user task;
+  count t c_end;
+  let group, _ = group_slot t vkey in
+  let id = Task.id task in
+  let own_depth = Option.value ~default:0 (Hashtbl.find_opt group.Group.begin_holders id) in
+  (match group.Group.state with
+  | Group.Mapped pkey when own_depth > 0 ->
+      group.Group.begin_depth <- group.Group.begin_depth - 1;
+      if own_depth = 1 then begin
+        Hashtbl.remove group.Group.begin_holders id;
+        (* this thread's outermost end: fall back to the group's global
+           permission — no access for a domain group, the last
+           mpk_mprotect grant otherwise *)
+        let base_rights =
+          if group.Group.isolated then Pkru.No_access
+          else Pkru.rights_of_perm group.Group.prot
+        in
+        set_own_rights task pkey base_rights
+      end
+      else Hashtbl.replace group.Group.begin_holders id (own_depth - 1);
+      Key_cache.unpin t.cache vkey
+  | Group.Mapped _ | Group.Unmapped ->
+      Errno.fail EINVAL "mpk_end: calling thread is not inside mpk_begin for vkey %d" vkey);
+  sync_slot t task vkey
+
+(* Reserve (lazily) the execute-only key; every execute-only group shares
+   it and it is never evicted while such groups exist. *)
+let reserve_xonly t task =
+  match t.xonly_reserved with
+  | Some k -> k
+  | None -> (
+      match Key_cache.reserve t.cache with
+      | None -> raise Key_exhausted
+      | Some (k, victim) ->
+          (match victim with
+          | Some v -> evict_group t task ~victim:v ~pkey:k
+          | None -> ());
+          t.xonly_reserved <- Some k;
+          k)
+
+(* Transition a group out of execute-only: untag its pages from the shared
+   reserved key (keeping them rx at page level until the caller installs
+   the new protection) and release the reserve when it was the last. *)
+let leave_xonly t task group =
+  if group.Group.xonly then begin
+    (match group.Group.state with
+    | Group.Mapped k ->
+        Syscall.pkey_unmap_group t.proc task ~addr:group.Group.base
+          ~len:(Group.len group) ~prot:Perm.rx ~old_pkey:k
+    | Group.Unmapped -> ());
+    group.Group.state <- Group.Unmapped;
+    group.Group.xonly <- false;
+    t.xonly_groups <- t.xonly_groups - 1;
+    reclaim_xonly_reserve t
+  end
+
+let mprotect_xonly t task group =
+  let pkey = reserve_xonly t task in
+  (* The group leaves the ordinary cache: the reserved key is shared by
+     all execute-only groups and pinned until they disappear. *)
+  (match group.Group.state with
+  | Group.Mapped old_pkey when not group.Group.xonly ->
+      scrub_rights t task old_pkey;
+      Key_cache.release t.cache group.Group.vkey
+  | Group.Mapped _ | Group.Unmapped -> ());
+  Syscall.pkey_mprotect t.proc task ~addr:group.Group.base ~len:(Group.len group)
+    ~prot:Perm.rx ~pkey;
+  if not group.Group.xonly then begin
+    group.Group.xonly <- true;
+    t.xonly_groups <- t.xonly_groups + 1
+  end;
+  group.Group.state <- Group.Mapped pkey;
+  group.Group.prot <- Perm.x_only;
+  group.Group.isolated <- false;
+  (* No thread may read an execute-only group: synchronize everyone. *)
+  sync_rights t task pkey Pkru.No_access
+
+let mpk_mprotect t task ~vkey ~prot =
+  check_vkey t vkey;
+  charge_user task;
+  count t c_mprotect;
+  let group, _ = group_slot t vkey in
+  if group.Group.begin_depth > 0 then
+    Errno.fail EINVAL "mpk_mprotect: vkey %d is inside mpk_begin" vkey;
+  (if Perm.equal prot Perm.x_only then mprotect_xonly t task group
+   else begin
+     leave_xonly t task group;
+     let rights = Pkru.rights_of_perm prot in
+     match group.Group.state with
+     | Group.Mapped pkey ->
+         (* Cache hit: flip the exec bit at page level only if it changed;
+            data rights travel by PKRU. *)
+         ignore (Key_cache.acquire t.cache vkey);  (* LRU bump + stats *)
+         if group.Group.prot.Perm.exec <> prot.Perm.exec then
+           Syscall.mprotect t.proc task ~addr:group.Group.base
+             ~len:(Group.len group) ~prot:(mapped_page_perm prot);
+         group.Group.prot <- prot;
+         group.Group.isolated <- false;
+         sync_rights t task pkey rights
+     | Group.Unmapped -> (
+         let may_evict = Mpk_util.Prng.bool t.prng ~p:t.evict_rate in
+         match Key_cache.acquire t.cache ~may_evict vkey with
+         | Key_cache.Hit pkey | Key_cache.Fresh pkey ->
+             attach_group t task group ~pkey ~page_prot:(mapped_page_perm prot);
+             group.Group.prot <- prot;
+             group.Group.isolated <- false;
+             sync_rights t task pkey rights
+         | Key_cache.Evicted (pkey, victim) ->
+             evict_group t task ~victim ~pkey;
+             attach_group t task group ~pkey ~page_prot:(mapped_page_perm prot);
+             group.Group.prot <- prot;
+             group.Group.isolated <- false;
+             sync_rights t task pkey rights
+         | Key_cache.Full ->
+             (* Eviction declined (or impossible): plain mprotect carries
+                the permission at page level, synchronized by nature. *)
+             Syscall.mprotect t.proc task ~addr:group.Group.base
+               ~len:(Group.len group) ~prot;
+             group.Group.prot <- prot;
+             group.Group.isolated <- false)
+   end);
+  sync_slot t task vkey
+
+let mpk_malloc t task ~vkey ~size =
+  check_vkey t vkey;
+  charge_user task;
+  count t c_malloc;
+  let group =
+    match Hashtbl.find_opt t.groups vkey with
+    | Some (g, _) -> g
+    | None ->
+        let len = max t.default_heap_bytes (Mm.pages_of_len size * Physmem.page_size) in
+        ignore (mpk_mmap t task ~vkey ~len ~prot:Perm.rw);
+        fst (group_slot t vkey)
+  in
+  let heap =
+    match Hashtbl.find_opt t.heaps vkey with
+    | Some h -> h
+    | None ->
+        let h = Mpk_heap.create ~base:group.Group.base ~len:(Group.len group) in
+        Hashtbl.replace t.heaps vkey h;
+        h
+  in
+  match Mpk_heap.alloc heap ~size with
+  | Some addr -> addr
+  | None -> Errno.fail ENOMEM "mpk_malloc: group %d heap exhausted" vkey
+
+let mpk_free t task ~vkey ~addr =
+  check_vkey t vkey;
+  charge_user task;
+  count t c_free;
+  match Hashtbl.find_opt t.heaps vkey with
+  | Some heap -> Mpk_heap.free heap ~addr
+  | None -> Errno.fail EINVAL "mpk_free: vkey %d has no heap" vkey

@@ -1,0 +1,47 @@
+(** Page-group metadata: one record per virtual key (paper §4.2).
+
+    A group is either [Mapped] to a hardware key — its pages are tagged
+    with that key and per-thread access is gated by PKRU — or [Unmapped]
+    (key 0), protected purely by page permissions. *)
+
+open Mpk_hw
+
+type state = Unmapped | Mapped of Pkey.t
+
+type t = {
+  vkey : Vkey.t;
+  base : int;  (** base address *)
+  pages : int;
+  mutable prot : Perm.t;  (** the group's current logical permission *)
+  max_prot : Perm.t;
+      (** the permission the group was created with: the ceiling
+          [mpk_begin] may grant, regardless of later global locking via
+          [mpk_mprotect] *)
+  mutable state : state;
+  mutable begin_depth : int;  (** total open mpk_begin calls, all threads *)
+  begin_holders : (int, int) Hashtbl.t;
+      (** task id -> that task's open begin count: a thread's PKRU rights
+          drop at *its* outermost mpk_end, independent of other threads *)
+  mutable isolated : bool;
+      (** true for domain-style groups: when evicted their pages drop to
+          PROT_NONE; false for mprotect-style groups whose page
+          permissions carry the protection while unmapped *)
+  mutable xonly : bool;
+      (** true while the group is execute-only, sharing the reserved
+          execute-only key outside the cache *)
+}
+
+val make : vkey:Vkey.t -> base:int -> pages:int -> prot:Perm.t -> t
+
+val len : t -> int
+
+val pkey : t -> Pkey.t option
+
+(** Serialized size of one group record in the protected metadata region —
+    32 bytes, as reported in the paper's memory-overhead paragraph. *)
+val metadata_bytes : int
+
+(** [serialize t] — 32-byte record (vkey, base, pages, prot, pkey). *)
+val serialize : t -> bytes
+
+val deserialize : bytes -> (Vkey.t * int * int * Perm.t * int) option

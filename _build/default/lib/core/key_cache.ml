@@ -1,0 +1,152 @@
+open Mpk_hw
+
+type entry = {
+  pkey : Pkey.t;
+  mutable stamp : int;  (* last access (LRU) *)
+  inserted : int;  (* insertion order (FIFO) *)
+  mutable pins : int;
+}
+
+type policy = Lru | Fifo | Random
+
+type t = {
+  policy : policy;
+  prng : Mpk_util.Prng.t;
+  mutable free : Pkey.t list;
+  map : (Vkey.t, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(policy = Lru) ?(seed = 0x5EEDL) ~keys () =
+  {
+    policy;
+    prng = Mpk_util.Prng.create ~seed;
+    free = keys;
+    map = Hashtbl.create 16;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let policy t = t.policy
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let min_by metric t =
+  Hashtbl.fold
+    (fun vkey e best ->
+      if e.pins > 0 then best
+      else
+        match best with
+        | Some (_, b) when metric b <= metric e -> best
+        | _ -> Some (vkey, e))
+    t.map None
+
+let lru_victim t =
+  match t.policy with
+  | Lru -> min_by (fun e -> e.stamp) t
+  | Fifo -> min_by (fun e -> e.inserted) t
+  | Random -> (
+      let unpinned =
+        Hashtbl.fold (fun vkey e acc -> if e.pins = 0 then (vkey, e) :: acc else acc) t.map []
+      in
+      match unpinned with
+      | [] -> None
+      | _ -> Some (List.nth unpinned (Mpk_util.Prng.int t.prng (List.length unpinned))))
+
+type acquire_result =
+  | Hit of Pkey.t
+  | Fresh of Pkey.t
+  | Evicted of Pkey.t * Vkey.t
+  | Full
+
+let acquire t ?(may_evict = true) vkey =
+  match Hashtbl.find_opt t.map vkey with
+  | Some e ->
+      e.stamp <- tick t;
+      t.hits <- t.hits + 1;
+      Hit e.pkey
+  | None -> (
+      t.misses <- t.misses + 1;
+      match t.free with
+      | pkey :: rest ->
+          t.free <- rest;
+          let now = tick t in
+          Hashtbl.replace t.map vkey { pkey; stamp = now; inserted = now; pins = 0 };
+          Fresh pkey
+      | [] ->
+          if not may_evict then Full
+          else (
+            match lru_victim t with
+            | None -> Full
+            | Some (victim, e) ->
+                Hashtbl.remove t.map victim;
+                let now = tick t in
+                Hashtbl.replace t.map vkey { pkey = e.pkey; stamp = now; inserted = now; pins = 0 };
+                t.evictions <- t.evictions + 1;
+                Evicted (e.pkey, victim)))
+
+let add_key t pkey = t.free <- pkey :: t.free
+
+let lookup t vkey =
+  match Hashtbl.find_opt t.map vkey with
+  | Some e ->
+      e.stamp <- tick t;
+      Some e.pkey
+  | None -> None
+
+let reserve t =
+  match t.free with
+  | pkey :: rest ->
+      t.free <- rest;
+      Some (pkey, None)
+  | [] -> (
+      match lru_victim t with
+      | None -> None
+      | Some (victim, e) ->
+          Hashtbl.remove t.map victim;
+          t.evictions <- t.evictions + 1;
+          Some (e.pkey, Some victim))
+
+let pin t vkey =
+  match Hashtbl.find_opt t.map vkey with
+  | Some e -> e.pins <- e.pins + 1
+  | None -> invalid_arg "Key_cache.pin: vkey not mapped"
+
+let unpin t vkey =
+  match Hashtbl.find_opt t.map vkey with
+  | Some e when e.pins > 0 -> e.pins <- e.pins - 1
+  | Some _ -> invalid_arg "Key_cache.unpin: not pinned"
+  | None -> invalid_arg "Key_cache.unpin: vkey not mapped"
+
+let pinned t vkey =
+  match Hashtbl.find_opt t.map vkey with Some e -> e.pins > 0 | None -> false
+
+let release t vkey =
+  match Hashtbl.find_opt t.map vkey with
+  | Some e ->
+      Hashtbl.remove t.map vkey;
+      t.free <- e.pkey :: t.free
+  | None -> ()
+
+let capacity t = List.length t.free + Hashtbl.length t.map
+let in_use t = Hashtbl.length t.map
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let dump t =
+  Hashtbl.fold (fun vkey e acc -> (vkey, e.pkey, e.pins > 0, e.stamp) :: acc) t.map []
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare a b)
+  |> List.map (fun (v, p, pinned, _) -> v, p, pinned)

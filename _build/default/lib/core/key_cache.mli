@@ -1,0 +1,65 @@
+(** The virtual-key → hardware-key cache (paper Fig 6).
+
+    Hardware keys are treated like cache slots for virtual keys: a lookup
+    hit returns the mapped key cheaply; a miss either takes a free key,
+    evicts the least-recently-used unpinned mapping, or reports the cache
+    full (every key pinned by an active [mpk_begin]). *)
+
+open Mpk_hw
+
+type t
+
+(** Victim-selection policy. The paper uses LRU; FIFO and random are
+    provided for the eviction-policy ablation. *)
+type policy = Lru | Fifo | Random
+
+(** [create ~keys] with the hardware keys handed over by [mpk_init].
+    [seed] only matters for [Random]. *)
+val create : ?policy:policy -> ?seed:int64 -> keys:Pkey.t list -> unit -> t
+
+val policy : t -> policy
+
+(** Permanently withdraw one key from circulation (the execute-only
+    reserve). Prefers a free key; evicts an unpinned LRU mapping if
+    needed; [None] when everything is pinned. Returns the key plus the
+    evicted vkey, if any. *)
+val reserve : t -> (Pkey.t * Vkey.t option) option
+
+type acquire_result =
+  | Hit of Pkey.t  (** vkey already mapped *)
+  | Fresh of Pkey.t  (** mapped to a previously free key *)
+  | Evicted of Pkey.t * Vkey.t  (** mapped after evicting the LRU victim *)
+  | Full  (** no free key and eviction unavailable *)
+
+(** [acquire t vkey ~may_evict] maps (or finds) a hardware key for [vkey],
+    updating LRU order and hit/miss/eviction statistics. With
+    [may_evict:false] a miss with no free key reports [Full] instead of
+    evicting (the eviction-rate fallback of [mpk_mprotect]). On [Evicted]
+    the caller must do the memory-side work of the eviction. *)
+val acquire : t -> ?may_evict:bool -> Vkey.t -> acquire_result
+
+(** Return a previously reserved key to the free pool. *)
+val add_key : t -> Pkey.t -> unit
+
+(** [lookup t vkey] — non-mutating except for the LRU bump; no stats. *)
+val lookup : t -> Vkey.t -> Pkey.t option
+
+(** Pin/unpin a mapping against eviction (nested: counted). *)
+val pin : t -> Vkey.t -> unit
+
+val unpin : t -> Vkey.t -> unit
+val pinned : t -> Vkey.t -> bool
+
+(** [release t vkey] drops the mapping, returning the key to the free
+    list. No-op when unmapped. *)
+val release : t -> Vkey.t -> unit
+
+val capacity : t -> int
+val in_use : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val reset_stats : t -> unit
+
+(** Mappings as (vkey, pkey, pinned) triples, LRU first. *)
+val dump : t -> (Vkey.t * Pkey.t * bool) list

@@ -1,0 +1,77 @@
+open Mpk_hw
+open Mpk_kernel
+
+let initial_bytes = 32 * 1024  (* the paper's pre-allocated 32 KiB *)
+
+type t = {
+  proc : Proc.t;
+  mutable base : int;
+  mutable bytes : int;
+  mutable used : bool array;  (* slot occupancy, tracked library-side *)
+}
+
+let slots_of_bytes bytes = bytes / Group.metadata_bytes
+
+let create proc task =
+  let base = Syscall.mmap proc task ~len:initial_bytes ~prot:Perm.r () in
+  { proc; base; bytes = initial_bytes; used = Array.make (slots_of_bytes initial_bytes) false }
+
+let base t = t.base
+let capacity_slots t = slots_of_bytes t.bytes
+let used_slots t = Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 t.used
+
+let slot_addr t ~slot = t.base + (slot * Group.metadata_bytes)
+
+let kernel_write t ~slot data =
+  Mmu.kernel_write_bytes (Proc.mmu t.proc) ~addr:(slot_addr t ~slot) data
+
+let grow t task =
+  let new_bytes = t.bytes * 2 in
+  let new_base = Syscall.mmap t.proc task ~len:new_bytes ~prot:Perm.r () in
+  (* The kernel migrates the records to the larger region. *)
+  let old = Mmu.kernel_read_bytes (Proc.mmu t.proc) ~addr:t.base ~len:t.bytes in
+  Mmu.kernel_write_bytes (Proc.mmu t.proc) ~addr:new_base old;
+  Syscall.munmap t.proc task ~addr:t.base ~len:t.bytes;
+  let new_used = Array.make (slots_of_bytes new_bytes) false in
+  Array.blit t.used 0 new_used 0 (Array.length t.used);
+  t.base <- new_base;
+  t.bytes <- new_bytes;
+  t.used <- new_used
+
+let find_free t =
+  let n = Array.length t.used in
+  let rec scan i = if i >= n then None else if not t.used.(i) then Some i else scan (i + 1) in
+  scan 0
+
+let alloc_slot t task group =
+  let slot =
+    match find_free t with
+    | Some s -> s
+    | None ->
+        grow t task;
+        (match find_free t with
+        | Some s -> s
+        | None -> assert false)
+  in
+  t.used.(slot) <- true;
+  kernel_write t ~slot (Group.serialize group);
+  slot
+
+let update_slot t _task ~slot group =
+  if slot < 0 || slot >= Array.length t.used || not t.used.(slot) then
+    invalid_arg "Metadata.update_slot: bad slot";
+  kernel_write t ~slot (Group.serialize group)
+
+let free_slot t _task ~slot =
+  if slot < 0 || slot >= Array.length t.used || not t.used.(slot) then
+    invalid_arg "Metadata.free_slot: bad slot";
+  t.used.(slot) <- false;
+  kernel_write t ~slot (Bytes.make Group.metadata_bytes '\000')
+
+let read_slot t task ~slot =
+  if slot < 0 || slot >= Array.length t.used then invalid_arg "Metadata.read_slot: bad slot";
+  let data =
+    Mmu.read_bytes (Proc.mmu t.proc) (Task.core task) ~addr:(slot_addr t ~slot)
+      ~len:Group.metadata_bytes
+  in
+  if not t.used.(slot) then None else Group.deserialize data

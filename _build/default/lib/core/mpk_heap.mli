@@ -1,0 +1,31 @@
+(** A simple heap over one page group (backs [mpk_malloc]/[mpk_free]).
+
+    First-fit free list with coalescing; 16-byte alignment. Allocator
+    metadata lives library-side — conceptually in libmpk's protected
+    metadata region, never in the unprotected application heap. *)
+
+type t
+
+val create : base:int -> len:int -> t
+
+val base : t -> int
+val len : t -> int
+
+(** [alloc t ~size] — address of a fresh block, or [None] when no block
+    fits. [size] is rounded up to the 16-byte granule. *)
+val alloc : t -> size:int -> int option
+
+(** [free t ~addr] releases a block previously returned by [alloc].
+    Raises [Invalid_argument] on a bad or double free. *)
+val free : t -> addr:int -> unit
+
+(** Size actually reserved for the block at [addr]. *)
+val block_size : t -> addr:int -> int option
+
+val allocated_bytes : t -> int
+val free_bytes : t -> int
+val live_blocks : t -> int
+
+(** Allocator soundness: free list sorted/ disjoint/coalesced, blocks
+    disjoint, free + allocated = total. *)
+val invariant : t -> bool

@@ -1,0 +1,13 @@
+(** Virtual protection keys.
+
+    Unlike hardware keys (16), virtual keys are unbounded. Applications
+    pass them as hardcoded integer constants; libmpk maps them to hardware
+    keys behind the scenes and never exposes which hardware key backs a
+    group. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

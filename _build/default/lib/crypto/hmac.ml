@@ -1,0 +1,21 @@
+let block_size = 64
+
+let sha256 ~key msg =
+  let key = if Bytes.length key > block_size then Sha256.digest key else key in
+  let pad c =
+    let b = Bytes.make block_size c in
+    Bytes.iteri (fun i k -> Bytes.set b i (Char.chr (Char.code k lxor Char.code c))) key;
+    b
+  in
+  let ipad = pad '\x36' and opad = pad '\x5c' in
+  Sha256.digest (Bytes.cat opad (Sha256.digest (Bytes.cat ipad msg)))
+
+let derive ~secret ~label ~len =
+  let out = Buffer.create len in
+  let counter = ref 0 in
+  while Buffer.length out < len do
+    incr counter;
+    let info = Bytes.of_string (Printf.sprintf "%s:%d" label !counter) in
+    Buffer.add_bytes out (sha256 ~key:secret info)
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len

@@ -1,0 +1,8 @@
+(** HMAC-SHA256 (RFC 2104) — key derivation and integrity for the
+    TLS-like substrate. *)
+
+(** 32-byte MAC. *)
+val sha256 : key:bytes -> bytes -> bytes
+
+(** Simple HKDF-like expansion: [derive ~secret ~label ~len]. *)
+val derive : secret:bytes -> label:string -> len:int -> bytes

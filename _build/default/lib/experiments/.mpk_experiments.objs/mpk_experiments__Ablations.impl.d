@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Costs Env Libmpk List Machine Mm Mpk_hw Mpk_jit Mpk_kernel Mpk_util Perm Physmem Pkru Printf Proc Sched String Syscall Task

@@ -1,0 +1,1 @@
+lib/experiments/env.ml: Array Cpu Machine Mpk_hw Mpk_kernel Proc Task

@@ -1,0 +1,1 @@
+lib/experiments/env.mli: Mpk_kernel Proc Task

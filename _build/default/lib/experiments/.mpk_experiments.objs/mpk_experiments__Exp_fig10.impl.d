@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Buffer Env Libmpk List Mpk_hw Mpk_kernel Mpk_util Perm Physmem Printf Syscall

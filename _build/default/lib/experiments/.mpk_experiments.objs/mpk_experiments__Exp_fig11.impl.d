@@ -1,0 +1,1 @@
+lib/experiments/exp_fig11.ml: Array Env Keystore Libmpk List Loadgen Mpk_secstore Mpk_util Tls_server

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12.ml: Buffer Engine List Mpk_jit Mpk_util Octane Printf Wx

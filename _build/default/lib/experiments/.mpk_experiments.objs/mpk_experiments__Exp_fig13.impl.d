@@ -1,0 +1,1 @@
+lib/experiments/exp_fig13.ml: Engine List Mpk_jit Mpk_util Octane Printf Wx

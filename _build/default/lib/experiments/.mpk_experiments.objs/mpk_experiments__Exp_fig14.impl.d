@@ -1,0 +1,1 @@
+lib/experiments/exp_fig14.ml: Float List Loadgen Mpk_kvstore Mpk_util Printf Server

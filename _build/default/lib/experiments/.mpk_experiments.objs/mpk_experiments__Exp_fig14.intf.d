@@ -1,0 +1,1 @@
+lib/experiments/exp_fig14.mli: Mpk_kvstore

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Array Env List Mpk_hw Mpk_kernel Mpk_util Perm Physmem Syscall

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Buffer Env Libmpk List Mm Mpk_hw Mpk_kernel Mpk_util Perm Physmem Printf Proc Syscall Task

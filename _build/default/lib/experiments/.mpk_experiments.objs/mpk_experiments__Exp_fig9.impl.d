@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Codecache Engine Env Libmpk List Mpk_jit Mpk_util Wx

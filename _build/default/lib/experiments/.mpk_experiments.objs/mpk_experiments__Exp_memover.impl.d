@@ -1,0 +1,1 @@
+lib/experiments/exp_memover.ml: Env Libmpk List Mpk_hw Mpk_util Perm Physmem

@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Cpu Env List Mm Mpk_hw Mpk_kernel Mpk_util Perm Pkru Proc Syscall Task

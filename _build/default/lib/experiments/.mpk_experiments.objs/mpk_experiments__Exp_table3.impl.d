@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: Bytes Env Libmpk List Machine Mpk_crypto Mpk_hw Mpk_jit Mpk_kernel Mpk_kvstore Mpk_secstore Mpk_util Printf Proc Task

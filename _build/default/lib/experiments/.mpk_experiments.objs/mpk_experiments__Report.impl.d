@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Ablations Exp_fig10 Exp_fig11 Exp_fig12 Exp_fig13 Exp_fig14 Exp_fig2 Exp_fig3 Exp_fig8 Exp_fig9 Exp_memover Exp_table1 Exp_table3 List Printf String Unix

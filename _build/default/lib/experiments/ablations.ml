@@ -1,0 +1,178 @@
+open Mpk_hw
+open Mpk_kernel
+
+let page = Physmem.page_size
+
+(* --- lazy vs eager PKRU synchronization ------------------------------- *)
+
+let sync_cost ~threads ~eager ~descheduled =
+  let env = Env.make ~threads () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let k = Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write in
+  let sched = Proc.sched proc in
+  let others = List.filteri (fun i _ -> i > 0) (Array.to_list env.Env.tasks) in
+  let rec deschedule n = function
+    | t :: rest when n > 0 ->
+        Sched.schedule_out sched t;
+        deschedule (n - 1) rest
+    | _ -> ()
+  in
+  Env.mean_cycles ~reps:50 task (fun i ->
+      deschedule descheduled others;
+      let rights = if i land 1 = 0 then Pkru.Read_only else Pkru.Read_write in
+      Syscall.pkey_sync proc task ~eager ~pkey:k rights)
+
+let render_sync () =
+  let rows =
+    List.concat_map
+      (fun threads ->
+        List.map
+          (fun descheduled ->
+            let lazy_c = sync_cost ~threads ~eager:false ~descheduled in
+            let eager_c = sync_cost ~threads ~eager:true ~descheduled in
+            [
+              string_of_int threads;
+              string_of_int descheduled;
+              Mpk_util.Table.float_cell lazy_c;
+              Mpk_util.Table.float_cell eager_c;
+              Printf.sprintf "%.2fx" (eager_c /. lazy_c);
+            ])
+          (if threads > 2 then [ 0; (threads - 1) / 2; threads - 1 ] else [ 0; 1 ]))
+      [ 2; 4; 8 ]
+  in
+  "Ablation: lazy (task_work) vs eager (synchronous handshake) PKRU sync\n\
+   cost of one do_pkey_sync call, caller's cycles\n"
+  ^ Mpk_util.Table.render
+      ~header:[ "threads"; "off-cpu"; "lazy"; "eager"; "eager/lazy" ]
+      rows
+
+(* --- eviction policy --------------------------------------------------- *)
+
+(* A skewed workload: 80% of mpk_mprotect calls hit 10 hot groups, 20%
+   sweep 30 cold ones. LRU should keep the hot set mapped. *)
+let policy_run policy =
+  let env = Env.make () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let mpk = Libmpk.init ~policy ~evict_rate:1.0 ~seed:0xAB1L proc task in
+  for v = 1 to 40 do
+    ignore (Libmpk.mpk_mmap mpk task ~vkey:v ~len:page ~prot:Perm.rw)
+  done;
+  let prng = Mpk_util.Prng.create ~seed:0x90L in
+  let cycles =
+    Env.mean_cycles ~reps:500 task (fun i ->
+        let vkey =
+          if Mpk_util.Prng.float prng < 0.8 then 1 + Mpk_util.Prng.int prng 10
+          else 11 + Mpk_util.Prng.int prng 30
+        in
+        let prot = if i land 1 = 0 then Perm.r else Perm.rw in
+        Libmpk.mpk_mprotect mpk task ~vkey ~prot)
+  in
+  let s = Libmpk.stats mpk in
+  cycles, s.Libmpk.cache_hits, s.Libmpk.cache_evictions
+
+let render_policy () =
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        let cycles, hits, evictions = policy_run policy in
+        [
+          name;
+          Mpk_util.Table.float_cell cycles;
+          string_of_int hits;
+          string_of_int evictions;
+        ])
+      [
+        "LRU (paper)", Libmpk.Key_cache.Lru;
+        "FIFO", Libmpk.Key_cache.Fifo;
+        "random", Libmpk.Key_cache.Random;
+      ]
+  in
+  "Ablation: key-cache eviction policy (skewed access: 80% over 10 hot vkeys,\n\
+   20% over 30 cold vkeys; 500 mpk_mprotect calls)\n"
+  ^ Mpk_util.Table.render
+      ~aligns:[ Mpk_util.Table.Left; Right; Right; Right ]
+      ~header:[ "policy"; "cycles/op"; "hits"; "evictions" ]
+      rows
+
+(* --- hardware key count ------------------------------------------------ *)
+
+(* A JIT patching 20 hot functions in *random* order (one page and one
+   vkey each), with the ISA shrunk to [hw_keys] keys: the hit rate — and
+   with it the cost — tracks how much of the working set the key file
+   can hold. Sequential per-function access (as in Fig 9) would mask
+   this: each function's nine switches reuse its freshly-mapped key. *)
+let key_count_run hw_keys =
+  let env = Env.make ~mem_mib:512 () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let mpk = Libmpk.init ~hw_keys ~evict_rate:1.0 proc task in
+  let engine =
+    Mpk_jit.Engine.create Mpk_jit.Engine.Chakracore Mpk_jit.Wx.Key_per_page proc task ~mpk
+      ~cache_pages:24 ()
+  in
+  let names =
+    Array.init 20 (fun i -> Mpk_jit.Engine.compile engine task ~ops:60 ~seed:i ~pad_to:3900 ())
+  in
+  let prng = Mpk_util.Prng.create ~seed:0x4CL in
+  Mpk_jit.Codecache.reset_perm_switch_cycles (Mpk_jit.Engine.cache engine);
+  for _ = 1 to 300 do
+    Mpk_jit.Engine.patch engine task names.(Mpk_util.Prng.int prng 20)
+  done;
+  let s = Libmpk.stats mpk in
+  Mpk_jit.Codecache.perm_switch_cycles (Mpk_jit.Engine.cache engine), s.Libmpk.cache_evictions
+
+let render_key_count () =
+  let rows =
+    List.map
+      (fun hw_keys ->
+        let cycles, evictions = key_count_run hw_keys in
+        [ string_of_int hw_keys; Mpk_util.Table.float_cell cycles; string_of_int evictions ])
+      [ 2; 4; 8; 12; 15 ]
+  in
+  "Ablation: hardware key count (20 hot JIT pages patched in random order, 300 events)\n"
+  ^ Mpk_util.Table.render ~header:[ "hw keys"; "switch cycles"; "evictions" ] rows
+
+(* --- per-PTE-update cost ------------------------------------------------ *)
+
+(* The calibration tension documented in EXPERIMENTS.md: one constant
+   drives both Fig 10's modest mprotect growth (untouched pages) and
+   Fig 14's collapse (populated pages). *)
+let pte_cost_run pte_update =
+  let costs = { Costs.default with Costs.pte_update } in
+  let machine = Machine.create ~costs ~cores:2 ~mem_mib:512 () in
+  let proc = Proc.create machine in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let flip i = if i land 1 = 0 then Perm.r else Perm.rw in
+  let cost ~pages ~populate =
+    let addr = Syscall.mmap proc task ~len:(pages * page) ~prot:Perm.rw () in
+    if populate then Mm.populate (Proc.mm proc) (Task.core task) ~addr ~len:(pages * page);
+    Env.mean_cycles ~reps:20 task (fun i ->
+        Syscall.mprotect proc task ~addr ~len:(pages * page) ~prot:(flip i))
+  in
+  let untouched_1000 = cost ~pages:1000 ~populate:false in
+  let populated_64mib = cost ~pages:(64 * 256) ~populate:true in
+  untouched_1000, populated_64mib
+
+let render_pte_cost () =
+  let rows =
+    List.map
+      (fun pte ->
+        let untouched, populated = pte_cost_run pte in
+        [
+          Mpk_util.Table.float_cell pte;
+          Mpk_util.Table.float_cell untouched;
+          Mpk_util.Table.float_cell populated;
+        ])
+      [ 1.0; 4.0; 14.0; 28.0 ]
+  in
+  "Ablation: per-PTE-update cost (default 14) — mprotect on 1000 untouched pages\n\
+   (the Fig 10 microbenchmark) vs a populated 64 MiB region (the Fig 14 regime)\n"
+  ^ Mpk_util.Table.render
+      ~header:[ "pte_update"; "untouched 1000p"; "populated 64MiB" ]
+      rows
+
+let render () =
+  String.concat "\n"
+    [ render_sync (); render_policy (); render_key_count (); render_pte_cost () ]

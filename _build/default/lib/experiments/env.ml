@@ -1,0 +1,24 @@
+open Mpk_hw
+open Mpk_kernel
+
+let ghz = 2.4
+
+let cycles_to_us c = c /. (ghz *. 1e3)
+
+type t = { proc : Proc.t; tasks : Task.t array }
+
+let make ?(threads = 1) ?(mem_mib = 2048) () =
+  let machine = Machine.create ~cores:(threads + 1) ~mem_mib () in
+  let proc = Proc.create machine in
+  let tasks = Array.init threads (fun i -> Proc.spawn proc ~core_id:i ()) in
+  { proc; tasks }
+
+let main t = t.tasks.(0)
+
+let mean_cycles ~reps task f =
+  let core = Task.core task in
+  let before = Cpu.cycles core in
+  for i = 0 to reps - 1 do
+    f i
+  done;
+  (Cpu.cycles core -. before) /. float_of_int reps

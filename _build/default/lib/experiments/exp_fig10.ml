@@ -1,0 +1,71 @@
+open Mpk_hw
+open Mpk_kernel
+
+type point = { pages : int; threads : int; mpk : float; mprotect : float }
+
+let page = Physmem.page_size
+let page_counts = [ 1; 10; 100; 1000 ]
+let thread_counts = [ 2; 4; 8 ]
+let vkey = 1
+
+let flip i = if i land 1 = 0 then Perm.r else Perm.rw
+
+let mpk_cost ~pages ~threads =
+  let env = Env.make ~threads () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let mpk = Libmpk.init ~evict_rate:1.0 proc task in
+  ignore (Libmpk.mpk_mmap mpk task ~vkey ~len:(pages * page) ~prot:Perm.rw);
+  Libmpk.mpk_mprotect mpk task ~vkey ~prot:Perm.rw;  (* warm the cache *)
+  Env.mean_cycles ~reps:100 task (fun i -> Libmpk.mpk_mprotect mpk task ~vkey ~prot:(flip i))
+
+let mprotect_cost ~pages ~threads =
+  let env = Env.make ~threads () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let addr = Syscall.mmap proc task ~len:(pages * page) ~prot:Perm.rw () in
+  (* the paper's microbenchmark protects fresh mappings; Linux only
+     rewrites present PTEs, so leave the range untouched *)
+  Env.mean_cycles ~reps:100 task (fun i ->
+      Syscall.mprotect proc task ~addr ~len:(pages * page) ~prot:(flip i))
+
+let points () =
+  List.concat_map
+    (fun threads ->
+      List.map
+        (fun pages ->
+          {
+            pages;
+            threads;
+            mpk = mpk_cost ~pages ~threads;
+            mprotect = mprotect_cost ~pages ~threads;
+          })
+        page_counts)
+    thread_counts
+
+let render () =
+  let pts = points () in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 10: inter-thread permission synchronization latency (cycles)\n";
+  List.iter
+    (fun threads ->
+      Buffer.add_string buf (Printf.sprintf "-- %d threads --\n" threads);
+      Buffer.add_string buf
+        (Mpk_util.Table.render
+           ~header:[ "pages"; "mpk_mprotect"; "mprotect"; "speedup" ]
+           (List.filter_map
+              (fun p ->
+                if p.threads <> threads then None
+                else
+                  Some
+                    [
+                      string_of_int p.pages;
+                      Mpk_util.Table.float_cell p.mpk;
+                      Mpk_util.Table.float_cell p.mprotect;
+                      Printf.sprintf "%.2fx" (p.mprotect /. p.mpk);
+                    ])
+              pts));
+      Buffer.add_char buf '\n')
+    thread_counts;
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Paper Fig 10: latency of inter-thread permission synchronization —
+    [mpk_mprotect] (lazy PKRU sync, page-count independent) versus
+    [mprotect] (VMA + PTE work plus TLB shootdown) across memory sizes
+    and thread counts. *)
+
+type point = { pages : int; threads : int; mpk : float; mprotect : float }
+
+val points : unit -> point list
+val render : unit -> string

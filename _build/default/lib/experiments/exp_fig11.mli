@@ -1,0 +1,14 @@
+(** Paper Fig 11: throughput of the TLS-terminating server (httpd +
+    OpenSSL stand-in) with the original keystore vs the libmpk-protected
+    one, across response sizes. ApacheBench-style: 4 concurrent clients,
+    1000 requests. *)
+
+type point = {
+  size_kb : int;
+  original_rps : float;
+  libmpk_rps : float;
+  overhead_pct : float;
+}
+
+val points : unit -> point list
+val render : unit -> string

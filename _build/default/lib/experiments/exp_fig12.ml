@@ -1,0 +1,77 @@
+open Mpk_jit
+
+type engine_result = {
+  engine : Engine.profile;
+  per_program : (string * float * float * float) list;
+  totals : float * float * float;
+}
+
+let engines = [ Engine.Spidermonkey; Engine.Chakracore ]
+
+let result_for engine =
+  let runs =
+    List.map
+      (fun prog ->
+        let reference = Octane.measure engine Wx.No_wx prog in
+        let score strategy = (Octane.run_program engine strategy ~reference prog).Octane.score in
+        ( prog.Octane.name,
+          score Wx.Mprotect,
+          score Wx.Key_per_page,
+          score Wx.Key_per_process ))
+      Octane.programs
+  in
+  let total proj =
+    Octane.total_score
+      (List.map (fun (name, a, b, c) ->
+           { Octane.program = name; cycles = 0.0; score = proj (a, b, c) })
+          runs)
+  in
+  {
+    engine;
+    per_program = runs;
+    totals = (total (fun (a, _, _) -> a), total (fun (_, b, _) -> b), total (fun (_, _, c) -> c));
+  }
+
+let results () = List.map result_for engines
+
+let render () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 12: Octane scores (10,000 = same engine without W^X)\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "-- %s --\n" (Engine.profile_name r.engine));
+      let rows =
+        List.map
+          (fun (name, mp, kpage, kproc) ->
+            [
+              name;
+              Mpk_util.Table.float_cell mp;
+              Mpk_util.Table.float_cell kpage;
+              Mpk_util.Table.float_cell kproc;
+              Printf.sprintf "%+.2f%%" ((kpage -. mp) /. mp *. 100.0);
+              Printf.sprintf "%+.2f%%" ((kproc -. mp) /. mp *. 100.0);
+            ])
+          r.per_program
+      in
+      let tmp, tkpage, tkproc = r.totals in
+      let total_row =
+        [
+          "TOTAL";
+          Mpk_util.Table.float_cell tmp;
+          Mpk_util.Table.float_cell tkpage;
+          Mpk_util.Table.float_cell tkproc;
+          Printf.sprintf "%+.2f%%" ((tkpage -. tmp) /. tmp *. 100.0);
+          Printf.sprintf "%+.2f%%" ((tkproc -. tmp) /. tmp *. 100.0);
+        ]
+      in
+      Buffer.add_string buf
+        (Mpk_util.Table.render
+           ~aligns:[ Mpk_util.Table.Left; Right; Right; Right; Right; Right ]
+           ~header:
+             [ "program"; "mprotect"; "key/page"; "key/process"; "k/page vs mp"; "k/proc vs mp" ]
+           (rows @ [ total_row ]));
+      Buffer.add_char buf '\n')
+    (results ());
+  Buffer.contents buf

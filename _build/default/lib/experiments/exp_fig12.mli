@@ -1,0 +1,15 @@
+(** Paper Fig 12: Octane scores for SpiderMonkey and ChakraCore with the
+    original (mprotect-based) W⊕X versus the two libmpk approaches.
+    Scores are normalized so the engine *without* W⊕X scores 10,000 per
+    program; the paper's claims are relative improvements of libmpk over
+    mprotect. *)
+
+type engine_result = {
+  engine : Mpk_jit.Engine.profile;
+  per_program : (string * float * float * float) list;
+      (** program, mprotect, key/page, key/process *)
+  totals : float * float * float;
+}
+
+val results : unit -> engine_result list
+val render : unit -> string

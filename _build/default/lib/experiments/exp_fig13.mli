@@ -1,0 +1,12 @@
+(** Paper Fig 13: Octane scores of original v8 (no W⊕X), v8 + SDCG
+    (out-of-process code emission) and v8 + libmpk (key/process). The
+    paper: SDCG costs 6.68% overall, libmpk 0.81%. *)
+
+type row = { program : string; original : float; sdcg : float; libmpk : float }
+
+val rows : unit -> row list
+
+(** overall (geomean) overhead percentages: (sdcg, libmpk). *)
+val overall_overhead : unit -> float * float
+
+val render : unit -> string

@@ -1,0 +1,14 @@
+(** Paper Fig 14: Memcached throughput and unhandled connections at
+    increasing connection rates, for the original server and the three
+    protected variants (mpk_begin / mpk_mprotect / mprotect), with ~1 GiB
+    of slab memory resident. *)
+
+type point = {
+  mode : Mpk_kvstore.Server.mode;
+  conn_rate : int;
+  data_mb_s : float;
+  unhandled : int;
+}
+
+val points : ?slab_mib:int -> unit -> point list
+val render : ?slab_mib:int -> unit -> string

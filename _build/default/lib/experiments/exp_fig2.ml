@@ -1,0 +1,33 @@
+open Mpk_hw
+
+type point = { adds : int; w1 : float; w2 : float }
+
+let counts = [ 0; 1; 2; 4; 8; 12; 16; 20; 24; 32 ]
+
+let points () =
+  List.map
+    (fun adds ->
+      let run order =
+        let cpu = Cpu.create ~id:0 () in
+        snd
+          (Cpu.measure cpu (fun () ->
+               match order with
+               | `Before ->
+                   Cpu.exec_adds cpu adds;
+                   Cpu.wrpkru cpu (Cpu.pkru cpu)
+               | `After ->
+                   Cpu.wrpkru cpu (Cpu.pkru cpu);
+                   Cpu.exec_adds cpu adds))
+      in
+      { adds; w1 = run `Before; w2 = run `After })
+    counts
+
+let render () =
+  let pts = points () in
+  Mpk_util.Table.series
+    ~title:
+      "Figure 2: WRPKRU serialization — ADDs before (W1) vs after (W2) WRPKRU (cycles)"
+    ~x_label:"#ADDs" ~y_labels:[ "W1 (adds;wrpkru)"; "W2 (wrpkru;adds)"; "gap" ]
+    (List.map
+       (fun p -> string_of_int p.adds, [ p.w1; p.w2; p.w2 -. p.w1 ])
+       pts)

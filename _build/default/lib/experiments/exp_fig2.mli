@@ -1,0 +1,7 @@
+(** Paper Fig 2: effect of WRPKRU serialization — total cycles of [n] ADD
+    instructions executed before (W1) vs after (W2) a WRPKRU. *)
+
+type point = { adds : int; w1 : float; w2 : float }
+
+val points : unit -> point list
+val render : unit -> string

@@ -1,0 +1,45 @@
+open Mpk_hw
+open Mpk_kernel
+
+type point = { pages : int; contiguous : float; sparse : float }
+
+let page = Physmem.page_size
+let sizes = [ 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000 ]
+
+let flip i = if i land 1 = 0 then Perm.r else Perm.rw
+
+let contiguous_cost pages =
+  let env = Env.make () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let addr = Syscall.mmap proc task ~len:(pages * page) ~prot:Perm.rw () in
+  Env.mean_cycles ~reps:100 task (fun i ->
+      Syscall.mprotect proc task ~addr ~len:(pages * page) ~prot:(flip i))
+
+let sparse_cost pages =
+  let env = Env.make () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let addrs =
+    Array.init pages (fun _ -> Syscall.mmap proc task ~len:page ~prot:Perm.rw ())
+  in
+  (* protecting sparse memory needs one mprotect per mapping *)
+  Env.mean_cycles ~reps:20 task (fun i ->
+      Array.iter (fun addr -> Syscall.mprotect proc task ~addr ~len:page ~prot:(flip i)) addrs)
+
+let points () =
+  List.map
+    (fun pages -> { pages; contiguous = contiguous_cost pages; sparse = sparse_cost pages })
+    sizes
+
+let render () =
+  Mpk_util.Table.series
+    ~title:
+      "Figure 3: mprotect() on contiguous vs sparse pages (cycles per permission change)"
+    ~x_label:"pages"
+    ~y_labels:[ "contiguous (1 mmap)"; "sparse (n mmaps)"; "sparse/contig" ]
+    (List.map
+       (fun p ->
+         ( string_of_int p.pages,
+           [ p.contiguous; p.sparse; p.sparse /. p.contiguous ] ))
+       (points ()))

@@ -1,0 +1,7 @@
+(** Paper Fig 3: mprotect cost on contiguous (one mmap, one VMA) versus
+    sparse (one mmap per page) memory, as page count grows. *)
+
+type point = { pages : int; contiguous : float; sparse : float }
+
+val points : unit -> point list
+val render : unit -> string

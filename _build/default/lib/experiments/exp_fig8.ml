@@ -1,0 +1,110 @@
+open Mpk_hw
+open Mpk_kernel
+
+type cell = { hit_rate : int; evict_rate : int; threads : int; cycles : float }
+
+let page = Physmem.page_size
+let total_groups = 64
+let ops = 200
+
+(* A vkey currently mapped to a hardware key (guaranteed hit) and one that
+   is not (guaranteed miss), chosen via the cache's own state. *)
+let pick_hit mpk = match Libmpk.Key_cache.dump (Libmpk.cache mpk) with
+  | (vkey, _, _) :: _ -> vkey  (* LRU entry: also exercises LRU bumping *)
+  | [] -> invalid_arg "pick_hit: cache empty"
+
+let pick_miss mpk next =
+  let cached = Libmpk.Key_cache.dump (Libmpk.cache mpk) in
+  let in_cache v = List.exists (fun (v', _, _) -> v = v') cached in
+  let rec scan v = if in_cache v then scan ((v mod total_groups) + 1) else v in
+  scan ((next mod total_groups) + 1)
+
+let flip i = if i land 1 = 0 then Perm.r else Perm.rw
+
+let run_cell ~hit_rate ~evict_rate ~threads =
+  let env = Env.make ~threads () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let mpk =
+    Libmpk.init ~evict_rate:(float_of_int evict_rate /. 100.0) ~seed:0x816L proc task
+  in
+  for v = 1 to total_groups do
+    ignore (Libmpk.mpk_mmap mpk task ~vkey:v ~len:page ~prot:Perm.rw)
+  done;
+  (* warm: fill all 15 entries *)
+  for v = 1 to 15 do
+    Libmpk.mpk_mprotect mpk task ~vkey:v ~prot:Perm.rw
+  done;
+  let prng = Mpk_util.Prng.create ~seed:0x88L in
+  let cycles =
+    Env.mean_cycles ~reps:ops task (fun i ->
+        let vkey =
+          if Mpk_util.Prng.int prng 100 < hit_rate then pick_hit mpk
+          else pick_miss mpk (Mpk_util.Prng.int prng total_groups)
+        in
+        Libmpk.mpk_mprotect mpk task ~vkey ~prot:(flip i))
+  in
+  { hit_rate; evict_rate; threads; cycles }
+
+let hit_rates = [ 0; 25; 50; 75; 100 ]
+let evict_rates = [ 25; 50; 100 ]
+let thread_counts = [ 1; 4 ]
+
+let grid () =
+  List.concat_map
+    (fun threads ->
+      List.concat_map
+        (fun evict_rate ->
+          List.map (fun hit_rate -> run_cell ~hit_rate ~evict_rate ~threads) hit_rates)
+        evict_rates)
+    thread_counts
+
+let mprotect_reference ~threads =
+  let env = Env.make ~threads () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let addr = Syscall.mmap proc task ~len:page ~prot:Perm.rw () in
+  Mm.populate (Proc.mm proc) (Task.core task) ~addr ~len:page;
+  Env.mean_cycles ~reps:ops task (fun i ->
+      Syscall.mprotect proc task ~addr ~len:page ~prot:(flip i))
+
+let render () =
+  let cells = grid () in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun threads ->
+      let reference = mprotect_reference ~threads in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "Figure 8 (%d thread%s): mpk_mprotect latency (cycles); mprotect ref = %.0f\n"
+           threads
+           (if threads = 1 then "" else "s")
+           reference);
+      let header =
+        "hit%" :: List.map (fun e -> Printf.sprintf "evict %d%%" e) evict_rates
+        @ [ "vs ref (e=100%)" ]
+      in
+      let rows =
+        List.map
+          (fun hit_rate ->
+            let row_cells =
+              List.map
+                (fun evict_rate ->
+                  (List.find
+                     (fun c ->
+                       c.hit_rate = hit_rate && c.evict_rate = evict_rate
+                       && c.threads = threads)
+                     cells)
+                    .cycles)
+                evict_rates
+            in
+            let last = List.nth row_cells (List.length row_cells - 1) in
+            string_of_int hit_rate
+            :: List.map Mpk_util.Table.float_cell row_cells
+            @ [ Printf.sprintf "%.2fx" (reference /. last) ])
+          hit_rates
+      in
+      Buffer.add_string buf (Mpk_util.Table.render ~header rows);
+      Buffer.add_char buf '\n')
+    thread_counts;
+  Buffer.contents buf

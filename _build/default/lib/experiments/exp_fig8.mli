@@ -1,0 +1,17 @@
+(** Paper Fig 8: latency of libmpk's key cache under varying hit rates,
+    eviction rates and thread counts, with the mprotect reference line.
+    [mpk_mprotect] is invoked on one 4 KB page. *)
+
+type cell = {
+  hit_rate : int;  (** percent *)
+  evict_rate : int;  (** percent *)
+  threads : int;
+  cycles : float;
+}
+
+val grid : unit -> cell list
+
+(** mprotect latency on the same page with the given thread count. *)
+val mprotect_reference : threads:int -> float
+
+val render : unit -> string

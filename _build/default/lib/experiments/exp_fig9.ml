@@ -1,0 +1,58 @@
+open Mpk_jit
+
+type point = { hot_functions : int; mprotect_cycles : float; libmpk_cycles : float }
+
+let switches_per_function = 9
+
+let counts = [ 1; 3; 5; 8; 10; 12; 15; 18; 20; 25; 30; 35 ]
+
+let needs_mpk = function
+  | Wx.Key_per_page | Wx.Key_per_process -> true
+  | Wx.No_wx | Wx.Mprotect | Wx.Sdcg -> false
+
+(* total permission-switch time for n hot functions under one strategy *)
+let switch_time strategy n =
+  let env = Env.make ~mem_mib:512 () in
+  let task = Env.main env in
+  let proc = env.Env.proc in
+  let mpk =
+    if needs_mpk strategy then Some (Libmpk.init ~evict_rate:1.0 proc task) else None
+  in
+  let engine =
+    Engine.create Engine.Chakracore strategy proc task ?mpk ~cache_pages:(n + 2) ()
+  in
+  (* ~3.9 KB of code per function: one page (and one virtual key) each *)
+  let names = List.init n (fun i -> Engine.compile engine task ~ops:60 ~seed:i ~pad_to:3900 ()) in
+  Codecache.reset_perm_switch_cycles (Engine.cache engine);
+  (* The nine switches on a page happen while its function is being
+     (re)compiled, i.e. consecutively — so past 15 keys each function
+     costs one eviction plus eight cache hits, not nine misses. *)
+  List.iter
+    (fun name ->
+      for _ = 1 to switches_per_function do
+        Engine.patch engine task name
+      done)
+    names;
+  Codecache.perm_switch_cycles (Engine.cache engine)
+
+let points () =
+  List.map
+    (fun n ->
+      {
+        hot_functions = n;
+        mprotect_cycles = switch_time Wx.Mprotect n;
+        libmpk_cycles = switch_time Wx.Key_per_page n;
+      })
+    counts
+
+let render () =
+  Mpk_util.Table.series
+    ~title:
+      "Figure 9: total permission-update cost vs #hot functions (ChakraCore, key/page;\n\
+       9 switches per function; libmpk eviction begins past 15 virtual keys)"
+    ~x_label:"#hot fn" ~y_labels:[ "mprotect (orig)"; "libmpk key/page"; "speedup" ]
+    (List.map
+       (fun p ->
+         ( string_of_int p.hot_functions,
+           [ p.mprotect_cycles; p.libmpk_cycles; p.mprotect_cycles /. p.libmpk_cycles ] ))
+       (points ()))

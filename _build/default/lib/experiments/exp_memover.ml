@@ -1,0 +1,38 @@
+open Mpk_hw
+
+type row = { groups : int; metadata_bytes : int; bytes_per_group : float }
+
+let page = Physmem.page_size
+
+let counts = [ 1; 10; 100; 1000; 1024; 2000; 4000 ]
+
+let rows () =
+  let env = Env.make ~mem_mib:512 () in
+  let task = Env.main env in
+  let mpk = Libmpk.init ~evict_rate:1.0 env.Env.proc task in
+  let created = ref 0 in
+  List.map
+    (fun groups ->
+      while !created < groups do
+        incr created;
+        ignore (Libmpk.mpk_mmap mpk task ~vkey:!created ~len:page ~prot:Perm.rw)
+      done;
+      let metadata_bytes =
+        Libmpk.Metadata.capacity_slots (Libmpk.metadata mpk) * Libmpk.Group.metadata_bytes
+      in
+      { groups; metadata_bytes; bytes_per_group = float_of_int metadata_bytes /. float_of_int groups })
+    counts
+
+let render () =
+  "Memory overhead (paper §6.2): 32 B of protected metadata per page group,\n\
+   32 KiB pre-allocated, doubling when full\n"
+  ^ Mpk_util.Table.render
+      ~header:[ "page groups"; "metadata bytes"; "bytes/group" ]
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.groups;
+             string_of_int r.metadata_bytes;
+             Mpk_util.Table.float_cell r.bytes_per_group;
+           ])
+         (rows ()))

@@ -1,0 +1,9 @@
+(** Paper Table 1: latency (cycles) of the MPK instructions, syscalls and
+    glibc APIs, with the mprotect / register-move reference rows. *)
+
+type row = { name : string; cycles : float; paper : float; description : string }
+
+val rows : unit -> row list
+
+(** Rendered table plus per-row deviation from the paper's measurement. *)
+val render : unit -> string

@@ -1,0 +1,77 @@
+open Mpk_kernel
+open Mpk_hw
+
+type row = {
+  application : string;
+  protection : string;
+  protected_data : string;
+  pkeys : string;
+  vkeys : string;
+}
+
+let openssl_row () =
+  let env = Env.make () in
+  let main = Env.main env in
+  let mpk = Libmpk.init ~evict_rate:1.0 env.Env.proc main in
+  let ks = Mpk_secstore.Keystore.create ~mode:Mpk_secstore.Keystore.Protected env.Env.proc main ~mpk () in
+  ignore
+    (Mpk_secstore.Keystore.store ks main
+       (Mpk_crypto.Rsa.generate (Mpk_util.Prng.create ~seed:3L) ~bits:96));
+  {
+    application = "OpenSSL";
+    protection = "Isolation";
+    protected_data = "Private key";
+    pkeys = string_of_int (Libmpk.Key_cache.in_use (Libmpk.cache mpk));
+    vkeys = string_of_int (Libmpk.group_count mpk);
+  }
+
+let jit_row strategy label =
+  let env = Env.make ~mem_mib:512 () in
+  let main = Env.main env in
+  let mpk = Libmpk.init ~evict_rate:1.0 env.Env.proc main in
+  let engine =
+    Mpk_jit.Engine.create Mpk_jit.Engine.Chakracore strategy env.Env.proc main ~mpk
+      ~cache_pages:24 ()
+  in
+  (* ~3.9KB functions: one page (hence, for key/page, one vkey) each *)
+  for i = 0 to 19 do
+    ignore (Mpk_jit.Engine.compile engine main ~ops:60 ~seed:i ~pad_to:3900 ())
+  done;
+  let vkeys = Libmpk.group_count mpk in
+  {
+    application = Printf.sprintf "JIT (%s)" label;
+    protection = "W^X";
+    protected_data = "Code cache";
+    pkeys = string_of_int (min 15 (Libmpk.Key_cache.in_use (Libmpk.cache mpk)));
+    vkeys = (if vkeys > 15 then Printf.sprintf "%d (>15)" vkeys else string_of_int vkeys);
+  }
+
+let memcached_row () =
+  let srv = Mpk_kvstore.Server.create ~mode:Mpk_kvstore.Server.Domain ~workers:2 ~slab_mib:8 ~buckets:64 () in
+  Mpk_kvstore.Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v");
+  ignore (Proc.tasks (Mpk_kvstore.Server.proc srv) : Task.t list);
+  ignore (Machine.core_count (Proc.machine (Mpk_kvstore.Server.proc srv)));
+  {
+    application = "Memcached";
+    protection = "Isolation";
+    protected_data = "Slab, hashtable";
+    pkeys = "2";
+    vkeys = "2";
+  }
+
+let rows () =
+  [
+    openssl_row ();
+    jit_row Mpk_jit.Wx.Key_per_page "key/page";
+    jit_row Mpk_jit.Wx.Key_per_process "key/process";
+    memcached_row ();
+  ]
+
+let render () =
+  "Table 3: libmpk applications (counts observed from the live configurations)\n"
+  ^ Mpk_util.Table.render
+      ~aligns:[ Mpk_util.Table.Left; Mpk_util.Table.Left; Mpk_util.Table.Left; Right; Right ]
+      ~header:[ "Application"; "Protection"; "Protected data"; "#pkeys"; "#vkeys" ]
+      (List.map
+         (fun r -> [ r.application; r.protection; r.protected_data; r.pkeys; r.vkeys ])
+         (rows ()))

@@ -1,0 +1,15 @@
+(** Orchestrates the full paper reproduction: runs every table/figure
+    experiment and prints its output with a section banner. *)
+
+type experiment = { id : string; title : string; run : unit -> string }
+
+(** All experiments in paper order. *)
+val all : experiment list
+
+val find : string -> experiment option
+
+(** [run_all ~out ()] executes everything, writing to [out] (default
+    stdout) as results arrive. *)
+val run_all : ?out:out_channel -> unit -> unit
+
+val run_one : ?out:out_channel -> string -> bool

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Costs Cpu Float Physmem Tlb

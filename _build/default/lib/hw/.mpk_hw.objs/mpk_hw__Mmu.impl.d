@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Bytes Cpu Page_table Perm Physmem Pkru Printf Pte Tlb

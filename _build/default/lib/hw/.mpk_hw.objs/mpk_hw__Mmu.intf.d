@@ -1,0 +1,1 @@
+lib/hw/mmu.mli: Cpu Page_table Physmem Pte

@@ -1,0 +1,1 @@
+lib/hw/perm.ml: Format Printf

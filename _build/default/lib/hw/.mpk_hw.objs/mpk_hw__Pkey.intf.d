@@ -1,0 +1,1 @@
+lib/hw/pkey.mli: Format

@@ -1,0 +1,1 @@
+lib/hw/pkru.ml: Format Int Perm Pkey

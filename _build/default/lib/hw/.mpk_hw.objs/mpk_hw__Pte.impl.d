@@ -1,0 +1,1 @@
+lib/hw/pte.ml: Format Int64 Perm Pkey

@@ -1,0 +1,1 @@
+lib/hw/pte.mli: Format Perm Physmem Pkey

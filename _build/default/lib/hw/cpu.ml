@@ -1,0 +1,44 @@
+type t = {
+  id : int;
+  costs : Costs.t;
+  tlb : Tlb.t;
+  mutable pkru : Pkru.t;
+  mutable cycles : float;
+  mutable refill_left : int;  (* instructions still paying the drain *)
+}
+
+let create ?(costs = Costs.default) ~id () =
+  { id; costs; tlb = Tlb.create (); pkru = Pkru.init; cycles = 0.0; refill_left = 0 }
+
+let id t = t.id
+let costs t = t.costs
+let tlb t = t.tlb
+let cycles t = t.cycles
+let charge t c = t.cycles <- t.cycles +. c
+
+let measure t f =
+  let before = t.cycles in
+  let result = f () in
+  result, t.cycles -. before
+
+let pkru t = t.pkru
+let set_pkru_direct t v = t.pkru <- v
+
+let wrpkru t v =
+  t.pkru <- v;
+  charge t t.costs.wrpkru;
+  t.refill_left <- t.costs.pipeline_refill_window
+
+let rdpkru t =
+  charge t t.costs.rdpkru;
+  t.pkru
+
+let exec_adds t n =
+  let serial = min n t.refill_left in
+  t.refill_left <- t.refill_left - serial;
+  let pipelined = n - serial in
+  charge t
+    ((float_of_int serial *. (t.costs.add_pipelined +. t.costs.wrpkru_drain))
+    +. (float_of_int pipelined *. t.costs.add_pipelined))
+
+let exec_reg_move t = charge t t.costs.reg_move

@@ -1,0 +1,42 @@
+(** A logical core (hyperthread): PKRU register, TLB, cycle counter, and a
+    small pipeline model capturing WRPKRU's serializing behaviour. *)
+
+type t
+
+val create : ?costs:Costs.t -> id:int -> unit -> t
+
+val id : t -> int
+val costs : t -> Costs.t
+val tlb : t -> Tlb.t
+
+(** Elapsed simulated cycles on this core. *)
+val cycles : t -> float
+
+(** [charge t c] advances the core's clock by [c] cycles. *)
+val charge : t -> float -> unit
+
+(** [measure t f] is [f ()] together with the cycles it consumed. *)
+val measure : t -> (unit -> 'a) -> 'a * float
+
+(* PKRU access. *)
+
+val pkru : t -> Pkru.t
+
+(** [set_pkru_direct t v] updates PKRU without charging cycles — used by
+    the kernel when restoring register state on a context switch. *)
+val set_pkru_direct : t -> Pkru.t -> unit
+
+(** WRPKRU: serializing write — charges latency and stalls the pipeline. *)
+val wrpkru : t -> Pkru.t -> unit
+
+(** RDPKRU: cheap read. *)
+val rdpkru : t -> Pkru.t
+
+(* Pipeline model for Fig 2. *)
+
+(** [exec_adds t n] models [n] dependent-free ADD instructions, paying the
+    post-serialization refill penalty when applicable. *)
+val exec_adds : t -> int -> unit
+
+(** Plain register move (Table 1 reference row). *)
+val exec_reg_move : t -> unit

@@ -1,0 +1,161 @@
+type access = Read | Write | Fetch
+
+type cause = Not_present | Page_perm | Pkey_denied
+
+type fault = { addr : int; access : access; cause : cause }
+
+exception Fault of fault
+
+let access_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Fetch -> "fetch"
+
+let cause_to_string = function
+  | Not_present -> "not-present"
+  | Page_perm -> "page-permission"
+  | Pkey_denied -> "pkey-denied"
+
+let fault_to_string f =
+  Printf.sprintf "fault: %s at 0x%x (%s)" (access_to_string f.access) f.addr
+    (cause_to_string f.cause)
+
+type t = {
+  table : Page_table.t;
+  mem : Physmem.t;
+  mutable fault_handler : (Cpu.t option -> fault -> bool) option;
+}
+
+let create table mem = { table; mem; fault_handler = None }
+
+let page_table t = t.table
+
+let set_fault_handler t h = t.fault_handler <- Some h
+
+(* Not-present faults get one shot at the kernel's demand-paging handler
+   before being delivered. *)
+let resolve_or_fault t cpu fault =
+  match fault.cause, t.fault_handler with
+  | Not_present, Some handler when handler cpu fault -> ()
+  | _ -> raise (Fault fault)
+
+let translate t cpu ~addr =
+  let vpn = Page_table.vpn_of_addr addr in
+  let costs = Cpu.costs cpu in
+  match Tlb.lookup (Cpu.tlb cpu) ~vpn with
+  | Some pte ->
+      Cpu.charge cpu costs.tlb_hit;
+      pte
+  | None ->
+      Cpu.charge cpu costs.page_walk;
+      let pte = Page_table.get t.table ~vpn in
+      if Pte.is_present pte then Tlb.insert (Cpu.tlb cpu) ~vpn pte;
+      pte
+
+let check t cpu ~addr ~access =
+  let pte =
+    let first = translate t cpu ~addr in
+    if Pte.is_present first then first
+    else begin
+      resolve_or_fault t (Some cpu) { addr; access; cause = Not_present };
+      let retried = translate t cpu ~addr in
+      if Pte.is_present retried then retried
+      else raise (Fault { addr; access; cause = Not_present })
+    end
+  in
+  let perm = Pte.perm pte in
+  let page_ok =
+    match access with
+    | Read -> perm.Perm.read
+    | Write -> perm.Perm.write
+    | Fetch -> perm.Perm.exec
+  in
+  if not page_ok then raise (Fault { addr; access; cause = Page_perm });
+  (match access with
+  | Fetch -> ()  (* instruction fetch is independent of PKRU *)
+  | Read | Write ->
+      let rights = Pkru.rights (Cpu.pkru cpu) (Pte.pkey pte) in
+      if not (Pkru.allows rights ~write:(access = Write)) then
+        raise (Fault { addr; access; cause = Pkey_denied }));
+  Cpu.charge cpu (Cpu.costs cpu).mem_access;
+  pte
+
+let split_pages ~addr ~len f =
+  (* Apply [f pte_addr page_off chunk_off chunk_len] per page touched. *)
+  let rec go addr off remaining =
+    if remaining > 0 then begin
+      let page_off = addr land (Physmem.page_size - 1) in
+      let chunk = min remaining (Physmem.page_size - page_off) in
+      f addr page_off off chunk;
+      go (addr + chunk) (off + chunk) (remaining - chunk)
+    end
+  in
+  go addr 0 len
+
+let read_byte t cpu ~addr =
+  let pte = check t cpu ~addr ~access:Read in
+  Physmem.read_byte t.mem (Pte.frame pte) (addr land (Physmem.page_size - 1))
+
+let write_byte t cpu ~addr c =
+  let pte = check t cpu ~addr ~access:Write in
+  Physmem.write_byte t.mem (Pte.frame pte) (addr land (Physmem.page_size - 1)) c
+
+let read_bytes t cpu ~addr ~len =
+  if len < 0 then invalid_arg "Mmu.read_bytes: negative length";
+  let out = Bytes.create len in
+  split_pages ~addr ~len (fun page_addr page_off out_off chunk ->
+      let pte = check t cpu ~addr:page_addr ~access:Read in
+      let data = Physmem.read_bytes t.mem (Pte.frame pte) page_off chunk in
+      Bytes.blit data 0 out out_off chunk);
+  out
+
+let write_bytes t cpu ~addr src =
+  let len = Bytes.length src in
+  split_pages ~addr ~len (fun page_addr page_off src_off chunk ->
+      let pte = check t cpu ~addr:page_addr ~access:Write in
+      Physmem.write_bytes t.mem (Pte.frame pte) page_off src src_off chunk)
+
+let read_int64 t cpu ~addr =
+  let b = read_bytes t cpu ~addr ~len:8 in
+  Bytes.get_int64_le b 0
+
+let write_int64 t cpu ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write_bytes t cpu ~addr b
+
+let fetch t cpu ~addr ~len =
+  if len < 0 then invalid_arg "Mmu.fetch: negative length";
+  let out = Bytes.create len in
+  split_pages ~addr ~len (fun page_addr page_off out_off chunk ->
+      let pte = check t cpu ~addr:page_addr ~access:Fetch in
+      let data = Physmem.read_bytes t.mem (Pte.frame pte) page_off chunk in
+      Bytes.blit data 0 out out_off chunk);
+  out
+
+let kernel_pte t ~addr ~access =
+  let vpn = Page_table.vpn_of_addr addr in
+  let pte = Page_table.get t.table ~vpn in
+  if Pte.is_present pte then pte
+  else begin
+    (* privileged copy-to/from-user faults the page in like Linux does *)
+    resolve_or_fault t None { addr; access; cause = Not_present };
+    let retried = Page_table.get t.table ~vpn in
+    if Pte.is_present retried then retried
+    else raise (Fault { addr; access; cause = Not_present })
+  end
+
+let kernel_write_bytes t ~addr src =
+  let len = Bytes.length src in
+  split_pages ~addr ~len (fun page_addr page_off src_off chunk ->
+      let pte = kernel_pte t ~addr:page_addr ~access:Write in
+      Physmem.write_bytes t.mem (Pte.frame pte) page_off src src_off chunk)
+
+let kernel_read_bytes t ~addr ~len =
+  if len < 0 then invalid_arg "Mmu.kernel_read_bytes: negative length";
+  let out = Bytes.create len in
+  split_pages ~addr ~len (fun page_addr page_off out_off chunk ->
+      let pte = kernel_pte t ~addr:page_addr ~access:Read in
+      let data = Physmem.read_bytes t.mem (Pte.frame pte) page_off chunk in
+      Bytes.blit data 0 out out_off chunk);
+  out

@@ -1,0 +1,62 @@
+(** Memory accesses with MPK semantics (paper Fig 1).
+
+    A data access is allowed iff the page permission *and* the PKRU rights
+    for the page's key both allow it. An instruction fetch checks only the
+    page's execute permission — PKRU is not consulted, which is what makes
+    execute-only memory possible. *)
+
+type access = Read | Write | Fetch
+
+type cause =
+  | Not_present  (** no translation *)
+  | Page_perm  (** page permission bits deny the access *)
+  | Pkey_denied  (** PKRU rights for the page's key deny the access *)
+
+type fault = { addr : int; access : access; cause : cause }
+
+exception Fault of fault
+
+val access_to_string : access -> string
+val cause_to_string : cause -> string
+val fault_to_string : fault -> string
+
+type t
+
+val create : Page_table.t -> Physmem.t -> t
+
+val page_table : t -> Page_table.t
+
+(** The kernel's page-fault handler: called on a not-present translation
+    with the faulting CPU (when the access came from user code; [None]
+    for privileged copies). Returning [true] means the fault was resolved
+    (demand paging) and the access retries; [false] delivers the fault.
+    At most one handler; installed by the kernel's [Mm]. *)
+val set_fault_handler : t -> (Cpu.t option -> fault -> bool) -> unit
+
+(** [check t cpu ~addr ~access] translates and permission-checks one
+    address, charging TLB/walk cycles; returns the PTE or raises [Fault]. *)
+val check : t -> Cpu.t -> addr:int -> access:access -> Pte.t
+
+(** Checked single-byte data access. *)
+val read_byte : t -> Cpu.t -> addr:int -> char
+
+val write_byte : t -> Cpu.t -> addr:int -> char -> unit
+
+(** Checked multi-byte access; may cross page boundaries. *)
+val read_bytes : t -> Cpu.t -> addr:int -> len:int -> bytes
+
+val write_bytes : t -> Cpu.t -> addr:int -> bytes -> unit
+
+(** Checked 64-bit little-endian data access. *)
+val read_int64 : t -> Cpu.t -> addr:int -> int64
+
+val write_int64 : t -> Cpu.t -> addr:int -> int64 -> unit
+
+(** [fetch t cpu ~addr ~len] models instruction fetch of [len] bytes. *)
+val fetch : t -> Cpu.t -> addr:int -> len:int -> bytes
+
+(** Privileged access: the kernel bypasses PKRU (it still requires a
+    translation to exist). Used for kernel-mediated metadata updates. *)
+val kernel_write_bytes : t -> addr:int -> bytes -> unit
+
+val kernel_read_bytes : t -> addr:int -> len:int -> bytes

@@ -1,0 +1,50 @@
+type t = int64
+
+let bit_present = 0
+let bit_write = 1
+let bit_read = 2  (* simulator-local: real x86 has no separate R bit *)
+let bit_exec = 3  (* complement of NX, kept low for simplicity *)
+let frame_shift = 12
+let frame_mask = 0xFFFFFFFFFL (* 36 bits of frame number *)
+let pkey_shift = 59
+let pkey_mask = 0xFL
+
+let absent = 0L
+
+let bit b = Int64.shift_left 1L b
+let test v b = Int64.logand v (bit b) <> 0L
+
+let make ~frame ~perm ~pkey =
+  let v = bit bit_present in
+  let v = if (perm : Perm.t).read then Int64.logor v (bit bit_read) else v in
+  let v = if perm.write then Int64.logor v (bit bit_write) else v in
+  let v = if perm.exec then Int64.logor v (bit bit_exec) else v in
+  let v =
+    Int64.logor v
+      (Int64.shift_left (Int64.logand (Int64.of_int frame) frame_mask) frame_shift)
+  in
+  Int64.logor v
+    (Int64.shift_left (Int64.of_int (Pkey.to_int pkey)) pkey_shift)
+
+let is_present t = test t bit_present
+
+let frame t =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical t frame_shift) frame_mask)
+
+let perm t : Perm.t =
+  { read = test t bit_read; write = test t bit_write; exec = test t bit_exec }
+
+let pkey t =
+  Pkey.of_int
+    (Int64.to_int (Int64.logand (Int64.shift_right_logical t pkey_shift) pkey_mask))
+
+let with_perm t p = make ~frame:(frame t) ~perm:p ~pkey:(pkey t)
+let with_pkey t k = make ~frame:(frame t) ~perm:(perm t) ~pkey:k
+
+let to_int64 t = t
+let of_int64 v = v
+
+let pp fmt t =
+  if not (is_present t) then Format.pp_print_string fmt "<absent>"
+  else
+    Format.fprintf fmt "frame:%d perm:%a %a" (frame t) Perm.pp (perm t) Pkey.pp (pkey t)

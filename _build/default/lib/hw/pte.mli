@@ -1,0 +1,25 @@
+(** Page table entries, encoded in 64 bits with the x86-64 MPK layout.
+
+    Bit 0 present, bit 1 writable, bit 63 NX (we store an execute bit and
+    encode its complement), bits 12-47 frame number, bits 59-62 the 4-bit
+    protection key — the paper notes MPK reuses "previously unused four bits
+    of each page table entry" (bits 59-62 of the PTE on real hardware; the
+    paper's "32nd to 35th" refers to the PTE's high word). *)
+
+type t = private int64
+
+val absent : t
+
+val make : frame:Physmem.frame -> perm:Perm.t -> pkey:Pkey.t -> t
+
+val is_present : t -> bool
+val frame : t -> Physmem.frame
+val perm : t -> Perm.t
+val pkey : t -> Pkey.t
+
+val with_perm : t -> Perm.t -> t
+val with_pkey : t -> Pkey.t -> t
+
+val to_int64 : t -> int64
+val of_int64 : int64 -> t
+val pp : Format.formatter -> t -> unit

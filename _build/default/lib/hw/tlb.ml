@@ -1,0 +1,98 @@
+type entry = { vpn : int; pte : Pte.t }
+
+type slot = { mutable e : entry option; mutable stamp : int }
+
+type t = {
+  sets : int;
+  ways : int;
+  slots : slot array array;  (* [set].[way] *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+}
+
+let create ?(sets = 256) ?(ways = 6) () =
+  if sets <= 0 || ways <= 0 then invalid_arg "Tlb.create";
+  {
+    sets;
+    ways;
+    slots = Array.init sets (fun _ -> Array.init ways (fun _ -> { e = None; stamp = 0 }));
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    flushes = 0;
+  }
+
+let set_of t vpn = vpn land (t.sets - 1)
+
+let lookup t ~vpn =
+  let row = t.slots.(set_of t vpn) in
+  let rec scan i =
+    if i >= t.ways then begin
+      t.misses <- t.misses + 1;
+      None
+    end
+    else
+      match row.(i).e with
+      | Some e when e.vpn = vpn ->
+          t.clock <- t.clock + 1;
+          row.(i).stamp <- t.clock;
+          t.hits <- t.hits + 1;
+          Some e.pte
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+let insert t ~vpn pte =
+  let row = t.slots.(set_of t vpn) in
+  (* Prefer the same vpn (update), then an empty way, then LRU victim. *)
+  let victim = ref 0 in
+  let found = ref false in
+  (try
+     for i = 0 to t.ways - 1 do
+       match row.(i).e with
+       | Some e when e.vpn = vpn ->
+           victim := i;
+           found := true;
+           raise Exit
+       | _ -> ()
+     done;
+     for i = 0 to t.ways - 1 do
+       if row.(i).e = None then begin
+         victim := i;
+         found := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if not !found then begin
+    let best = ref 0 in
+    for i = 1 to t.ways - 1 do
+      if row.(i).stamp < row.(!best).stamp then best := i
+    done;
+    victim := !best
+  end;
+  t.clock <- t.clock + 1;
+  row.(!victim).e <- Some { vpn; pte };
+  row.(!victim).stamp <- t.clock
+
+let flush_all t =
+  Array.iter (fun row -> Array.iter (fun s -> s.e <- None) row) t.slots;
+  t.flushes <- t.flushes + 1
+
+let flush_page t ~vpn =
+  let row = t.slots.(set_of t vpn) in
+  Array.iter
+    (fun s -> match s.e with Some e when e.vpn = vpn -> s.e <- None | _ -> ())
+    row;
+  t.flushes <- t.flushes + 1
+
+let hits t = t.hits
+let misses t = t.misses
+let flushes t = t.flushes
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.flushes <- 0

@@ -1,0 +1,23 @@
+(** A set-associative TLB whose entries carry the page's protection key, as
+    on MPK hardware (permission and pkey checks are served from the TLB on
+    a hit; [mprotect]/[pkey_mprotect] must therefore invalidate). *)
+
+type t
+
+type entry = { vpn : int; pte : Pte.t }
+
+(** [create ~sets ~ways] — capacity is [sets * ways], LRU within a set. *)
+val create : ?sets:int -> ?ways:int -> unit -> t
+
+(** [lookup t ~vpn] is the cached translation, bumping LRU on hit. *)
+val lookup : t -> vpn:int -> Pte.t option
+
+val insert : t -> vpn:int -> Pte.t -> unit
+
+val flush_all : t -> unit
+val flush_page : t -> vpn:int -> unit
+
+val hits : t -> int
+val misses : t -> int
+val flushes : t -> int
+val reset_stats : t -> unit

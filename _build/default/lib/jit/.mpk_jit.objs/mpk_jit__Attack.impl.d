@@ -1,0 +1,1 @@
+lib/jit/attack.ml: Bytecode Codecache Engine Libmpk Machine Mmu Mpk_hw Mpk_kernel Proc Task Wx

@@ -1,0 +1,1 @@
+lib/jit/bytecode.ml: Array Buffer Bytes Char Cpu Int64 List Mmu Mpk_hw Mpk_util Printf

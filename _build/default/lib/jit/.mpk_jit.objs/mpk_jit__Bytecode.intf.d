@@ -1,0 +1,1 @@
+lib/jit/bytecode.mli: Cpu Mmu Mpk_hw

@@ -1,0 +1,1 @@
+lib/jit/codecache.ml: Bytes Cpu Hashtbl Libmpk List Machine Mm Mmu Mpk_hw Mpk_kernel Perm Physmem Proc Syscall Task Wx

@@ -1,0 +1,1 @@
+lib/jit/codecache.mli: Libmpk Mpk_kernel Proc Task Wx

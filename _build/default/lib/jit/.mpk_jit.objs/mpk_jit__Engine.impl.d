@@ -1,0 +1,1 @@
+lib/jit/engine.ml: Bytecode Bytes Codecache Hashtbl Mpk_kernel Mpk_util Proc Task

@@ -1,0 +1,1 @@
+lib/jit/engine.mli: Codecache Libmpk Mpk_kernel Proc Task Wx

@@ -1,0 +1,1 @@
+lib/jit/octane.ml: Cpu Engine Libmpk List Machine Mpk_hw Mpk_kernel Proc Task Wx

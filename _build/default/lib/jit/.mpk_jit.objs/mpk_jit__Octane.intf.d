@@ -1,0 +1,1 @@
+lib/jit/octane.mli: Engine Wx

@@ -1,0 +1,1 @@
+lib/jit/xom.ml: Bytecode Bytes Libmpk Mmu Mpk_hw Mpk_kernel Perm Proc Task

@@ -1,0 +1,1 @@
+lib/jit/xom.mli: Libmpk Mpk_kernel Task

@@ -1,0 +1,19 @@
+(** W⊕X strategies for the code cache (paper §5.2).
+
+    - [No_wx] — the original v8: code pages stay writable+executable.
+    - [Mprotect] — the original SpiderMonkey/ChakraCore defence: flip the
+      page between rw and rx with [mprotect]; process-global, hence
+      vulnerable to the SDCG race.
+    - [Key_per_page] — one libmpk virtual key per code page; updates use
+      [mpk_begin]/[mpk_end] (thread-local write window).
+    - [Key_per_process] — a single virtual key guards the whole cache.
+    - [Sdcg] — code emitted by a dedicated process; every update pays an
+      RPC round trip (the paper's race-free baseline for v8). *)
+
+type t = No_wx | Mprotect | Key_per_page | Key_per_process | Sdcg
+
+val to_string : t -> string
+
+(** Cycle cost of one SDCG RPC round trip (two context switches plus IPC
+    copying). *)
+val sdcg_rpc_cycles : float

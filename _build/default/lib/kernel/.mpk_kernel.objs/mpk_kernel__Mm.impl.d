@@ -1,0 +1,1 @@
+lib/kernel/mm.ml: Array Buffer Costs Cpu Errno List Mmu Mpk_hw Page_table Perm Physmem Pkey Printf Pte Tlb Vma

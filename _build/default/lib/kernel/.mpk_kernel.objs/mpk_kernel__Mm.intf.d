@@ -1,0 +1,1 @@
+lib/kernel/mm.mli: Cpu Mmu Mpk_hw Page_table Perm Physmem Pkey Vma

@@ -1,0 +1,1 @@
+lib/kernel/pkey_bitmap.ml: Errno Mpk_hw Pkey

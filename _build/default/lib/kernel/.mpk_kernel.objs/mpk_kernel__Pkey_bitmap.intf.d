@@ -1,0 +1,1 @@
+lib/kernel/pkey_bitmap.mli: Mpk_hw Pkey

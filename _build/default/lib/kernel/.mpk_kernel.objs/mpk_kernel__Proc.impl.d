@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Machine Mm Mpk_hw Pkey Pkey_bitmap Sched Task

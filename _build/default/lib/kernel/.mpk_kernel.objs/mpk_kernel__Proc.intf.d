@@ -1,0 +1,1 @@
+lib/kernel/proc.mli: Machine Mm Mmu Mpk_hw Pkey Pkey_bitmap Sched Task

@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Cpu Machine Mpk_hw Task Tlb

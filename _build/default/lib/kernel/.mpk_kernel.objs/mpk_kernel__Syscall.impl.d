@@ -1,0 +1,1 @@
+lib/kernel/syscall.ml: Cpu Errno List Mm Mpk_hw Perm Pkey Pkey_bitmap Pkru Proc Sched Task

@@ -1,0 +1,1 @@
+lib/kernel/syscall.mli: Mpk_hw Perm Pkey Pkru Proc Task

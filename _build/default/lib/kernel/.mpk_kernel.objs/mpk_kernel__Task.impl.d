@@ -1,0 +1,1 @@
+lib/kernel/task.ml: Cpu Mpk_hw Pkru Queue

@@ -1,0 +1,1 @@
+lib/kernel/task.mli: Cpu Mpk_hw Pkru

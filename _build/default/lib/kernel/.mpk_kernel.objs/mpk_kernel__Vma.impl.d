@@ -1,0 +1,1 @@
+lib/kernel/vma.ml: Int List Map Mpk_hw Perm Pkey Seq

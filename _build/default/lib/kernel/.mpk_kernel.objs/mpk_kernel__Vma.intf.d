@@ -1,0 +1,1 @@
+lib/kernel/vma.mli: Mpk_hw Perm Pkey

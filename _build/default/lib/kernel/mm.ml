@@ -1,0 +1,227 @@
+open Mpk_hw
+
+type t = {
+  table : Page_table.t;
+  vmas : Vma.t;
+  mem : Physmem.t;
+  mmu : Mmu.t;
+  mutable bump : int;  (* next free vpn for address allocation *)
+}
+
+let bump_base_vpn = 0x10000  (* user mappings start at 256 MiB *)
+
+(* Demand paging: a not-present fault inside a VMA materializes a zeroed
+   frame with the VMA's protection and key; anything else is a real
+   segfault. *)
+let fault_handler t cpu (fault : Mmu.fault) =
+  let vpn = Page_table.vpn_of_addr fault.Mmu.addr in
+  match Vma.find t.vmas vpn with
+  | None -> false
+  | Some v ->
+      (match cpu with
+      | Some cpu -> Cpu.charge cpu (Cpu.costs cpu).page_fault
+      | None -> ());
+      let frame = Physmem.alloc_frame t.mem in
+      Page_table.set t.table ~vpn
+        (Pte.make ~frame ~perm:v.Vma.attrs.Vma.prot ~pkey:v.Vma.attrs.Vma.pkey);
+      true
+
+let create mem =
+  let table = Page_table.create () in
+  let t =
+    { table; vmas = Vma.create (); mem; mmu = Mmu.create table mem; bump = bump_base_vpn }
+  in
+  Mmu.set_fault_handler t.mmu (fault_handler t);
+  t
+
+let mmu t = t.mmu
+let vmas t = t.vmas
+let page_table t = t.table
+
+let pages_of_len len = (len + Physmem.page_size - 1) / Physmem.page_size
+
+let check_aligned addr =
+  if addr land (Physmem.page_size - 1) <> 0 then
+    Errno.fail EINVAL "address 0x%x is not page-aligned" addr
+
+let vpn_range ~addr ~len =
+  check_aligned addr;
+  if len <= 0 then Errno.fail EINVAL "length must be positive";
+  Page_table.vpn_of_addr addr, pages_of_len len
+
+let mmap t cpu ?at ~len ~prot () =
+  let pages = pages_of_len len in
+  if pages <= 0 then Errno.fail EINVAL "mmap: empty mapping";
+  let start =
+    match at with
+    | Some addr ->
+        check_aligned addr;
+        Page_table.vpn_of_addr addr
+    | None ->
+        let s = t.bump in
+        (* Guard gap keeps distinct mmap calls in distinct VMAs. *)
+        t.bump <- t.bump + pages + 1;
+        s
+  in
+  (match Vma.overlapping t.vmas ~start ~pages with
+  | [] -> ()
+  | _ -> Errno.fail ENOMEM "mmap: range overlaps an existing mapping");
+  let costs = Cpu.costs cpu in
+  Cpu.charge cpu (costs.vma_find +. costs.vma_update);
+  (* Lazy: no frames or PTEs until first touch. *)
+  Vma.add t.vmas ~start ~pages { prot; pkey = Pkey.default };
+  Page_table.addr_of_vpn start
+
+let free_present t cpu ~start ~pages =
+  let costs = Cpu.costs cpu in
+  let freed = ref 0 in
+  for vpn = start to start + pages - 1 do
+    let pte = Page_table.get t.table ~vpn in
+    if Pte.is_present pte then begin
+      Physmem.free_frame t.mem (Pte.frame pte);
+      Page_table.set t.table ~vpn Pte.absent;
+      Cpu.charge cpu costs.pte_update;
+      incr freed
+    end
+  done;
+  !freed
+
+let munmap t cpu ~addr ~len =
+  let start, pages = vpn_range ~addr ~len in
+  let costs = Cpu.costs cpu in
+  Cpu.charge cpu costs.vma_find;
+  let removed = Vma.remove_range t.vmas ~start ~pages in
+  if removed = [] then Errno.fail EINVAL "munmap: nothing mapped at 0x%x" addr;
+  List.iter
+    (fun (v : Vma.vma) ->
+      Cpu.charge cpu costs.vma_update;
+      ignore (free_present t cpu ~start:v.Vma.start ~pages:v.Vma.pages))
+    removed;
+  Cpu.charge cpu (Costs.tlb_invalidate costs ~pages);
+  Tlb.flush_all (Cpu.tlb cpu)
+
+type protect_result = {
+  vmas_touched : int;
+  splits : int;
+  merges : int;
+  ptes_touched : int;
+}
+
+let flush_local cpu ~start ~pages =
+  let costs = Cpu.costs cpu in
+  Cpu.charge cpu (Costs.tlb_invalidate costs ~pages);
+  if pages <= costs.tlb_flush_ceiling then
+    for vpn = start to start + pages - 1 do
+      Tlb.flush_page (Cpu.tlb cpu) ~vpn
+    done
+  else Tlb.flush_all (Cpu.tlb cpu)
+
+let change_range t cpu ~addr ~len ~attr_f ~pte_f =
+  let start, pages = vpn_range ~addr ~len in
+  if not (Vma.covered t.vmas ~start ~pages) then
+    Errno.fail ENOMEM "mprotect: range 0x%x+%d not fully mapped" addr len;
+  let costs = Cpu.costs cpu in
+  Cpu.charge cpu costs.vma_find;
+  let vmas_touched, splits, merges = Vma.set_attrs t.vmas ~start ~pages attr_f in
+  Cpu.charge cpu
+    ((float_of_int (splits + merges) *. costs.vma_split_merge)
+    +. (float_of_int vmas_touched *. costs.vma_update));
+  (* Rewrite present PTEs; absent slots cost only the scan and will
+     materialize later from the updated VMA attributes. *)
+  let ptes_touched = Page_table.update_range t.table ~vpn:start ~pages pte_f in
+  Cpu.charge cpu
+    ((float_of_int pages *. costs.pte_scan)
+    +. (float_of_int ptes_touched *. costs.pte_update));
+  flush_local cpu ~start ~pages;
+  { vmas_touched; splits; merges; ptes_touched }
+
+let change_protection t cpu ~addr ~len ~prot =
+  change_range t cpu ~addr ~len
+    ~attr_f:(fun a -> { a with Vma.prot })
+    ~pte_f:(fun pte -> Pte.with_perm pte prot)
+
+let change_protection_pkey t cpu ~addr ~len ~prot ~pkey =
+  change_range t cpu ~addr ~len
+    ~attr_f:(fun _ -> { Vma.prot; pkey })
+    ~pte_f:(fun pte -> Pte.with_pkey (Pte.with_perm pte prot) pkey)
+
+let assign_pkey t cpu ~addr ~len ~pkey =
+  change_range t cpu ~addr ~len
+    ~attr_f:(fun a -> { a with Vma.pkey })
+    ~pte_f:(fun pte -> Pte.with_pkey pte pkey)
+
+let mapped_pages t = Page_table.mapped_pages t.table
+
+let show_maps t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (v : Vma.vma) ->
+      let resident = ref 0 in
+      for vpn = v.Vma.start to v.Vma.start + v.Vma.pages - 1 do
+        if Pte.is_present (Page_table.get t.table ~vpn) then incr resident
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf "%08x-%08x %s pkey=%-2d %d/%d pages resident\n"
+           (Page_table.addr_of_vpn v.Vma.start)
+           (Page_table.addr_of_vpn (v.Vma.start + v.Vma.pages))
+           (Perm.to_string v.Vma.attrs.Vma.prot)
+           (Pkey.to_int v.Vma.attrs.Vma.pkey)
+           !resident v.Vma.pages))
+    (Vma.to_list t.vmas);
+  Buffer.contents buf
+
+let frames_of_range t cpu ~addr ~len =
+  let start, pages = vpn_range ~addr ~len in
+  Array.init pages (fun i ->
+      let vpn = start + i in
+      let pte = Page_table.get t.table ~vpn in
+      let pte =
+        if Pte.is_present pte then pte
+        else begin
+          if
+            not
+              (fault_handler t (Some cpu)
+                 { Mmu.addr = Page_table.addr_of_vpn vpn; access = Mmu.Read; cause = Mmu.Not_present })
+          then Errno.fail ENOMEM "frames_of_range: 0x%x not mapped" (Page_table.addr_of_vpn vpn);
+          Page_table.get t.table ~vpn
+        end
+      in
+      Pte.frame pte)
+
+let mmap_frames t cpu ?at ~frames ~prot () =
+  let pages = Array.length frames in
+  if pages = 0 then Errno.fail EINVAL "mmap_frames: empty mapping";
+  let start =
+    match at with
+    | Some addr ->
+        check_aligned addr;
+        Page_table.vpn_of_addr addr
+    | None ->
+        let s = t.bump in
+        t.bump <- t.bump + pages + 1;
+        s
+  in
+  (match Vma.overlapping t.vmas ~start ~pages with
+  | [] -> ()
+  | _ -> Errno.fail ENOMEM "mmap_frames: range overlaps an existing mapping");
+  let costs = Cpu.costs cpu in
+  Cpu.charge cpu (costs.vma_find +. costs.vma_update);
+  Vma.add t.vmas ~start ~pages { prot; pkey = Pkey.default };
+  (* shared mappings are installed eagerly: the frames already exist *)
+  Array.iteri
+    (fun i frame ->
+      Physmem.ref_frame t.mem frame;
+      Page_table.set t.table ~vpn:(start + i) (Pte.make ~frame ~perm:prot ~pkey:Pkey.default);
+      Cpu.charge cpu costs.pte_update)
+    frames;
+  Page_table.addr_of_vpn start
+
+(* Pre-fault a range, as a store touching its memory would. *)
+let populate t cpu ~addr ~len =
+  let start, pages = vpn_range ~addr ~len in
+  for vpn = start to start + pages - 1 do
+    let pte = Page_table.get t.table ~vpn in
+    if not (Pte.is_present pte) then
+      if not (fault_handler t (Some cpu) { Mmu.addr = Page_table.addr_of_vpn vpn; access = Mmu.Read; cause = Mmu.Not_present })
+      then Errno.fail ENOMEM "populate: 0x%x not mapped" (Page_table.addr_of_vpn vpn)
+  done

@@ -1,0 +1,78 @@
+(** An address space: VMA tree + page table + frame management, with cycle
+    charging that mirrors where Linux's [mprotect] spends time (per-VMA
+    lookup/split/merge, per-PTE rewrites, TLB invalidation).
+
+    All functions charge the given core. Kernel entry/exit is *not*
+    charged here — that belongs to the syscall layer. TLB shootdown of
+    other cores likewise lives in the process layer. *)
+
+open Mpk_hw
+
+type t
+
+val create : Physmem.t -> t
+
+val mmu : t -> Mmu.t
+val vmas : t -> Vma.t
+val page_table : t -> Page_table.t
+
+(** Pages spanned by [len] bytes. *)
+val pages_of_len : int -> int
+
+(** [mmap t cpu ?at ~len ~prot ()] maps [len] bytes (rounded up to pages)
+    of zeroed anonymous memory with the default protection key, returning
+    the base address. Mapping is *lazy*: frames and PTEs materialize on
+    first touch via the demand-paging fault handler, as in Linux — which
+    is why [change_protection] is cheap on untouched ranges and expensive
+    on populated ones. Without [at], addresses come from a bump allocator
+    that leaves a one-page guard gap so distinct calls yield distinct
+    VMAs (the paper's "sparse" construction). Raises [Errno.Error]. *)
+val mmap : t -> Cpu.t -> ?at:int -> len:int -> prot:Perm.t -> unit -> int
+
+(** [populate t cpu ~addr ~len] pre-faults a range (like touching every
+    page), charging one page fault per absent page. *)
+val populate : t -> Cpu.t -> addr:int -> len:int -> unit
+
+(** [frames_of_range t cpu ~addr ~len] — the physical frames backing a
+    range, populating it first. Hand these to another address space's
+    [mmap_frames] to establish shared memory. *)
+val frames_of_range : t -> Cpu.t -> addr:int -> len:int -> Physmem.frame array
+
+(** [mmap_frames t cpu ?at ~frames ~prot ()] — map existing physical
+    frames (a shared mapping, as mmap(MAP_SHARED) over the same object
+    gives two processes). The frames' reference counts are bumped;
+    munmap drops them. *)
+val mmap_frames :
+  t -> Cpu.t -> ?at:int -> frames:Physmem.frame array -> prot:Perm.t -> unit -> int
+
+(** [munmap t cpu ~addr ~len] unmaps; frees frames; flushes. *)
+val munmap : t -> Cpu.t -> addr:int -> len:int -> unit
+
+type protect_result = {
+  vmas_touched : int;
+  splits : int;
+  merges : int;
+  ptes_touched : int;
+}
+
+(** Kernel-side [change_protection]: rewrite page permissions over a
+    range, charging VMA work, a scan per page slot, an update per
+    *present* PTE, and local TLB invalidation. The range must be
+    page-aligned and fully covered by VMAs. *)
+val change_protection : t -> Cpu.t -> addr:int -> len:int -> prot:Perm.t -> protect_result
+
+(** Same walk, but assigning a protection key as well ([pkey_mprotect]). *)
+val change_protection_pkey :
+  t -> Cpu.t -> addr:int -> len:int -> prot:Perm.t -> pkey:Pkey.t -> protect_result
+
+(** [assign_pkey t cpu ~addr ~len ~pkey] retags PTEs/VMAs with a key
+    without touching page permissions (used by libmpk's key recycling). *)
+val assign_pkey : t -> Cpu.t -> addr:int -> len:int -> pkey:Pkey.t -> protect_result
+
+(** Total mapped pages (present PTEs). *)
+val mapped_pages : t -> int
+
+(** [show_maps t] — a /proc/pid/maps-style dump of the VMA tree with
+    per-area protection key and residency, for debugging:
+    {v 10000000-10004000 rw- pkey=3  4/4 pages resident v} *)
+val show_maps : t -> string

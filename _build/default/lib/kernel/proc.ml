@@ -1,0 +1,35 @@
+open Mpk_hw
+
+type t = {
+  machine : Machine.t;
+  mm : Mm.t;
+  sched : Sched.t;
+  pkeys : Pkey_bitmap.t;
+  mutable xonly : Pkey.t option;
+}
+
+let create machine =
+  {
+    machine;
+    mm = Mm.create (Machine.mem machine);
+    sched = Sched.create machine;
+    pkeys = Pkey_bitmap.create ();
+    xonly = None;
+  }
+
+let machine t = t.machine
+let mm t = t.mm
+let mmu t = Mm.mmu t.mm
+let sched t = t.sched
+let pkey_bitmap t = t.pkeys
+let tasks t = Sched.tasks t.sched
+
+let spawn t ?inherit_from ~core_id () =
+  let task = Sched.spawn t.sched ~core_id in
+  (match inherit_from with
+  | Some parent -> Task.set_pkru task (Task.pkru parent)
+  | None -> ());
+  task
+
+let xonly_key t = t.xonly
+let set_xonly_key t k = t.xonly <- Some k

@@ -1,0 +1,29 @@
+(** A process: one address space, a protection-key bitmap, and its tasks.
+    The simulated machine can host several processes (used by the SDCG
+    comparison), each with private page tables. *)
+
+open Mpk_hw
+
+type t
+
+val create : Machine.t -> t
+
+val machine : t -> Machine.t
+val mm : t -> Mm.t
+val mmu : t -> Mmu.t
+val sched : t -> Sched.t
+val pkey_bitmap : t -> Pkey_bitmap.t
+
+(** Tasks of this process, in spawn order. *)
+val tasks : t -> Task.t list
+
+(** [spawn t ~core_id] creates a thread scheduled on the given core. The
+    new thread inherits the PKRU value of [inherit_from] if given
+    (Linux semantics: fork/clone copies PKRU). *)
+val spawn : t -> ?inherit_from:Task.t -> core_id:int -> unit -> Task.t
+
+(** The execute-only protection key, allocated lazily by the first
+    [mprotect(PROT_EXEC)] (mirrors Linux's [execute_only_pkey]). *)
+val xonly_key : t -> Pkey.t option
+
+val set_xonly_key : t -> Pkey.t -> unit

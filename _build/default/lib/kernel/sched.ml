@@ -1,0 +1,60 @@
+open Mpk_hw
+
+type t = { machine : Machine.t; mutable tasks : Task.t list; mutable next_id : int }
+
+let create machine = { machine; tasks = []; next_id = 0 }
+
+let machine t = t.machine
+
+let return_to_user task = Task.work_run task
+
+let schedule_in _t task =
+  match Task.state task with
+  | Task.On_cpu -> ()
+  | Task.Off_cpu ->
+      let core = Task.core task in
+      Cpu.charge core (Cpu.costs core).context_switch;
+      Cpu.set_pkru_direct core (Task.saved_pkru task);
+      Task.set_state task On_cpu;
+      return_to_user task
+
+let schedule_out _t task =
+  match Task.state task with
+  | Task.Off_cpu -> ()
+  | Task.On_cpu ->
+      let core = Task.core task in
+      Cpu.charge core (Cpu.costs core).context_switch;
+      Task.set_saved_pkru task (Cpu.pkru core);
+      Task.set_state task Off_cpu
+
+let spawn t ~core_id =
+  let core = Machine.core t.machine core_id in
+  let task = Task.create ~id:t.next_id ~core () in
+  t.next_id <- t.next_id + 1;
+  t.tasks <- t.tasks @ [ task ];
+  schedule_in t task;
+  task
+
+let tasks t = t.tasks
+
+let kick _t ~from target =
+  let sender = Task.core from in
+  Cpu.charge sender (Cpu.costs sender).ipi_send;
+  match Task.state target with
+  | Task.Off_cpu -> ()  (* lazy: work runs when it is next scheduled *)
+  | Task.On_cpu ->
+      let core = Task.core target in
+      Cpu.charge core (Cpu.costs core).ipi_receive;
+      return_to_user target
+
+let shootdown _t ~from target =
+  match Task.state target with
+  | Task.Off_cpu -> ()
+  | Task.On_cpu ->
+      let sender = Task.core from in
+      let costs = Cpu.costs sender in
+      (* The initiator spin-waits for the acknowledgement. *)
+      Cpu.charge sender (costs.ipi_send +. costs.ipi_receive);
+      let core = Task.core target in
+      Cpu.charge core (Cpu.costs core).ipi_receive;
+      Tlb.flush_all (Cpu.tlb core)

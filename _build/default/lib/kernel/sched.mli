@@ -1,0 +1,41 @@
+(** Task scheduling: context switches (saving/restoring PKRU), the
+    return-to-userspace path that drains [task_work], and reschedule IPIs.
+
+    The simulator is sequential; "concurrency" means multiple tasks holding
+    per-task register state on distinct cores, with IPIs modelled as
+    synchronous cost charges plus a forced trip through the kernel-exit
+    path on the target core. *)
+
+open Mpk_hw
+
+type t
+
+val create : Machine.t -> t
+
+val machine : t -> Machine.t
+
+(** [spawn t ~core_id] creates a task pinned to a core and schedules it in
+    (restoring its PKRU into the core register). *)
+val spawn : t -> core_id:int -> Task.t
+
+val tasks : t -> Task.t list
+
+(** [schedule_out t task] saves PKRU into the task struct and marks the
+    task off-CPU; charges a context switch. *)
+val schedule_out : t -> Task.t -> unit
+
+(** [schedule_in t task] loads the saved PKRU into the core register, runs
+    pending task_work (return-to-userspace), marks the task on-CPU. *)
+val schedule_in : t -> Task.t -> unit
+
+(** [kick t ~from target] sends a reschedule IPI: the sender pays
+    [ipi_send]; the target core pays [ipi_receive] and immediately passes
+    through return-to-userspace, draining its task_work. Off-CPU targets
+    ignore the kick (their work runs at the next [schedule_in]). *)
+val kick : t -> from:Task.t -> Task.t -> unit
+
+(** [shootdown t ~from target] sends a synchronous TLB-shootdown IPI: the
+    sender pays send + wait, the target core pays [ipi_receive] and
+    flushes its TLB. Off-CPU targets are skipped (their TLB state is dead).
+*)
+val shootdown : t -> from:Task.t -> Task.t -> unit

@@ -1,0 +1,134 @@
+open Mpk_hw
+
+let syscalls = ref 0
+
+let count () = !syscalls
+let reset_count () = syscalls := 0
+
+let enter task =
+  incr syscalls;
+  let core = Task.core task in
+  Cpu.charge core (Cpu.costs core).kernel_entry_exit
+
+(* Charged on top of the plain mprotect path by pkey_mprotect: the bitmap
+   validity check (Table 1: 1104.9 vs 1094.0 cycles). *)
+let pkey_check_cost = 10.9
+
+let other_tasks proc task =
+  List.filter (fun t -> Task.id t <> Task.id task) (Proc.tasks proc)
+
+let shootdown_others proc task =
+  let sched = Proc.sched proc in
+  List.iter (fun t -> Sched.shootdown sched ~from:task t) (other_tasks proc task)
+
+let mmap proc task ?at ~len ~prot () =
+  enter task;
+  Mm.mmap (Proc.mm proc) (Task.core task) ?at ~len ~prot ()
+
+let munmap proc task ~addr ~len =
+  enter task;
+  Mm.munmap (Proc.mm proc) (Task.core task) ~addr ~len;
+  shootdown_others proc task
+
+let alloc_key proc =
+  match Pkey_bitmap.alloc (Proc.pkey_bitmap proc) with
+  | Some k -> k
+  | None -> Errno.fail ENOSPC "no free protection key"
+
+let is_exec_only (prot : Perm.t) = prot.exec && (not prot.read) && not prot.write
+
+let mprotect_exec_only proc task ~addr ~len =
+  (* Linux's execute-only memory: allocate (once) the process's
+     execute-only key, map the range readable+executable at the PTE level
+     but tagged with that key, and disable access in the caller's PKRU.
+     Crucially, *other* threads' PKRUs are not synchronized. *)
+  let core = Task.core task in
+  let key =
+    match Proc.xonly_key proc with
+    | Some k -> k
+    | None ->
+        Cpu.charge core (Cpu.costs core).pkey_alloc_work;
+        let k = alloc_key proc in
+        Proc.set_xonly_key proc k;
+        k
+  in
+  ignore
+    (Mm.change_protection_pkey (Proc.mm proc) core ~addr ~len ~prot:Perm.rx ~pkey:key);
+  Task.set_pkru task (Pkru.set_rights (Task.pkru task) key Pkru.No_access);
+  shootdown_others proc task
+
+let mprotect proc task ~addr ~len ~prot =
+  enter task;
+  if is_exec_only prot then mprotect_exec_only proc task ~addr ~len
+  else begin
+    ignore (Mm.change_protection (Proc.mm proc) (Task.core task) ~addr ~len ~prot);
+    shootdown_others proc task
+  end
+
+let pkey_alloc proc task ~init_rights =
+  enter task;
+  let core = Task.core task in
+  Cpu.charge core (Cpu.costs core).pkey_alloc_work;
+  let key = alloc_key proc in
+  Task.set_pkru task (Pkru.set_rights (Task.pkru task) key init_rights);
+  key
+
+let pkey_free proc task key =
+  enter task;
+  let core = Task.core task in
+  Cpu.charge core (Cpu.costs core).pkey_free_work;
+  (* Only the bitmap is updated: PTEs keep the stale key and every
+     thread's PKRU keeps its stale rights — the paper's §3.1 hazard. *)
+  Pkey_bitmap.free (Proc.pkey_bitmap proc) key
+
+let pkey_mprotect proc task ~addr ~len ~prot ~pkey =
+  enter task;
+  let core = Task.core task in
+  Cpu.charge core pkey_check_cost;
+  if Pkey.to_int pkey = 0 then
+    Errno.fail EINVAL "pkey_mprotect: userspace may not assign the default key";
+  if not (Pkey_bitmap.is_allocated (Proc.pkey_bitmap proc) pkey) then
+    Errno.fail EINVAL "pkey_mprotect: key %d not allocated" (Pkey.to_int pkey);
+  ignore (Mm.change_protection_pkey (Proc.mm proc) core ~addr ~len ~prot ~pkey);
+  shootdown_others proc task
+
+let pkey_unmap_group proc task ~addr ~len ~prot ~old_pkey =
+  enter task;
+  let core = Task.core task in
+  let costs = Cpu.costs core in
+  ignore
+    (Mm.change_protection_pkey (Proc.mm proc) core ~addr ~len ~prot ~pkey:Pkey.default);
+  (* Scrub stale rights for the recycled key everywhere, caller included. *)
+  Task.set_pkru task (Pkru.set_rights (Task.pkru task) old_pkey Pkru.No_access);
+  List.iter
+    (fun t ->
+      Cpu.charge core costs.task_work_add;
+      Task.work_add t (fun t ->
+          Task.set_pkru t (Pkru.set_rights (Task.pkru t) old_pkey Pkru.No_access));
+      Sched.kick (Proc.sched proc) ~from:task t)
+    (other_tasks proc task);
+  shootdown_others proc task
+
+let pkey_sync proc task ?(eager = false) ~pkey rights =
+  enter task;
+  let core = Task.core task in
+  let costs = Cpu.costs core in
+  let sched = Proc.sched proc in
+  List.iter
+    (fun t ->
+      Cpu.charge core costs.task_work_add;
+      Task.work_add t (fun t ->
+          Task.set_pkru t (Pkru.set_rights (Task.pkru t) pkey rights));
+      if eager then begin
+        (* synchronous handshake: kick and spin until acknowledged *)
+        (match Task.state t with
+        | Task.On_cpu -> Cpu.charge core (costs.ipi_send +. costs.ipi_receive)
+        | Task.Off_cpu ->
+            (* must force a wakeup + context switch to get the ack *)
+            Cpu.charge core (costs.ipi_send +. costs.context_switch));
+        Sched.kick sched ~from:task t;
+        (* an off-CPU thread must be brought in to acknowledge *)
+        if Task.state t = Task.Off_cpu then Sched.schedule_in sched t
+      end
+      else Sched.kick sched ~from:task t)
+    (other_tasks proc task)

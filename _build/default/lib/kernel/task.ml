@@ -1,0 +1,44 @@
+open Mpk_hw
+
+type state = On_cpu | Off_cpu
+
+type t = {
+  id : int;
+  core : Cpu.t;
+  mutable state : state;
+  mutable saved_pkru : Pkru.t;
+  work : (t -> unit) Queue.t;
+}
+
+let create ~id ~core () =
+  { id; core; state = Off_cpu; saved_pkru = Pkru.init; work = Queue.create () }
+
+let id t = t.id
+let core t = t.core
+let state t = t.state
+let set_state t s = t.state <- s
+
+let pkru t =
+  match t.state with
+  | On_cpu -> Cpu.pkru t.core
+  | Off_cpu -> t.saved_pkru
+
+let set_pkru t v =
+  match t.state with
+  | On_cpu -> Cpu.set_pkru_direct t.core v
+  | Off_cpu -> t.saved_pkru <- v
+
+let saved_pkru t = t.saved_pkru
+let set_saved_pkru t v = t.saved_pkru <- v
+
+let work_add t f = Queue.add f t.work
+
+let work_pending t = Queue.length t.work
+
+let work_run t =
+  let costs = Cpu.costs t.core in
+  while not (Queue.is_empty t.work) do
+    let f = Queue.pop t.work in
+    Cpu.charge t.core costs.task_work_run;
+    f t
+  done

@@ -1,0 +1,42 @@
+(** A kernel task (thread). Each task has its own PKRU state — saved in the
+    task struct while descheduled, live in its core's register while on
+    CPU — and a [task_work] list of callbacks run on the next return to
+    userspace (the hook [do_pkey_sync] relies on, paper Fig 7). *)
+
+open Mpk_hw
+
+type state =
+  | On_cpu  (** currently scheduled on [core] *)
+  | Off_cpu  (** descheduled; PKRU lives in the task struct *)
+
+type t
+
+(** [create ~id ~core ()] — the task starts [Off_cpu] with Linux's initial
+    PKRU. *)
+val create : id:int -> core:Cpu.t -> unit -> t
+
+val id : t -> int
+val core : t -> Cpu.t
+val state : t -> state
+val set_state : t -> state -> unit
+
+(** The task's PKRU as the kernel sees it: the core register when on CPU,
+    the saved copy otherwise. *)
+val pkru : t -> Pkru.t
+
+(** Update the task's PKRU wherever it currently lives (no cycle charge —
+    kernel-side state manipulation). *)
+val set_pkru : t -> Pkru.t -> unit
+
+val saved_pkru : t -> Pkru.t
+val set_saved_pkru : t -> Pkru.t -> unit
+
+(** Append a callback to the task's [task_work] list. *)
+val work_add : t -> (t -> unit) -> unit
+
+(** Number of queued callbacks. *)
+val work_pending : t -> int
+
+(** Run and clear all queued callbacks, charging [task_work_run] per
+    callback to the task's core. Called on return to userspace. *)
+val work_run : t -> unit

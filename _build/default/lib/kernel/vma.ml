@@ -1,0 +1,145 @@
+open Mpk_hw
+
+module IntMap = Map.Make (Int)
+
+type attrs = { prot : Perm.t; pkey : Pkey.t }
+
+type vma = { start : int; pages : int; attrs : attrs }
+
+type t = { mutable areas : vma IntMap.t }
+
+let attrs_equal a b = Perm.equal a.prot b.prot && Pkey.equal a.pkey b.pkey
+
+let create () = { areas = IntMap.empty }
+
+let count t = IntMap.cardinal t.areas
+
+let to_list t = IntMap.fold (fun _ v acc -> v :: acc) t.areas [] |> List.rev
+
+let vend v = v.start + v.pages
+
+(* Last area starting at or before [vpn]. *)
+let floor_area t vpn =
+  match IntMap.find_last_opt (fun s -> s <= vpn) t.areas with
+  | Some (_, v) -> Some v
+  | None -> None
+
+let find t vpn =
+  match floor_area t vpn with
+  | Some v when vpn < vend v -> Some v
+  | Some _ | None -> None
+
+let overlapping t ~start ~pages =
+  let stop = start + pages in
+  let seq = IntMap.to_seq t.areas in
+  Seq.filter_map
+    (fun (_, v) -> if v.start < stop && vend v > start then Some v else None)
+    seq
+  |> List.of_seq
+
+let covered t ~start ~pages =
+  let rec check vpn =
+    if vpn >= start + pages then true
+    else
+      match find t vpn with
+      | None -> false
+      | Some v -> check (vend v)
+  in
+  pages > 0 && check start
+
+let insert t v = t.areas <- IntMap.add v.start v t.areas
+
+let delete t v = t.areas <- IntMap.remove v.start t.areas
+
+let add t ~start ~pages attrs =
+  if pages <= 0 then invalid_arg "Vma.add: pages must be positive";
+  (match overlapping t ~start ~pages with
+  | [] -> ()
+  | _ -> invalid_arg "Vma.add: overlaps an existing area");
+  (* Merge with adjacent equal-attribute neighbours, as Linux does for
+     compatible anonymous mappings. *)
+  let start, pages =
+    match find t (start - 1) with
+    | Some left when vend left = start && attrs_equal left.attrs attrs ->
+        delete t left;
+        left.start, left.pages + pages
+    | Some _ | None -> start, pages
+  in
+  let pages =
+    match IntMap.find_opt (start + pages) t.areas with
+    | Some right when attrs_equal right.attrs attrs ->
+        delete t right;
+        pages + right.pages
+    | Some _ | None -> pages
+  in
+  insert t { start; pages; attrs }
+
+(* Split [v] so that [vpn] starts a new area; returns nothing if [vpn] is
+   already a boundary. *)
+let split_at t vpn =
+  match find t vpn with
+  | Some v when v.start < vpn ->
+      delete t v;
+      insert t { v with pages = vpn - v.start };
+      insert t { start = vpn; pages = vend v - vpn; attrs = v.attrs };
+      true
+  | Some _ | None -> false
+
+let remove_range t ~start ~pages =
+  if pages <= 0 then invalid_arg "Vma.remove_range: pages must be positive";
+  let stop = start + pages in
+  ignore (split_at t start);
+  ignore (split_at t stop);
+  let doomed = overlapping t ~start ~pages in
+  List.iter (delete t) doomed;
+  doomed
+
+let merge_neighbours t vpn =
+  (* Try to merge the area containing [vpn] with its left neighbour. *)
+  match find t vpn with
+  | None -> false
+  | Some v -> (
+      match find t (v.start - 1) with
+      | Some left when vend left = v.start && attrs_equal left.attrs v.attrs ->
+          delete t left;
+          delete t v;
+          insert t { left with pages = left.pages + v.pages };
+          true
+      | Some _ | None -> false)
+
+let set_attrs t ~start ~pages f =
+  if pages <= 0 then invalid_arg "Vma.set_attrs: pages must be positive";
+  if not (covered t ~start ~pages) then
+    invalid_arg "Vma.set_attrs: range not fully covered";
+  let stop = start + pages in
+  let splits = ref 0 in
+  if split_at t start then incr splits;
+  if split_at t stop then incr splits;
+  let targets = overlapping t ~start ~pages in
+  List.iter
+    (fun v ->
+      delete t v;
+      insert t { v with attrs = f v.attrs })
+    targets;
+  let touched = List.length targets in
+  let merges = ref 0 in
+  (* Merge across the whole affected neighbourhood, including both edges. *)
+  List.iter
+    (fun vpn -> if merge_neighbours t vpn then incr merges)
+    (start :: List.map (fun v -> v.start) targets @ [ stop ]);
+  touched, !splits, !merges
+
+let invariant t =
+  let ok = ref true in
+  let prev = ref None in
+  IntMap.iter
+    (fun start v ->
+      if start <> v.start || v.pages <= 0 then ok := false;
+      (match !prev with
+      | Some p ->
+          if vend p > v.start then ok := false;
+          if vend p = v.start && attrs_equal p.attrs v.attrs then ok := false
+      | None -> ());
+      prev := Some v)
+    t.areas;
+  !ok

@@ -1,0 +1,47 @@
+(** Virtual memory areas: a sorted, non-overlapping interval map keyed by
+    virtual page number, with the split/merge behaviour of Linux's VMA
+    tree. [mprotect]'s cost profile (per-VMA work, split at partial
+    overlaps, merge of equal neighbours) comes from here. *)
+
+open Mpk_hw
+
+type attrs = { prot : Perm.t; pkey : Pkey.t }
+
+type vma = { start : int; pages : int; attrs : attrs }
+(** [start] is a vpn; the area covers vpns [start, start + pages). *)
+
+type t
+
+val create : unit -> t
+
+val count : t -> int
+val to_list : t -> vma list
+
+(** [add t ~start ~pages attrs] inserts a fresh area. Raises
+    [Invalid_argument] if it overlaps an existing one. *)
+val add : t -> start:int -> pages:int -> attrs -> unit
+
+(** [find t vpn] is the area containing [vpn], if any. *)
+val find : t -> int -> vma option
+
+(** [overlapping t ~start ~pages] — areas intersecting the range,
+    ascending. *)
+val overlapping : t -> start:int -> pages:int -> vma list
+
+(** [covered t ~start ~pages] — true when every page of the range belongs
+    to some area. *)
+val covered : t -> start:int -> pages:int -> bool
+
+(** [remove_range t ~start ~pages] unmaps a range, splitting areas that
+    straddle its edges. Returns the removed (sub)areas. *)
+val remove_range : t -> start:int -> pages:int -> vma list
+
+(** [set_attrs t ~start ~pages f] rewrites attributes over the range,
+    splitting boundary areas as needed and merging equal neighbours
+    afterwards. Returns [(vmas_touched, splits, merges)] for cost
+    accounting. The range must be fully covered. *)
+val set_attrs : t -> start:int -> pages:int -> (attrs -> attrs) -> int * int * int
+
+(** Internal-consistency check: sorted, non-overlapping, positive length,
+    no two mergeable neighbours. *)
+val invariant : t -> bool

@@ -1,0 +1,1 @@
+lib/kvstore/loadgen.ml: Array Bytes Cpu Float List Mpk_hw Mpk_kernel Mpk_util Printf Protocol Server Task

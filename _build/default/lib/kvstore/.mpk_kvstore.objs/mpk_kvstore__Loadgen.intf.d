@@ -1,0 +1,1 @@
+lib/kvstore/loadgen.mli: Server

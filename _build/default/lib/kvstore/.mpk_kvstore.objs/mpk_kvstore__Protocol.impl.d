@@ -1,0 +1,1 @@
+lib/kvstore/protocol.ml: Bytes List Printf String

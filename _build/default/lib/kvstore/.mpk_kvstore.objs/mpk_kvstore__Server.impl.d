@@ -1,0 +1,1 @@
+lib/kvstore/server.ml: Array Bytes Cpu Int32 Int64 Libmpk Machine Mm Mpk_hw Mpk_kernel Page_table Perm Physmem Printf Proc Protocol Pte Queue Shash Slab Syscall Task

@@ -1,0 +1,1 @@
+lib/kvstore/server.mli: Mpk_kernel Proc Task

@@ -1,0 +1,1 @@
+lib/kvstore/shash.ml: Bytes Char Int32 Int64 Mmu Mpk_hw Mpk_kernel Proc Slab String Task

@@ -1,0 +1,1 @@
+lib/kvstore/shash.mli: Mpk_kernel Proc Slab Task

@@ -1,0 +1,1 @@
+lib/kvstore/slab.ml: Array Hashtbl List

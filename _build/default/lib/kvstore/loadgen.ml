@@ -1,0 +1,87 @@
+open Mpk_hw
+open Mpk_kernel
+
+type result = {
+  offered_conns : int;
+  handled_conns : int;
+  unhandled_conns : int;
+  requests : int;
+  data_bytes : int;
+  duration_s : float;
+  throughput_rps : float;
+  data_mb_s : float;
+}
+
+let run server ~conn_rate ?(duration_s = 1.0) ?(reqs_per_conn = 10) ?(value_size = 1024)
+    ?(working_set = 1000) ?(max_delay_s = 0.1) ?(ghz = 2.4) ?(protocol = false) () =
+  let workers = Server.workers server in
+  let n = Array.length workers in
+  let cycles_per_s = ghz *. 1e9 in
+  let prng = Mpk_util.Prng.create ~seed:0xFEEDL in
+  let start = Array.map (fun w -> Cpu.cycles (Task.core w)) workers in
+  let clock i = Cpu.cycles (Task.core workers.(i)) -. start.(i) in
+  let offered = int_of_float (float_of_int conn_rate *. duration_s) in
+  let interval = cycles_per_s /. float_of_int conn_rate in
+  let max_delay = max_delay_s *. cycles_per_s in
+  let handled = ref 0 in
+  let unhandled = ref 0 in
+  let requests = ref 0 in
+  let data = ref 0 in
+  for c = 0 to offered - 1 do
+    let arrival = float_of_int c *. interval in
+    (* least-loaded worker *)
+    let w = ref 0 in
+    for i = 1 to n - 1 do
+      if clock i < clock !w then w := i
+    done;
+    if clock !w -. arrival > max_delay then incr unhandled
+    else begin
+      (* idle worker waits for the connection to arrive *)
+      if clock !w < arrival then
+        Cpu.charge (Task.core workers.(!w)) (arrival -. clock !w);
+      incr handled;
+      for _ = 1 to reqs_per_conn do
+        incr requests;
+        let key = Printf.sprintf "key-%d" (Mpk_util.Prng.int prng working_set) in
+        let is_get = Mpk_util.Prng.float prng < 0.9 in
+        if protocol then begin
+          let wire =
+            if is_get then Protocol.render_request (Protocol.Get key)
+            else
+              Protocol.render_request
+                (Protocol.Set { key; flags = 0; exptime = 0; data = Bytes.make value_size 'w' })
+          in
+          let now = clock !w /. cycles_per_s in
+          let reply = Server.dispatch server ~worker:!w ~now wire in
+          match Protocol.parse_response reply with
+          | Ok (Protocol.Value { data = d; _ }) -> data := !data + Bytes.length d
+          | Ok Protocol.Stored -> data := !data + value_size
+          | Ok _ | Error _ -> ()
+        end
+        else if is_get then (
+          match Server.get server ~worker:!w ~key with
+          | Some v -> data := !data + Bytes.length v
+          | None -> ())
+        else begin
+          Server.set server ~worker:!w ~key ~value:(Bytes.make value_size 'w');
+          data := !data + value_size
+        end
+      done
+    end
+  done;
+  let makespan =
+    Array.to_list workers
+    |> List.mapi (fun i _ -> clock i)
+    |> List.fold_left Float.max (duration_s *. cycles_per_s)
+  in
+  let seconds = makespan /. cycles_per_s in
+  {
+    offered_conns = offered;
+    handled_conns = !handled;
+    unhandled_conns = !unhandled;
+    requests = !requests;
+    data_bytes = !data;
+    duration_s = seconds;
+    throughput_rps = float_of_int !requests /. seconds;
+    data_mb_s = float_of_int !data /. (seconds *. 1e6);
+  }

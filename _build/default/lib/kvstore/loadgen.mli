@@ -1,0 +1,35 @@
+(** twemperf-style connection generator (paper Fig 14).
+
+    Connections arrive at a fixed rate; each carries [reqs_per_conn]
+    requests (the paper: 10). Arrivals go to the least-loaded worker; a
+    connection that would wait longer than [max_delay_s] in the accept
+    queue is dropped and counted unhandled — the figure's second panel. *)
+
+type result = {
+  offered_conns : int;
+  handled_conns : int;
+  unhandled_conns : int;
+  requests : int;
+  data_bytes : int;
+  duration_s : float;
+  throughput_rps : float;
+  data_mb_s : float;
+}
+
+(** [run server ~conn_rate ~duration_s ~reqs_per_conn ~value_size ()] —
+    90% gets / 10% sets over a working set preloaded by the caller. With
+    [protocol:true] every request travels as Memcached text-protocol
+    bytes through [Server.dispatch] (parse + TTL + LRU path) instead of
+    the direct API. *)
+val run :
+  Server.t ->
+  conn_rate:int ->
+  ?duration_s:float ->
+  ?reqs_per_conn:int ->
+  ?value_size:int ->
+  ?working_set:int ->
+  ?max_delay_s:float ->
+  ?ghz:float ->
+  ?protocol:bool ->
+  unit ->
+  result

@@ -1,0 +1,253 @@
+open Mpk_hw
+open Mpk_kernel
+
+type mode = Baseline | Domain | Sync | Mprotect_sys
+
+let mode_name = function
+  | Baseline -> "original"
+  | Domain -> "mpk_begin"
+  | Sync -> "mpk_mprotect"
+  | Mprotect_sys -> "mprotect"
+
+let slab_vkey = 200
+let hash_vkey = 201
+
+(* parse the request line, build the response header, socket bookkeeping *)
+let request_overhead_cycles = 8_000.0
+
+type t = {
+  mode : mode;
+  proc : Proc.t;
+  workers : Task.t array;
+  attacker : Task.t;
+  mpk : Libmpk.t option;
+  slab_base : int;
+  slab_len : int;
+  hash_base : int;
+  hash_len : int;
+  table : Shash.t;
+  lru : string Queue.t;  (* key recency for item eviction (lazy) *)
+  mutable evicted_items : int;
+  mutable protocol_requests : int;
+}
+
+let create ~mode ?(workers = 4) ?(slab_mib = 1024) ?(buckets = 1 lsl 16) () =
+  let machine = Machine.create ~cores:(workers + 1) ~mem_mib:(slab_mib + 256) () in
+  let proc = Proc.create machine in
+  let tasks = Array.init workers (fun i -> Proc.spawn proc ~core_id:i ()) in
+  let attacker = Proc.spawn proc ~core_id:workers () in
+  let main = tasks.(0) in
+  let slab_len = slab_mib * 1024 * 1024 in
+  let hash_len = buckets * 8 in
+  let mpk, slab_base, hash_base =
+    match mode with
+    | Domain | Sync ->
+        let mpk = Libmpk.init ~vkeys:[ slab_vkey; hash_vkey ] ~evict_rate:1.0 proc main in
+        let slab_base = Libmpk.mpk_mmap mpk main ~vkey:slab_vkey ~len:slab_len ~prot:Perm.rw in
+        let hash_base = Libmpk.mpk_mmap mpk main ~vkey:hash_vkey ~len:hash_len ~prot:Perm.rw in
+        Some mpk, slab_base, hash_base
+    | Baseline | Mprotect_sys ->
+        let slab_base = Syscall.mmap proc main ~len:slab_len ~prot:Perm.rw () in
+        let hash_base = Syscall.mmap proc main ~len:hash_len ~prot:Perm.rw () in
+        (* Mprotect_sys keeps the regions sealed between requests. *)
+        if mode = Mprotect_sys then begin
+          Syscall.mprotect proc main ~addr:slab_base ~len:slab_len ~prot:Perm.none;
+          Syscall.mprotect proc main ~addr:hash_base ~len:hash_len ~prot:Perm.none
+        end;
+        None, slab_base, hash_base
+  in
+  let slab = Slab.create ~base:slab_base ~len:slab_len in
+  let table = Shash.create proc ~buckets ~bucket_base:hash_base slab in
+  {
+    mode;
+    proc;
+    workers = tasks;
+    attacker;
+    mpk;
+    slab_base;
+    slab_len;
+    hash_base;
+    hash_len;
+    table;
+    lru = Queue.create ();
+    evicted_items = 0;
+    protocol_requests = 0;
+  }
+
+let mode t = t.mode
+let workers t = t.workers
+let proc t = t.proc
+let attacker_task t = t.attacker
+let slab_base t = t.slab_base
+
+let mpk_exn t = match t.mpk with Some m -> m | None -> assert false
+
+(* Open both regions for the calling worker (or globally), run the store
+   operation, seal again. *)
+let with_store t task f =
+  match t.mode with
+  | Baseline -> f ()
+  | Domain ->
+      let mpk = mpk_exn t in
+      Libmpk.mpk_begin mpk task ~vkey:slab_vkey ~prot:Perm.rw;
+      Libmpk.mpk_begin mpk task ~vkey:hash_vkey ~prot:Perm.rw;
+      let result = f () in
+      Libmpk.mpk_end mpk task ~vkey:hash_vkey;
+      Libmpk.mpk_end mpk task ~vkey:slab_vkey;
+      result
+  | Sync ->
+      let mpk = mpk_exn t in
+      Libmpk.mpk_mprotect mpk task ~vkey:slab_vkey ~prot:Perm.rw;
+      Libmpk.mpk_mprotect mpk task ~vkey:hash_vkey ~prot:Perm.rw;
+      let result = f () in
+      Libmpk.mpk_mprotect mpk task ~vkey:hash_vkey ~prot:Perm.none;
+      Libmpk.mpk_mprotect mpk task ~vkey:slab_vkey ~prot:Perm.none;
+      result
+  | Mprotect_sys ->
+      Syscall.mprotect t.proc task ~addr:t.slab_base ~len:t.slab_len ~prot:Perm.rw;
+      Syscall.mprotect t.proc task ~addr:t.hash_base ~len:t.hash_len ~prot:Perm.rw;
+      let result = f () in
+      Syscall.mprotect t.proc task ~addr:t.hash_base ~len:t.hash_len ~prot:Perm.none;
+      Syscall.mprotect t.proc task ~addr:t.slab_base ~len:t.slab_len ~prot:Perm.none;
+      result
+
+let worker_task t i =
+  if i < 0 || i >= Array.length t.workers then invalid_arg "Server: bad worker";
+  t.workers.(i)
+
+let charge_request task = Cpu.charge (Task.core task) request_overhead_cycles
+
+let set t ~worker ~key ~value =
+  let task = worker_task t worker in
+  charge_request task;
+  with_store t task (fun () -> Shash.set t.table task ~key ~value)
+
+let get t ~worker ~key =
+  let task = worker_task t worker in
+  charge_request task;
+  with_store t task (fun () -> Shash.get t.table task ~key)
+
+let delete t ~worker ~key =
+  let task = worker_task t worker in
+  charge_request task;
+  with_store t task (fun () -> Shash.delete t.table task ~key)
+
+let prefill t ~items ~value_size =
+  let value = Bytes.make value_size 'v' in
+  for i = 0 to items - 1 do
+    set t ~worker:(i mod Array.length t.workers) ~key:(Printf.sprintf "key-%d" i) ~value
+  done
+
+let populate_slab t ~mib =
+  let len = min (mib * 1024 * 1024) t.slab_len in
+  let main = t.workers.(0) in
+  match t.mode with
+  | Baseline | Mprotect_sys ->
+      (* Mprotect_sys seals the region; populate through a write window. *)
+      with_store t main (fun () ->
+          Mm.populate (Proc.mm t.proc) (Task.core main) ~addr:t.slab_base ~len)
+  | Domain | Sync ->
+      with_store t main (fun () ->
+          Mm.populate (Proc.mm t.proc) (Task.core main) ~addr:t.slab_base ~len)
+
+(* --- protocol front end: items carry [flags:4][deadline:8][payload] --- *)
+
+let item_header = 12
+
+let encode_item ~flags ~deadline payload =
+  let b = Bytes.create (item_header + Bytes.length payload) in
+  Bytes.set_int32_le b 0 (Int32.of_int flags);
+  Bytes.set_int64_le b 4 (Int64.of_float (deadline *. 1000.0));
+  Bytes.blit payload 0 b item_header (Bytes.length payload);
+  b
+
+let decode_item b =
+  let flags = Int32.to_int (Bytes.get_int32_le b 0) in
+  let deadline = Int64.to_float (Bytes.get_int64_le b 4) /. 1000.0 in
+  flags, deadline, Bytes.sub b item_header (Bytes.length b - item_header)
+
+let items_evicted t = t.evicted_items
+
+(* Reclaim the least-recently-used live item; false when nothing left.
+   The recency queue is lazy: stale entries (overwritten or deleted keys
+   whose entry is no longer the newest) are skipped. *)
+let evict_one t task =
+  let rec pop () =
+    match Queue.take_opt t.lru with
+    | None -> false
+    | Some key ->
+        if Shash.delete t.table task ~key then begin
+          t.evicted_items <- t.evicted_items + 1;
+          true
+        end
+        else pop ()
+  in
+  pop ()
+
+let set_item t task ~key ~flags ~deadline payload =
+  let value = encode_item ~flags ~deadline payload in
+  let rec attempt tries =
+    match Shash.set t.table task ~key ~value with
+    | () ->
+        Queue.add key t.lru;
+        true
+    | exception Failure _ when tries > 0 ->
+        if evict_one t task then attempt (tries - 1) else false
+  in
+  attempt 64
+
+let get_item t task ~now ~key =
+  match Shash.get t.table task ~key with
+  | None -> None
+  | Some raw ->
+      let flags, deadline, payload = decode_item raw in
+      if deadline > 0.0 && now >= deadline then begin
+        (* expired: reclaim on access, like Memcached *)
+        ignore (Shash.delete t.table task ~key);
+        None
+      end
+      else begin
+        Queue.add key t.lru;
+        Some (flags, payload)
+      end
+
+let dispatch t ~worker ~now wire =
+  let task = worker_task t worker in
+  charge_request task;
+  t.protocol_requests <- t.protocol_requests + 1;
+  let response =
+    match Protocol.parse_request wire with
+    | Error msg -> Protocol.Server_error msg
+    | Ok (Protocol.Set { key; flags; exptime; data }) ->
+        let deadline = if exptime > 0 then now +. float_of_int exptime else 0.0 in
+        with_store t task (fun () ->
+            if set_item t task ~key ~flags ~deadline data then Protocol.Stored
+            else Protocol.Server_error "out of memory")
+    | Ok (Protocol.Get key) ->
+        with_store t task (fun () ->
+            match get_item t task ~now ~key with
+            | Some (flags, data) -> Protocol.Value { key; flags; data }
+            | None -> Protocol.End_)
+    | Ok (Protocol.Delete key) ->
+        with_store t task (fun () ->
+            if Shash.delete t.table task ~key then Protocol.Deleted else Protocol.Not_found)
+    | Ok Protocol.Stats ->
+        Protocol.Stats_reply
+          [
+            "curr_items", string_of_int (Shash.entry_count t.table);
+            "evictions", string_of_int t.evicted_items;
+            "cmd_total", string_of_int t.protocol_requests;
+            "mode", mode_name t.mode;
+          ]
+  in
+  Protocol.render_response response
+
+let resident_pages t =
+  let start = Page_table.vpn_of_addr t.slab_base in
+  let pages = t.slab_len / Physmem.page_size in
+  let table = Mm.page_table (Proc.mm t.proc) in
+  let count = ref 0 in
+  for vpn = start to start + pages - 1 do
+    if Pte.is_present (Page_table.get table ~vpn) then incr count
+  done;
+  !count

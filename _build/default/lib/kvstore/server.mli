@@ -1,0 +1,73 @@
+(** The Memcached stand-in (paper §5.3 / Fig 14): a multi-threaded
+    key-value store whose slabs and hash table live in simulated memory,
+    protected by one of four schemes:
+
+    - [Baseline] — no protection (original Memcached).
+    - [Domain] — thread-local isolation: every legitimate access is
+      wrapped in [mpk_begin]/[mpk_end] on the two hardcoded virtual keys
+      (one for slabs, one for the hash table, as the paper does).
+    - [Sync] — process-global locking via [mpk_mprotect]: the regions are
+      opened rw before and sealed after each request, with mprotect
+      semantics but PKRU speed.
+    - [Mprotect_sys] — the same locking discipline done with real
+      [mprotect], whose cost scales with the *populated* size of the
+      1 GiB slab region. *)
+
+open Mpk_kernel
+
+type mode = Baseline | Domain | Sync | Mprotect_sys
+
+val mode_name : mode -> string
+
+type t
+
+(** [create ~mode ~workers ~slab_mib ~buckets ()] — builds a machine,
+    process, [workers] tasks, the regions and (for the libmpk modes) the
+    libmpk instance. *)
+val create : mode:mode -> ?workers:int -> ?slab_mib:int -> ?buckets:int -> unit -> t
+
+val mode : t -> mode
+val workers : t -> Task.t array
+val proc : t -> Proc.t
+
+(** Per-request parsing/response cost charged outside the store proper. *)
+val request_overhead_cycles : float
+
+(** [set t ~worker ~key ~value] / [get t ~worker ~key] — one client
+    request handled by the given worker thread, with the mode's
+    protection discipline around the store access. *)
+val set : t -> worker:int -> key:string -> value:bytes -> unit
+
+val get : t -> worker:int -> key:string -> bytes option
+
+val delete : t -> worker:int -> key:string -> bool
+
+(** [prefill t ~items ~value_size] — load [items] entries (and fault in
+    their pages), then [populate_slab t ~mib] forces residency of that
+    many MiB of the slab region — the "Memcached holding a gigabyte"
+    state of Fig 14. *)
+val prefill : t -> items:int -> value_size:int -> unit
+
+val populate_slab : t -> mib:int -> unit
+
+(** Residency of the slab region, in pages. *)
+val resident_pages : t -> int
+
+(* --- protocol front end --- *)
+
+(** [dispatch t ~worker ~now wire] — parse one Memcached text-protocol
+    request, execute it (with the mode's protection discipline), render
+    the response. [now] is the wall clock in seconds for TTL handling:
+    a [set] with [exptime > 0] expires at [now + exptime]; expired items
+    answer NOT_FOUND and are reclaimed. When the slab region fills, the
+    least-recently-used items are evicted, as Memcached does. *)
+val dispatch : t -> worker:int -> now:float -> string -> string
+
+(** Items evicted by the LRU reclaimer so far. *)
+val items_evicted : t -> int
+
+(** Direct (attacker) access to the slab region from a non-worker task:
+    used by security tests. *)
+val attacker_task : t -> Task.t
+
+val slab_base : t -> int

@@ -1,0 +1,124 @@
+open Mpk_hw
+open Mpk_kernel
+
+type t = {
+  proc : Proc.t;
+  nbuckets : int;
+  bucket_base : int;
+  slab : Slab.t;
+  mutable entries : int;
+}
+
+let header_bytes = 16  (* next:8  keylen:2  vallen:4  pad:2 *)
+
+let create proc ~buckets ~bucket_base slab =
+  if buckets <= 0 then invalid_arg "Shash.create: buckets must be positive";
+  { proc; nbuckets = buckets; bucket_base; slab; entries = 0 }
+
+let buckets t = t.nbuckets
+
+(* FNV-1a, offset basis truncated to OCaml's 63-bit int *)
+let hash key =
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    key;
+  !h land max_int
+
+let bucket_addr t key = t.bucket_base + (hash key mod t.nbuckets * 8)
+
+let read_ptr t task addr = Int64.to_int (Mmu.read_int64 (Proc.mmu t.proc) (Task.core task) ~addr)
+
+let write_ptr t task addr v =
+  Mmu.write_int64 (Proc.mmu t.proc) (Task.core task) ~addr (Int64.of_int v)
+
+let read_entry_header t task entry =
+  let mmu = Proc.mmu t.proc in
+  let core = Task.core task in
+  let next = Int64.to_int (Mmu.read_int64 mmu core ~addr:entry) in
+  let hdr = Mmu.read_bytes mmu core ~addr:(entry + 8) ~len:8 in
+  let keylen = Bytes.get_uint16_le hdr 0 in
+  let vallen = Int32.to_int (Bytes.get_int32_le hdr 2) in
+  next, keylen, vallen
+
+let read_key t task entry keylen =
+  Bytes.to_string
+    (Mmu.read_bytes (Proc.mmu t.proc) (Task.core task) ~addr:(entry + header_bytes) ~len:keylen)
+
+(* Find the entry for [key] in its chain, with its predecessor link
+   address (the bucket slot or the previous entry's next field). *)
+let find_with_prev t task ~key =
+  (* prev_link is where the pointer to [entry] is stored: the bucket slot
+     for the head, otherwise the predecessor's next field (offset 0). *)
+  let rec walk prev_link entry =
+    if entry = 0 then None
+    else begin
+      let next, keylen, vallen = read_entry_header t task entry in
+      if keylen = String.length key && read_key t task entry keylen = key then
+        Some (prev_link, entry, next, keylen, vallen)
+      else walk entry next
+    end
+  in
+  let slot = bucket_addr t key in
+  walk slot (read_ptr t task slot)
+
+let unlink t task ~prev_link ~entry ~next =
+  (* prev_link is either a bucket slot or a predecessor entry address;
+     in both cases the next-pointer lives at offset 0. *)
+  ignore entry;
+  write_ptr t task prev_link next
+
+let set t task ~key ~value =
+  let mmu = Proc.mmu t.proc in
+  let core = Task.core task in
+  let keylen = String.length key in
+  let vallen = Bytes.length value in
+  let size = header_bytes + keylen + vallen in
+  let entry =
+    match Slab.alloc t.slab ~size with
+    | Some addr -> addr
+    | None -> failwith "Shash.set: slab region exhausted"
+  in
+  let slot = bucket_addr t key in
+  let old = find_with_prev t task ~key in
+  let head = read_ptr t task slot in
+  (* head insert *)
+  write_ptr t task entry head;
+  let hdr = Bytes.create 8 in
+  Bytes.set_uint16_le hdr 0 keylen;
+  Bytes.set_int32_le hdr 2 (Int32.of_int vallen);
+  Bytes.set_uint16_le hdr 6 0;
+  Mmu.write_bytes mmu core ~addr:(entry + 8) hdr;
+  Mmu.write_bytes mmu core ~addr:(entry + header_bytes) (Bytes.of_string key);
+  Mmu.write_bytes mmu core ~addr:(entry + header_bytes + keylen) value;
+  write_ptr t task slot entry;
+  t.entries <- t.entries + 1;
+  (* drop a shadowed older version *)
+  match old with
+  | Some (prev_link, old_entry, next, _, _) ->
+      let prev_link = if prev_link = slot then entry else prev_link in
+      unlink t task ~prev_link ~entry:old_entry ~next;
+      Slab.free t.slab ~addr:old_entry;
+      t.entries <- t.entries - 1
+  | None -> ()
+
+let get t task ~key =
+  match find_with_prev t task ~key with
+  | None -> None
+  | Some (_, entry, _, keylen, vallen) ->
+      Some
+        (Mmu.read_bytes (Proc.mmu t.proc) (Task.core task)
+           ~addr:(entry + header_bytes + keylen) ~len:vallen)
+
+let delete t task ~key =
+  match find_with_prev t task ~key with
+  | None -> false
+  | Some (prev_link, entry, next, _, _) ->
+      unlink t task ~prev_link ~entry ~next;
+      Slab.free t.slab ~addr:entry;
+      t.entries <- t.entries - 1;
+      true
+
+let entry_count t = t.entries

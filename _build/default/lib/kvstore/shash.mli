@@ -1,0 +1,30 @@
+(** A chained hash table living in simulated memory (paper §5.3: the hash
+    table maintaining key→value mappings is the second structure libmpk
+    protects in Memcached).
+
+    Buckets are an array of 8-byte entry pointers in one region; entries
+    ([next, keylen, vallen, key, value]) are slab chunks. Every byte is
+    read and written through the MMU with the calling task's core, so
+    page permissions and protection keys apply to the lookup path
+    itself. *)
+
+open Mpk_kernel
+
+type t
+
+(** [create proc ~buckets ~bucket_base slab] — [bucket_base] must point
+    at a mapped region of at least [8 * buckets] bytes. *)
+val create : Proc.t -> buckets:int -> bucket_base:int -> Slab.t -> t
+
+val buckets : t -> int
+
+(** [set t task ~key ~value] — insert or overwrite. Raises [Failure] when
+    the slab region is exhausted. *)
+val set : t -> Task.t -> key:string -> value:bytes -> unit
+
+val get : t -> Task.t -> key:string -> bytes option
+
+(** [delete t task ~key] — true when the key existed. *)
+val delete : t -> Task.t -> key:string -> bool
+
+val entry_count : t -> int

@@ -1,0 +1,99 @@
+let slab_bytes = 1 lsl 20
+let min_chunk = 64
+let max_chunk = 64 * 1024
+
+type slab_class = {
+  chunk : int;
+  mutable free_chunks : int list;
+  mutable slabs : int;  (* slabs assigned to this class *)
+}
+
+type t = {
+  base : int;
+  len : int;
+  mutable next_slab : int;  (* offset of the next virgin slab *)
+  classes : slab_class array;
+  live : (int, int) Hashtbl.t;  (* chunk addr -> class index *)
+}
+
+let class_count =
+  let rec count c n = if c >= max_chunk then n + 1 else count (c * 2) (n + 1) in
+  count min_chunk 0
+
+let class_of_index i = min_chunk lsl i
+
+let class_index_of_size size =
+  let rec scan i = if class_of_index i >= size || i = class_count - 1 then i else scan (i + 1) in
+  if size > max_chunk then invalid_arg "Slab: size exceeds the largest class";
+  scan 0
+
+let class_of_size size = class_of_index (class_index_of_size size)
+
+let create ~base ~len =
+  if len < slab_bytes then invalid_arg "Slab.create: region smaller than one slab";
+  {
+    base;
+    len;
+    next_slab = 0;
+    classes = Array.init class_count (fun i -> { chunk = class_of_index i; free_chunks = []; slabs = 0 });
+    live = Hashtbl.create 1024;
+  }
+
+(* Assign a virgin slab to a class, splitting it into chunks. *)
+let grow_class t idx =
+  if t.next_slab + slab_bytes > t.len then false
+  else begin
+    let cls = t.classes.(idx) in
+    let slab_base = t.base + t.next_slab in
+    t.next_slab <- t.next_slab + slab_bytes;
+    cls.slabs <- cls.slabs + 1;
+    let chunks = slab_bytes / cls.chunk in
+    for i = chunks - 1 downto 0 do
+      cls.free_chunks <- (slab_base + (i * cls.chunk)) :: cls.free_chunks
+    done;
+    true
+  end
+
+let alloc t ~size =
+  if size <= 0 then invalid_arg "Slab.alloc: size must be positive";
+  let idx = class_index_of_size size in
+  let cls = t.classes.(idx) in
+  let take () =
+    match cls.free_chunks with
+    | addr :: rest ->
+        cls.free_chunks <- rest;
+        Hashtbl.replace t.live addr idx;
+        Some addr
+    | [] -> None
+  in
+  match take () with
+  | Some addr -> Some addr
+  | None -> if grow_class t idx then take () else None
+
+let free t ~addr =
+  match Hashtbl.find_opt t.live addr with
+  | None -> invalid_arg "Slab.free: not an allocated chunk"
+  | Some idx ->
+      Hashtbl.remove t.live addr;
+      let cls = t.classes.(idx) in
+      cls.free_chunks <- addr :: cls.free_chunks
+
+let allocated_chunks t = Hashtbl.length t.live
+
+let allocated_bytes t =
+  Hashtbl.fold (fun _ idx acc -> acc + class_of_index idx) t.live 0
+
+let slabs_in_use t = Array.fold_left (fun acc c -> acc + c.slabs) 0 t.classes
+
+let invariant t =
+  let in_region addr chunk = addr >= t.base && addr + chunk <= t.base + t.len in
+  let live_ok =
+    Hashtbl.fold (fun addr idx acc -> acc && in_region addr (class_of_index idx)) t.live true
+  in
+  (* no chunk is both live and free *)
+  let free_ok =
+    Array.for_all
+      (fun cls -> List.for_all (fun a -> not (Hashtbl.mem t.live a) && in_region a cls.chunk) cls.free_chunks)
+      t.classes
+  in
+  live_ok && free_ok && t.next_slab <= t.len

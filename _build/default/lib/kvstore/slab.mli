@@ -1,0 +1,34 @@
+(** A Memcached-style slab allocator over a region of simulated memory
+    (paper §5.3: the slabs holding actual values are what libmpk
+    protects).
+
+    The region is carved into 1 MiB slabs, each dedicated to a power-of-
+    two size class (64 B .. 64 KiB). Chunk bookkeeping lives library-side
+    — the protected payload is the item data in simulated memory. *)
+
+type t
+
+val slab_bytes : int
+val min_chunk : int
+val max_chunk : int
+
+(** [create ~base ~len] — manage [len] bytes starting at [base]. *)
+val create : base:int -> len:int -> t
+
+(** [alloc t ~size] — address of a chunk whose class fits [size], or
+    [None] when the region is exhausted for that class. *)
+val alloc : t -> size:int -> int option
+
+(** [free t ~addr] — return a chunk; raises [Invalid_argument] on a bad
+    or double free. *)
+val free : t -> addr:int -> unit
+
+(** The size class (chunk size) serving [size]. *)
+val class_of_size : int -> int
+
+val allocated_chunks : t -> int
+val allocated_bytes : t -> int
+val slabs_in_use : t -> int
+
+(** Chunks never overlap and lie inside the region. *)
+val invariant : t -> bool

@@ -1,0 +1,1 @@
+lib/secstore/heartbleed.ml: Bytes Keystore Mmu Mpk_crypto Mpk_hw Mpk_kernel Proc Task

@@ -1,0 +1,1 @@
+lib/secstore/heartbleed.mli: Keystore Mpk_kernel Task

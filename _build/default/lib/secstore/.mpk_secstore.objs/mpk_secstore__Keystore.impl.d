@@ -1,0 +1,1 @@
+lib/secstore/keystore.ml: Bignum Bytes Libmpk Mmu Mpk_crypto Mpk_hw Mpk_kernel Perm Physmem Proc Rsa Syscall Task

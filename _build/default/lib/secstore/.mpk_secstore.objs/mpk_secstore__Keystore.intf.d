@@ -1,0 +1,1 @@
+lib/secstore/keystore.mli: Libmpk Mpk_crypto Mpk_kernel Proc Task

@@ -1,0 +1,1 @@
+lib/secstore/loadgen.ml: Array Cpu Float List Mpk_hw Mpk_kernel Mpk_util Task Tls_server

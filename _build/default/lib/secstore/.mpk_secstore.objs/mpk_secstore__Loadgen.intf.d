@@ -1,0 +1,1 @@
+lib/secstore/loadgen.mli: Mpk_kernel Task Tls_server

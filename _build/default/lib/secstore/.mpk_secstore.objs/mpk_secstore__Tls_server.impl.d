@@ -1,0 +1,1 @@
+lib/secstore/tls_server.ml: Bytes Chacha20 Char Cpu Hmac Keystore Mpk_crypto Mpk_hw Mpk_kernel Mpk_util Proc Rsa Task

@@ -1,0 +1,1 @@
+lib/secstore/tls_server.mli: Keystore Libmpk Mpk_kernel Mpk_util Proc Task

@@ -1,0 +1,19 @@
+(** The paper's §6.1 Heartbleed re-creation: a heartbeat-style echo
+    endpoint that trusts the client's claimed payload length. With the
+    keystore in [Insecure] mode the over-read leaks the private key; in
+    [Protected] mode it dies with a protection-key fault. *)
+
+open Mpk_kernel
+
+type outcome =
+  | Leaked of bytes  (** the attacker got this many bytes back *)
+  | Crashed of string  (** the fault that killed the request *)
+
+(** [echo ks task ~payload ~claimed_len] — copies [payload] into a request
+    buffer adjacent to the key material, then "echoes" [claimed_len]
+    bytes starting at the buffer (the bug: no bounds check). *)
+val echo : Keystore.t -> Task.t -> payload:bytes -> claimed_len:int -> outcome
+
+(** [leaks_secret ks outcome] — true when the echoed bytes contain the
+    serialized private key. *)
+val leaks_secret : Keystore.t -> Task.t -> outcome -> bool

@@ -1,0 +1,54 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable total : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.total <- t.total +. x
+
+let count t = t.n
+let mean t = t.mean
+
+let stddev t =
+  if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let min t = t.min
+let max t = t.max
+let total t = t.total
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let mean_of xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  mean t
+
+let stddev_of xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  stddev t

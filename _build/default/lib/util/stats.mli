@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers used by experiments and benches. *)
+
+(** Online accumulator (Welford) for mean / variance / extrema. *)
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** Sample standard deviation; 0 when fewer than two samples. *)
+val stddev : t -> float
+
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+(** [percentile xs p] for [p] in [\[0, 100\]] using linear interpolation.
+    Raises [Invalid_argument] on an empty array. *)
+val percentile : float array -> float -> float
+
+val mean_of : float array -> float
+val stddev_of : float array -> float

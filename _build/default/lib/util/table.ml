@@ -1,0 +1,72 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | _ -> Array.make ncols Right
+  in
+  let normalize row =
+    let row = Array.of_list row in
+    Array.init ncols (fun i -> if i < Array.length row then row.(i) else "")
+  in
+  let header = normalize header in
+  let rows = List.map normalize rows in
+  let widths = Array.map String.length header in
+  let widen row = Array.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) row in
+  List.iter widen rows;
+  let line ch =
+    let b = Buffer.create 80 in
+    Buffer.add_char b '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string b (String.make (w + 2) ch);
+        Buffer.add_char b '+')
+      widths;
+    Buffer.contents b
+  in
+  let fmt_row row =
+    let b = Buffer.create 80 in
+    Buffer.add_char b '|';
+    Array.iteri
+      (fun i c ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b (pad aligns.(i) widths.(i) c);
+        Buffer.add_string b " |")
+      row;
+    Buffer.contents b
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b (line '-');
+  Buffer.add_char b '\n';
+  Buffer.add_string b (fmt_row header);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (line '=');
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b (fmt_row row);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.add_string b (line '-');
+  Buffer.contents b
+
+let float_cell x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 1000.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.3f" x
+
+let series ~title ~x_label ~y_labels points =
+  let header = x_label :: y_labels in
+  let rows =
+    List.map (fun (x, ys) -> x :: List.map float_cell ys) points
+  in
+  Printf.sprintf "%s\n%s" title (render ~header rows)

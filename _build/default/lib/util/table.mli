@@ -1,0 +1,17 @@
+(** ASCII table and series rendering for experiment reports. *)
+
+type align = Left | Right
+
+(** [render ~header rows] draws a boxed table. Column count is taken from
+    [header]; rows shorter than the header are padded with blanks. Columns
+    are right-aligned unless [aligns] overrides. *)
+val render : ?aligns:align list -> header:string list -> string list list -> string
+
+(** [series ~title ~x_label ~y_labels points] renders a figure-style data
+    series: one row per x with one column per named series. *)
+val series :
+  title:string -> x_label:string -> y_labels:string list ->
+  (string * float list) list -> string
+
+(** Format a float compactly: 3 significant decimals, trimming noise. *)
+val float_cell : float -> string

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bignum Buffer Bytes Chacha20 Char Hmac List Mpk_crypto Mpk_util Printf QCheck QCheck_alcotest Rsa Sha256 String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablations Alcotest Exp_fig10 Exp_fig2 Exp_fig3 Exp_fig8 Exp_fig9 Exp_memover Exp_table1 Exp_table3 Float List Mpk_experiments Printf Report String

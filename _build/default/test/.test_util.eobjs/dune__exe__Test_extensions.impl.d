@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bytes Char Cpu Errno Format Libmpk List Machine Mmu Mpk_hw Mpk_kernel Page_table Perm Physmem Pkey Pkru Proc Pte QCheck QCheck_alcotest Sched String Syscall Task

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bytes Costs Cpu Hashtbl List Machine Mmu Mpk_hw Page_table Perm Physmem Pkey Pkru Printf Pte QCheck QCheck_alcotest Tlb

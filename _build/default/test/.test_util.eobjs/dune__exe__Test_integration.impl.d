@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Libmpk Machine Mm Mmu Mpk_hw Mpk_jit Mpk_kernel Mpk_secstore Mpk_util Option Perm Proc String Task

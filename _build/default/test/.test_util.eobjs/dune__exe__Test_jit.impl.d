@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Attack Bytecode Bytes Codecache Cpu Engine Libmpk List Machine Mmu Mpk_hw Mpk_jit Mpk_kernel Octane Perm Printf Proc QCheck QCheck_alcotest Syscall Task Wx Xom

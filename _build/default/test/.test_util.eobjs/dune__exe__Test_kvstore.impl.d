@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Bytes Hashtbl List Loadgen Mmu Mpk_hw Mpk_kernel Mpk_kvstore Option Printf Proc Protocol QCheck QCheck_alcotest Server Slab String Task

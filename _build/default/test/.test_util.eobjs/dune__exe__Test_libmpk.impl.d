@@ -1,0 +1,1 @@
+test/test_libmpk.ml: Alcotest Array Bytes Char Cpu Errno Libmpk List Machine Mmu Mpk_hw Mpk_kernel Option Perm Physmem Pkey Pkey_bitmap Printf Proc QCheck QCheck_alcotest Sched Task

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Char Errno Hashtbl Libmpk List Machine Mm Mmu Mpk_hw Mpk_kernel Option Page_table Perm Physmem Pkey Printf Proc Pte QCheck QCheck_alcotest String Task

@@ -1,0 +1,1 @@
+test/test_secstore.ml: Alcotest Bytes Char Heartbleed Keystore Libmpk List Loadgen Mpk_crypto Mpk_hw Mpk_kernel Mpk_secstore Mpk_util Printf Proc String Task Tls_server

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List Mpk_util Prng Stats String Table

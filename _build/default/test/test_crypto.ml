@@ -1,0 +1,293 @@
+(* Tests for mpk_crypto: bignum arithmetic (incl. properties against
+   OCaml's native ints), SHA-256/ChaCha20/HMAC known-answer vectors, RSA
+   roundtrips. *)
+
+open Mpk_crypto
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let prng () = Mpk_util.Prng.create ~seed:0xBEEFL
+
+(* --- Bignum --- *)
+
+let big = Alcotest.testable Bignum.pp Bignum.equal
+
+let test_bignum_of_to_int () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int)) (string_of_int n) (Some n) (Bignum.to_int (Bignum.of_int n)))
+    [ 0; 1; 2; 255; 256; 67108863; 67108864; 1 lsl 40; max_int / 2 ]
+
+let test_bignum_compare () =
+  Alcotest.(check bool) "0 < 1" true (Bignum.compare Bignum.zero Bignum.one < 0);
+  Alcotest.(check bool) "big > small" true
+    (Bignum.compare (Bignum.of_int 1000000) (Bignum.of_int 999999) > 0);
+  Alcotest.(check bool) "equal" true (Bignum.equal (Bignum.of_int 42) (Bignum.of_int 42))
+
+let arith_props =
+  let gen = QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000)) in
+  [
+    QCheck.Test.make ~name:"add matches int" ~count:500 gen (fun (a, b) ->
+        Bignum.to_int (Bignum.add (Bignum.of_int a) (Bignum.of_int b)) = Some (a + b));
+    QCheck.Test.make ~name:"sub matches int" ~count:500 gen (fun (a, b) ->
+        let hi = max a b and lo = min a b in
+        Bignum.to_int (Bignum.sub (Bignum.of_int hi) (Bignum.of_int lo)) = Some (hi - lo));
+    QCheck.Test.make ~name:"mul matches int" ~count:500
+      QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+      (fun (a, b) ->
+        Bignum.to_int (Bignum.mul (Bignum.of_int a) (Bignum.of_int b)) = Some (a * b));
+    QCheck.Test.make ~name:"divmod matches int" ~count:500 gen (fun (a, b) ->
+        QCheck.assume (b > 0);
+        let q, r = Bignum.divmod (Bignum.of_int a) (Bignum.of_int b) in
+        Bignum.to_int q = Some (a / b) && Bignum.to_int r = Some (a mod b));
+    QCheck.Test.make ~name:"shift roundtrip" ~count:500
+      QCheck.(pair (int_bound 1_000_000_000) (int_bound 80))
+      (fun (a, k) ->
+        let x = Bignum.of_int a in
+        Bignum.equal (Bignum.shift_right (Bignum.shift_left x k) k) x);
+    QCheck.Test.make ~name:"bytes roundtrip" ~count:500 QCheck.(int_bound max_int)
+      (fun a ->
+        let x = Bignum.of_int a in
+        Bignum.equal (Bignum.of_bytes (Bignum.to_bytes x)) x);
+    QCheck.Test.make ~name:"mod_pow matches naive" ~count:200
+      QCheck.(triple (int_bound 1000) (int_bound 30) (int_range 2 1000))
+      (fun (b, e, m) ->
+        let rec naive acc i = if i = 0 then acc else naive (acc * b mod m) (i - 1) in
+        Bignum.to_int
+          (Bignum.mod_pow ~base:(Bignum.of_int b) ~exp:(Bignum.of_int e)
+             ~modulus:(Bignum.of_int m))
+        = Some (naive 1 e));
+  ]
+
+let test_bignum_large_mul_div () =
+  let p = prng () in
+  let a = Bignum.random p ~bits:300 in
+  let b = Bignum.random p ~bits:200 in
+  let prod = Bignum.mul a b in
+  let q, r = Bignum.divmod prod b in
+  Alcotest.check big "(a*b)/b = a" a q;
+  Alcotest.check big "(a*b) mod b = 0" Bignum.zero r
+
+let test_bignum_sub_negative () =
+  Alcotest.check_raises "negative sub" (Invalid_argument "Bignum.sub: would be negative")
+    (fun () -> ignore (Bignum.sub Bignum.one Bignum.two))
+
+let test_bignum_invmod () =
+  (* 3 * 4 = 12 ≡ 1 (mod 11) *)
+  (match Bignum.invmod (Bignum.of_int 3) (Bignum.of_int 11) with
+  | Some x -> Alcotest.check big "3^-1 mod 11 = 4" (Bignum.of_int 4) x
+  | None -> Alcotest.fail "inverse exists");
+  (* gcd(4, 8) != 1: no inverse *)
+  Alcotest.(check bool) "no inverse" true (Bignum.invmod (Bignum.of_int 4) (Bignum.of_int 8) = None)
+
+let invmod_property =
+  QCheck.Test.make ~name:"invmod: a * a^-1 = 1 mod m" ~count:300
+    QCheck.(pair (int_range 2 100000) (int_range 2 100000))
+    (fun (a, m) ->
+      match Bignum.invmod (Bignum.of_int a) (Bignum.of_int m) with
+      | None -> true  (* not coprime *)
+      | Some inv ->
+          Bignum.to_int (Bignum.rem (Bignum.mul (Bignum.of_int a) inv) (Bignum.of_int m))
+          = Some 1)
+
+let test_bignum_random_bits () =
+  let p = prng () in
+  for _ = 1 to 50 do
+    let x = Bignum.random p ~bits:100 in
+    Alcotest.(check int) "exact bit width" 100 (Bignum.bits x)
+  done
+
+let test_bignum_padded () =
+  let x = Bignum.of_int 0xABCD in
+  let b = Bignum.to_bytes_padded x ~len:4 in
+  Alcotest.(check string) "padded" "\x00\x00\xab\xcd" (Bytes.to_string b)
+
+(* --- SHA-256 known-answer vectors (FIPS / NIST) --- *)
+
+let test_sha256_vectors () =
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex (Bytes.of_string ""));
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex (Bytes.of_string "abc"));
+  Alcotest.(check string) "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex (Bytes.of_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+
+let test_sha256_long () =
+  (* one million 'a' characters, the classic NIST vector *)
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (Bytes.make 1_000_000 'a'))
+
+(* --- ChaCha20 RFC 8439 vector --- *)
+
+let hex_to_bytes s =
+  let n = String.length s / 2 in
+  Bytes.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let bytes_to_hex b =
+  let buf = Buffer.create (Bytes.length b * 2) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let test_chacha20_rfc_block () =
+  (* RFC 8439 §2.3.2 test vector *)
+  let key = hex_to_bytes "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f" in
+  let nonce = hex_to_bytes "000000090000004a00000000" in
+  let ks = Chacha20.block ~key ~nonce ~counter:1 in
+  Alcotest.(check string) "keystream block"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (bytes_to_hex ks)
+
+let test_chacha20_rfc_encrypt () =
+  (* RFC 8439 §2.4.2 *)
+  let key = hex_to_bytes "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f" in
+  let nonce = hex_to_bytes "000000000000004a00000000" in
+  let plain =
+    Bytes.of_string
+      "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it."
+  in
+  let ct = Chacha20.crypt ~key ~nonce ~counter:1 plain in
+  Alcotest.(check string) "ciphertext head" "6e2e359a2568f98041ba0728dd0d6981"
+    (bytes_to_hex (Bytes.sub ct 0 16));
+  Alcotest.(check string) "roundtrip" (Bytes.to_string plain)
+    (Bytes.to_string (Chacha20.crypt ~key ~nonce ~counter:1 ct))
+
+let chacha_roundtrip =
+  QCheck.Test.make ~name:"chacha20 roundtrip" ~count:100 QCheck.(string_of_size (QCheck.Gen.int_bound 500))
+    (fun s ->
+      let key = Bytes.make 32 'k' in
+      let nonce = Bytes.make 12 'n' in
+      let data = Bytes.of_string s in
+      Bytes.equal (Chacha20.crypt ~key ~nonce (Chacha20.crypt ~key ~nonce data)) data)
+
+(* --- HMAC (RFC 4231 test case 2) --- *)
+
+let test_hmac_rfc4231 () =
+  let mac = Hmac.sha256 ~key:(Bytes.of_string "Jefe") (Bytes.of_string "what do ya want for nothing?") in
+  Alcotest.(check string) "tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (bytes_to_hex mac)
+
+let test_hmac_long_key () =
+  (* keys longer than the block size are hashed first (RFC 4231 tc6) *)
+  let key = Bytes.make 131 '\xaa' in
+  let mac = Hmac.sha256 ~key (Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First") in
+  Alcotest.(check string) "tc6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (bytes_to_hex mac)
+
+let test_hmac_derive_len () =
+  let d = Hmac.derive ~secret:(Bytes.of_string "s") ~label:"session" ~len:50 in
+  Alcotest.(check int) "length" 50 (Bytes.length d);
+  let d2 = Hmac.derive ~secret:(Bytes.of_string "s") ~label:"session" ~len:50 in
+  Alcotest.(check string) "deterministic" (bytes_to_hex d) (bytes_to_hex d2);
+  let d3 = Hmac.derive ~secret:(Bytes.of_string "s") ~label:"other" ~len:50 in
+  Alcotest.(check bool) "label matters" false (Bytes.equal d d3)
+
+(* --- RSA --- *)
+
+let test_miller_rabin_known () =
+  let p = prng () in
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check bool) (string_of_int n) expect
+        (Rsa.probably_prime p (Bignum.of_int n)))
+    [
+      2, true; 3, true; 4, false; 17, true; 561, false (* Carmichael *);
+      7919, true; 7917, false; 104729, true; 104730, false;
+      2147483647, true (* 2^31-1, Mersenne prime *);
+    ]
+
+let test_rsa_roundtrip () =
+  let p = prng () in
+  let kp = Rsa.generate p ~bits:128 in
+  let msg = Bignum.of_int 123456789 in
+  let ct = Rsa.encrypt kp.Rsa.public msg in
+  Alcotest.(check bool) "ciphertext differs" false (Bignum.equal ct msg);
+  Alcotest.check big "decrypt" msg (Rsa.decrypt kp.Rsa.secret ct)
+
+let test_rsa_bytes_roundtrip () =
+  let p = prng () in
+  let kp = Rsa.generate p ~bits:128 in
+  let msg = Bytes.of_string "premaster" in
+  let ct = Rsa.encrypt_bytes kp.Rsa.public msg in
+  Alcotest.(check string) "roundtrip" "premaster"
+    (Bytes.to_string (Rsa.decrypt_bytes kp.Rsa.secret ct))
+
+let test_rsa_sign_verify () =
+  let p = prng () in
+  let kp = Rsa.generate p ~bits:128 in
+  let msg = Bytes.of_string "handshake transcript" in
+  let signature = Rsa.sign kp.Rsa.secret msg in
+  Alcotest.(check bool) "verifies" true (Rsa.verify kp.Rsa.public ~msg ~signature);
+  Alcotest.(check bool) "tampered message fails" false
+    (Rsa.verify kp.Rsa.public ~msg:(Bytes.of_string "handshake transcripT") ~signature);
+  let bad = Bytes.copy signature in
+  Bytes.set bad (Bytes.length bad - 1)
+    (Char.chr (Char.code (Bytes.get bad (Bytes.length bad - 1)) lxor 1));
+  Alcotest.(check bool) "tampered signature fails" false
+    (Rsa.verify kp.Rsa.public ~msg ~signature:bad)
+
+let test_rsa_sign_wrong_key () =
+  let p = prng () in
+  let k1 = Rsa.generate p ~bits:128 in
+  let k2 = Rsa.generate p ~bits:128 in
+  let msg = Bytes.of_string "m" in
+  let signature = Rsa.sign k1.Rsa.secret msg in
+  Alcotest.(check bool) "other key rejects" false (Rsa.verify k2.Rsa.public ~msg ~signature)
+
+let test_rsa_distinct_keys () =
+  let p = prng () in
+  let k1 = Rsa.generate p ~bits:96 in
+  let k2 = Rsa.generate p ~bits:96 in
+  Alcotest.(check bool) "moduli differ" false
+    (Bignum.equal k1.Rsa.public.Rsa.n k2.Rsa.public.Rsa.n);
+  (* decrypting with the wrong key garbles *)
+  let msg = Bignum.of_int 424242 in
+  let ct = Rsa.encrypt k1.Rsa.public msg in
+  let wrong = Rsa.decrypt k2.Rsa.secret (Bignum.rem ct k2.Rsa.secret.Rsa.n) in
+  Alcotest.(check bool) "wrong key fails" false (Bignum.equal wrong msg)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "mpk_crypto"
+    [
+      ( "bignum",
+        [
+          tc "of/to int" `Quick test_bignum_of_to_int;
+          tc "compare" `Quick test_bignum_compare;
+          tc "large mul/div" `Quick test_bignum_large_mul_div;
+          tc "sub negative" `Quick test_bignum_sub_negative;
+          tc "invmod" `Quick test_bignum_invmod;
+          tc "random bits" `Quick test_bignum_random_bits;
+          tc "padded bytes" `Quick test_bignum_padded;
+          qtest invmod_property;
+        ]
+        @ List.map qtest arith_props );
+      ( "sha256",
+        [ tc "vectors" `Quick test_sha256_vectors; tc "million a" `Slow test_sha256_long ] );
+      ( "chacha20",
+        [
+          tc "rfc block" `Quick test_chacha20_rfc_block;
+          tc "rfc encrypt" `Quick test_chacha20_rfc_encrypt;
+          qtest chacha_roundtrip;
+        ] );
+      ( "hmac",
+        [
+          tc "rfc4231 tc2" `Quick test_hmac_rfc4231;
+          tc "long key" `Quick test_hmac_long_key;
+          tc "derive" `Quick test_hmac_derive_len;
+        ] );
+      ( "rsa",
+        [
+          tc "miller-rabin" `Quick test_miller_rabin_known;
+          tc "roundtrip" `Quick test_rsa_roundtrip;
+          tc "bytes roundtrip" `Quick test_rsa_bytes_roundtrip;
+          tc "sign/verify" `Quick test_rsa_sign_verify;
+          tc "sign wrong key" `Quick test_rsa_sign_wrong_key;
+          tc "distinct keys" `Quick test_rsa_distinct_keys;
+        ] );
+    ]

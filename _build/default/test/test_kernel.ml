@@ -1,0 +1,664 @@
+(* Tests for mpk_kernel: VMA tree, pkey bitmap (use-after-free semantics),
+   tasks/scheduler (lazy task_work), mm (mprotect semantics and cost
+   shape), syscalls (Table 1 calibration, execute-only gap, pkey_sync). *)
+
+open Mpk_hw
+open Mpk_kernel
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let attrs prot = { Vma.prot; pkey = Pkey.default }
+
+(* --- Vma --- *)
+
+let test_vma_add_find () =
+  let t = Vma.create () in
+  Vma.add t ~start:10 ~pages:5 (attrs Perm.rw);
+  Alcotest.(check bool) "inside" true (Vma.find t 12 <> None);
+  Alcotest.(check bool) "before" true (Vma.find t 9 = None);
+  Alcotest.(check bool) "at end (exclusive)" true (Vma.find t 15 = None);
+  Alcotest.(check int) "count" 1 (Vma.count t)
+
+let test_vma_add_overlap_rejected () =
+  let t = Vma.create () in
+  Vma.add t ~start:10 ~pages:5 (attrs Perm.rw);
+  Alcotest.check_raises "overlap" (Invalid_argument "Vma.add: overlaps an existing area")
+    (fun () -> Vma.add t ~start:12 ~pages:2 (attrs Perm.r))
+
+let test_vma_merge_on_add () =
+  let t = Vma.create () in
+  Vma.add t ~start:10 ~pages:5 (attrs Perm.rw);
+  Vma.add t ~start:15 ~pages:5 (attrs Perm.rw);
+  Alcotest.(check int) "merged" 1 (Vma.count t);
+  Vma.add t ~start:20 ~pages:3 (attrs Perm.r);
+  Alcotest.(check int) "different attrs not merged" 2 (Vma.count t);
+  Alcotest.(check bool) "invariant" true (Vma.invariant t)
+
+let test_vma_guard_gap_no_merge () =
+  let t = Vma.create () in
+  Vma.add t ~start:10 ~pages:2 (attrs Perm.rw);
+  Vma.add t ~start:13 ~pages:2 (attrs Perm.rw);
+  Alcotest.(check int) "gap keeps them apart" 2 (Vma.count t)
+
+let test_vma_set_attrs_splits () =
+  let t = Vma.create () in
+  Vma.add t ~start:0 ~pages:10 (attrs Perm.rw);
+  let touched, splits, _merges =
+    Vma.set_attrs t ~start:3 ~pages:4 (fun a -> { a with Vma.prot = Perm.r })
+  in
+  Alcotest.(check int) "one vma touched" 1 touched;
+  Alcotest.(check int) "two splits" 2 splits;
+  Alcotest.(check int) "three areas now" 3 (Vma.count t);
+  (match Vma.find t 4 with
+  | Some v -> Alcotest.(check string) "middle r" "r--" (Perm.to_string v.Vma.attrs.Vma.prot)
+  | None -> Alcotest.fail "middle missing");
+  Alcotest.(check bool) "invariant" true (Vma.invariant t)
+
+let test_vma_set_attrs_merges_back () =
+  let t = Vma.create () in
+  Vma.add t ~start:0 ~pages:10 (attrs Perm.rw);
+  ignore (Vma.set_attrs t ~start:3 ~pages:4 (fun a -> { a with Vma.prot = Perm.r }));
+  ignore (Vma.set_attrs t ~start:3 ~pages:4 (fun a -> { a with Vma.prot = Perm.rw }));
+  Alcotest.(check int) "merged back to one" 1 (Vma.count t);
+  Alcotest.(check bool) "invariant" true (Vma.invariant t)
+
+let test_vma_set_attrs_uncovered () =
+  let t = Vma.create () in
+  Vma.add t ~start:0 ~pages:5 (attrs Perm.rw);
+  Alcotest.check_raises "hole rejected"
+    (Invalid_argument "Vma.set_attrs: range not fully covered") (fun () ->
+      ignore (Vma.set_attrs t ~start:3 ~pages:5 Fun.id))
+
+let test_vma_remove_range_splits () =
+  let t = Vma.create () in
+  Vma.add t ~start:0 ~pages:10 (attrs Perm.rw);
+  let removed = Vma.remove_range t ~start:4 ~pages:2 in
+  Alcotest.(check int) "one removed piece" 1 (List.length removed);
+  Alcotest.(check int) "two remain" 2 (Vma.count t);
+  Alcotest.(check bool) "hole" true (Vma.find t 5 = None);
+  Alcotest.(check bool) "left intact" true (Vma.find t 3 <> None);
+  Alcotest.(check bool) "right intact" true (Vma.find t 6 <> None)
+
+let test_vma_covered () =
+  let t = Vma.create () in
+  Vma.add t ~start:0 ~pages:5 (attrs Perm.rw);
+  Vma.add t ~start:5 ~pages:5 (attrs Perm.r);
+  Alcotest.(check bool) "covered across boundary" true (Vma.covered t ~start:3 ~pages:4);
+  Alcotest.(check bool) "not covered past end" false (Vma.covered t ~start:8 ~pages:5)
+
+let test_vma_overlapping () =
+  let t = Vma.create () in
+  Vma.add t ~start:0 ~pages:3 (attrs Perm.rw);
+  Vma.add t ~start:5 ~pages:3 (attrs Perm.r);
+  Vma.add t ~start:10 ~pages:3 (attrs Perm.rx);
+  Alcotest.(check int) "two overlap" 2 (List.length (Vma.overlapping t ~start:2 ~pages:5))
+
+let vma_random_ops =
+  QCheck.Test.make ~name:"vma invariant under random ops" ~count:300
+    QCheck.(small_list (triple (int_bound 50) (int_range 1 8) (int_bound 2)))
+    (fun ops ->
+      let t = Vma.create () in
+      List.iter
+        (fun (start, pages, op) ->
+          match op with
+          | 0 -> (
+              try Vma.add t ~start ~pages (attrs Perm.rw) with Invalid_argument _ -> ())
+          | 1 -> ignore (Vma.remove_range t ~start ~pages)
+          | _ ->
+              if Vma.covered t ~start ~pages then
+                ignore (Vma.set_attrs t ~start ~pages (fun a -> { a with Vma.prot = Perm.r })))
+        ops;
+      Vma.invariant t)
+
+(* --- Pkey_bitmap --- *)
+
+let test_bitmap_alloc_order () =
+  let b = Pkey_bitmap.create () in
+  (match Pkey_bitmap.alloc b with
+  | Some k -> Alcotest.(check int) "first is 1" 1 (Pkey.to_int k)
+  | None -> Alcotest.fail "alloc failed");
+  match Pkey_bitmap.alloc b with
+  | Some k -> Alcotest.(check int) "second is 2" 2 (Pkey.to_int k)
+  | None -> Alcotest.fail "alloc failed"
+
+let test_bitmap_exhaustion () =
+  let b = Pkey_bitmap.create () in
+  for _ = 1 to 15 do
+    match Pkey_bitmap.alloc b with
+    | Some _ -> ()
+    | None -> Alcotest.fail "premature exhaustion"
+  done;
+  Alcotest.(check bool) "16th fails" true (Pkey_bitmap.alloc b = None);
+  Alcotest.(check int) "count" 15 (Pkey_bitmap.allocated_count b)
+
+let test_bitmap_free_reuse () =
+  let b = Pkey_bitmap.create () in
+  let k1 = Option.get (Pkey_bitmap.alloc b) in
+  let _k2 = Option.get (Pkey_bitmap.alloc b) in
+  Pkey_bitmap.free b k1;
+  Alcotest.(check bool) "freed" false (Pkey_bitmap.is_allocated b k1);
+  (* freed key is reused — the root of the use-after-free hazard *)
+  let k3 = Option.get (Pkey_bitmap.alloc b) in
+  Alcotest.(check int) "reused lowest" (Pkey.to_int k1) (Pkey.to_int k3)
+
+let test_bitmap_free_errors () =
+  let b = Pkey_bitmap.create () in
+  (try
+     Pkey_bitmap.free b Pkey.default;
+     Alcotest.fail "key 0 freed"
+   with Errno.Error (Errno.EINVAL, _) -> ());
+  try
+    Pkey_bitmap.free b (Pkey.of_int 5);
+    Alcotest.fail "unallocated freed"
+  with Errno.Error (Errno.EINVAL, _) -> ()
+
+(* --- Task / Sched --- *)
+
+let make_proc ?(cores = 4) () =
+  let machine = Machine.create ~cores ~mem_mib:64 () in
+  Proc.create machine
+
+let test_task_pkru_save_restore () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core t0 in
+  Cpu.wrpkru core (Pkru.of_int 0x1234);
+  Sched.schedule_out (Proc.sched proc) t0;
+  Alcotest.(check int) "saved" 0x1234 (Pkru.to_int (Task.saved_pkru t0));
+  Cpu.set_pkru_direct core (Pkru.of_int 0xDEAD);  (* another task's value *)
+  Sched.schedule_in (Proc.sched proc) t0;
+  Alcotest.(check int) "restored" 0x1234 (Pkru.to_int (Cpu.pkru core))
+
+let test_task_work_runs_on_kick () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  let ran = ref false in
+  Task.work_add t1 (fun _ -> ran := true);
+  Alcotest.(check bool) "not yet" false !ran;
+  Sched.kick (Proc.sched proc) ~from:t0 t1;
+  Alcotest.(check bool) "ran after kick" true !ran
+
+let test_task_work_lazy_when_off_cpu () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  Sched.schedule_out (Proc.sched proc) t1;
+  let ran = ref false in
+  Task.work_add t1 (fun _ -> ran := true);
+  Sched.kick (Proc.sched proc) ~from:t0 t1;
+  Alcotest.(check bool) "kick ignored off-cpu" false !ran;
+  Sched.schedule_in (Proc.sched proc) t1;
+  Alcotest.(check bool) "ran at schedule-in" true !ran
+
+let test_task_pkru_helpers () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  Task.set_pkru t0 (Pkru.of_int 0x42);
+  Alcotest.(check int) "on-cpu write hits register" 0x42 (Pkru.to_int (Cpu.pkru (Task.core t0)));
+  Sched.schedule_out (Proc.sched proc) t0;
+  Task.set_pkru t0 (Pkru.of_int 0x43);
+  Alcotest.(check int) "off-cpu write hits task struct" 0x43 (Pkru.to_int (Task.saved_pkru t0))
+
+let test_shootdown_flushes_remote_tlb () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  let tlb1 = Cpu.tlb (Task.core t1) in
+  Tlb.insert tlb1 ~vpn:42 (Pte.make ~frame:1 ~perm:Perm.rw ~pkey:Pkey.default);
+  Sched.shootdown (Proc.sched proc) ~from:t0 t1;
+  Alcotest.(check bool) "remote tlb flushed" true (Tlb.lookup tlb1 ~vpn:42 = None)
+
+(* --- Mm --- *)
+
+let test_mm_mmap_read_write () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let addr = Mm.mmap (Proc.mm proc) core ~len:8192 ~prot:Perm.rw () in
+  let mmu = Proc.mmu proc in
+  Mmu.write_bytes mmu core ~addr (Bytes.of_string "hello");
+  Alcotest.(check string) "rw works" "hello"
+    (Bytes.to_string (Mmu.read_bytes mmu core ~addr ~len:5));
+  (* Demand paging: only the touched page is populated. *)
+  Alcotest.(check int) "one page present after touching one" 1
+    (Mm.mapped_pages (Proc.mm proc));
+  Mmu.write_byte mmu core ~addr:(addr + 4096) 'x';
+  Alcotest.(check int) "both present after touching both" 2
+    (Mm.mapped_pages (Proc.mm proc))
+
+let test_mm_mmap_zeroed () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let addr = Mm.mmap (Proc.mm proc) core ~len:4096 ~prot:Perm.rw () in
+  Alcotest.(check char) "zeroed" '\000' (Mmu.read_byte (Proc.mmu proc) core ~addr)
+
+let test_mm_munmap () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let addr = Mm.mmap (Proc.mm proc) core ~len:4096 ~prot:Perm.rw () in
+  Mm.munmap (Proc.mm proc) core ~addr ~len:4096;
+  (match Mmu.read_byte (Proc.mmu proc) core ~addr with
+  | exception Mmu.Fault { cause = Mmu.Not_present; _ } -> ()
+  | _ -> Alcotest.fail "expected not-present fault");
+  Alcotest.(check int) "frames released" 0 (Physmem.frames_in_use (Machine.mem (Proc.machine proc)))
+
+let test_mm_sparse_vs_contiguous_vmas () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let mm = Proc.mm proc in
+  let before = Vma.count (Mm.vmas mm) in
+  ignore (Mm.mmap mm core ~len:(10 * 4096) ~prot:Perm.rw ());
+  Alcotest.(check int) "contiguous = 1 vma" (before + 1) (Vma.count (Mm.vmas mm));
+  for _ = 1 to 10 do
+    ignore (Mm.mmap mm core ~len:4096 ~prot:Perm.rw ())
+  done;
+  Alcotest.(check int) "sparse = 10 more vmas" (before + 11) (Vma.count (Mm.vmas mm))
+
+let test_mm_change_protection () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let mm = Proc.mm proc in
+  let addr = Mm.mmap mm core ~len:(4 * 4096) ~prot:Perm.rw () in
+  Mm.populate mm core ~addr ~len:(4 * 4096);
+  let r = Mm.change_protection mm core ~addr ~len:(4 * 4096) ~prot:Perm.r in
+  Alcotest.(check int) "4 ptes" 4 r.Mm.ptes_touched;
+  Alcotest.(check int) "1 vma" 1 r.Mm.vmas_touched;
+  Alcotest.(check int) "no splits" 0 r.Mm.splits;
+  match Mmu.write_byte (Proc.mmu proc) core ~addr 'x' with
+  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | _ -> Alcotest.fail "write should fault after mprotect(r)"
+
+let test_mm_change_protection_partial () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let mm = Proc.mm proc in
+  let addr = Mm.mmap mm core ~len:(8 * 4096) ~prot:Perm.rw () in
+  let r = Mm.change_protection mm core ~addr:(addr + 8192) ~len:8192 ~prot:Perm.r in
+  Alcotest.(check int) "splits at both edges" 2 r.Mm.splits;
+  Alcotest.(check bool) "vma invariant" true (Vma.invariant (Mm.vmas mm))
+
+let test_mm_change_protection_flushes_tlb () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let mm = Proc.mm proc in
+  let addr = Mm.mmap mm core ~len:4096 ~prot:Perm.rw () in
+  ignore (Mmu.read_byte (Proc.mmu proc) core ~addr);  (* fill TLB *)
+  ignore (Mm.change_protection mm core ~addr ~len:4096 ~prot:Perm.none);
+  (* Without the flush the stale TLB entry would still allow the read. *)
+  match Mmu.read_byte (Proc.mmu proc) core ~addr with
+  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | _ -> Alcotest.fail "stale TLB entry allowed a revoked access"
+
+let test_mm_unmapped_mprotect_fails () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  match Mm.change_protection (Proc.mm proc) core ~addr:0x999000 ~len:4096 ~prot:Perm.r with
+  | exception Errno.Error (Errno.ENOMEM, _) -> ()
+  | _ -> Alcotest.fail "expected ENOMEM"
+
+let test_mm_assign_pkey () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let mm = Proc.mm proc in
+  let addr = Mm.mmap mm core ~len:8192 ~prot:Perm.rw () in
+  Mm.populate mm core ~addr ~len:8192;
+  let k = Pkey.of_int 6 in
+  ignore (Mm.assign_pkey mm core ~addr ~len:8192 ~pkey:k);
+  let pte = Page_table.get (Mm.page_table mm) ~vpn:(Page_table.vpn_of_addr addr) in
+  Alcotest.(check int) "pte tagged" 6 (Pkey.to_int (Pte.pkey pte));
+  Alcotest.(check string) "perm kept" "rw-" (Perm.to_string (Pte.perm pte))
+
+(* --- shared memory across processes --- *)
+
+let test_shared_mapping_visibility () =
+  let machine = Machine.create ~cores:2 ~mem_mib:64 () in
+  let p1 = Proc.create machine in
+  let p2 = Proc.create machine in
+  let t1 = Proc.spawn p1 ~core_id:0 () in
+  let t2 = Proc.spawn p2 ~core_id:1 () in
+  let a1 = Mm.mmap (Proc.mm p1) (Task.core t1) ~len:8192 ~prot:Perm.rw () in
+  let frames = Mm.frames_of_range (Proc.mm p1) (Task.core t1) ~addr:a1 ~len:8192 in
+  let a2 = Mm.mmap_frames (Proc.mm p2) (Task.core t2) ~frames ~prot:Perm.rw () in
+  (* a write in p1 is visible in p2 — same physical frames *)
+  Mmu.write_bytes (Proc.mmu p1) (Task.core t1) ~addr:a1 (Bytes.of_string "shared!");
+  Alcotest.(check string) "cross-process visibility" "shared!"
+    (Bytes.to_string (Mmu.read_bytes (Proc.mmu p2) (Task.core t2) ~addr:a2 ~len:7));
+  (* and the other direction *)
+  Mmu.write_byte (Proc.mmu p2) (Task.core t2) ~addr:a2 'S';
+  Alcotest.(check char) "reverse direction" 'S' (Mmu.read_byte (Proc.mmu p1) (Task.core t1) ~addr:a1)
+
+let test_shared_mapping_asymmetric_perms () =
+  (* the SDCG pattern: writable in one process, read/execute-only in the
+     other *)
+  let machine = Machine.create ~cores:2 ~mem_mib:64 () in
+  let writer = Proc.create machine in
+  let executor = Proc.create machine in
+  let tw = Proc.spawn writer ~core_id:0 () in
+  let tx = Proc.spawn executor ~core_id:1 () in
+  let aw = Mm.mmap (Proc.mm writer) (Task.core tw) ~len:4096 ~prot:Perm.rw () in
+  let frames = Mm.frames_of_range (Proc.mm writer) (Task.core tw) ~addr:aw ~len:4096 in
+  let ax = Mm.mmap_frames (Proc.mm executor) (Task.core tx) ~frames ~prot:Perm.rx () in
+  Mmu.write_byte (Proc.mmu writer) (Task.core tw) ~addr:aw '\x90';
+  ignore (Mmu.fetch (Proc.mmu executor) (Task.core tx) ~addr:ax ~len:1);
+  match Mmu.write_byte (Proc.mmu executor) (Task.core tx) ~addr:ax 'x' with
+  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | _ -> Alcotest.fail "executor wrote a read-only shared mapping"
+
+let test_shared_frames_refcounted () =
+  let machine = Machine.create ~cores:2 ~mem_mib:64 () in
+  let p1 = Proc.create machine in
+  let p2 = Proc.create machine in
+  let t1 = Proc.spawn p1 ~core_id:0 () in
+  let t2 = Proc.spawn p2 ~core_id:1 () in
+  let mem = Machine.mem machine in
+  let a1 = Mm.mmap (Proc.mm p1) (Task.core t1) ~len:4096 ~prot:Perm.rw () in
+  let frames = Mm.frames_of_range (Proc.mm p1) (Task.core t1) ~addr:a1 ~len:4096 in
+  Alcotest.(check int) "one ref after alloc" 1 (Physmem.refcount mem frames.(0));
+  let a2 = Mm.mmap_frames (Proc.mm p2) (Task.core t2) ~frames ~prot:Perm.r () in
+  Alcotest.(check int) "two refs when shared" 2 (Physmem.refcount mem frames.(0));
+  (* unmapping one side keeps the frame alive for the other *)
+  Mm.munmap (Proc.mm p1) (Task.core t1) ~addr:a1 ~len:4096;
+  Alcotest.(check int) "one ref left" 1 (Physmem.refcount mem frames.(0));
+  Alcotest.(check int) "still in use" 1 (Physmem.frames_in_use mem);
+  Mm.munmap (Proc.mm p2) (Task.core t2) ~addr:a2 ~len:4096;
+  Alcotest.(check int) "freed at zero" 0 (Physmem.frames_in_use mem)
+
+(* --- Syscall: Table 1 calibration --- *)
+
+let calibrated name expected f =
+  Alcotest.test_case name `Quick (fun () ->
+      let proc = make_proc () in
+      let task = Proc.spawn proc ~core_id:0 () in
+      let cycles = f proc task in
+      let tolerance = expected *. 0.02 in
+      if Float.abs (cycles -. expected) > tolerance then
+        Alcotest.failf "%s: got %.1f cycles, want %.1f (±2%%)" name cycles expected)
+
+let measure_task task f = snd (Cpu.measure (Task.core task) f)
+
+let table1_pkey_alloc proc task =
+  measure_task task (fun () ->
+      ignore (Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write))
+
+let table1_pkey_free proc task =
+  let k = Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write in
+  measure_task task (fun () -> Syscall.pkey_free proc task k)
+
+let table1_mprotect proc task =
+  let addr = Syscall.mmap proc task ~len:4096 ~prot:Perm.rw () in
+  Mm.populate (Proc.mm proc) (Task.core task) ~addr ~len:4096;
+  measure_task task (fun () -> Syscall.mprotect proc task ~addr ~len:4096 ~prot:Perm.r)
+
+let table1_pkey_mprotect proc task =
+  let addr = Syscall.mmap proc task ~len:4096 ~prot:Perm.rw () in
+  Mm.populate (Proc.mm proc) (Task.core task) ~addr ~len:4096;
+  let k = Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write in
+  measure_task task (fun () ->
+      Syscall.pkey_mprotect proc task ~addr ~len:4096 ~prot:Perm.rw ~pkey:k)
+
+(* --- Syscall semantics --- *)
+
+let test_pkey_alloc_grants_rights () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let k = Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write in
+  Alcotest.(check bool) "caller has rights" true
+    (Pkru.rights (Task.pkru task) k = Pkru.Read_write)
+
+let test_pkey_mprotect_gates_access () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let mmu = Proc.mmu proc in
+  let addr = Syscall.mmap proc task ~len:4096 ~prot:Perm.rw () in
+  let k = Syscall.pkey_alloc proc task ~init_rights:Pkru.No_access in
+  Syscall.pkey_mprotect proc task ~addr ~len:4096 ~prot:Perm.rw ~pkey:k;
+  (match Mmu.read_byte mmu core ~addr with
+  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | _ -> Alcotest.fail "pkey should deny");
+  Cpu.wrpkru core (Pkru.set_rights (Cpu.pkru core) k Pkru.Read_write);
+  Mmu.write_byte mmu core ~addr 'y'
+
+let test_pkey_mprotect_rejects_key0 () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let addr = Syscall.mmap proc task ~len:4096 ~prot:Perm.rw () in
+  match Syscall.pkey_mprotect proc task ~addr ~len:4096 ~prot:Perm.rw ~pkey:Pkey.default with
+  | exception Errno.Error (Errno.EINVAL, _) -> ()
+  | _ -> Alcotest.fail "key 0 must be rejected"
+
+let test_pkey_mprotect_rejects_unallocated () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let addr = Syscall.mmap proc task ~len:4096 ~prot:Perm.rw () in
+  match
+    Syscall.pkey_mprotect proc task ~addr ~len:4096 ~prot:Perm.rw ~pkey:(Pkey.of_int 9)
+  with
+  | exception Errno.Error (Errno.EINVAL, _) -> ()
+  | _ -> Alcotest.fail "unallocated key must be rejected"
+
+let test_pkey_use_after_free_reproduced () =
+  (* The paper §3.1: pkey_free leaves PTEs tagged; a reallocated key
+     inherits the old group's pages. *)
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let addr = Syscall.mmap proc task ~len:4096 ~prot:Perm.rw () in
+  (* touch the page while it still carries the default key *)
+  Mmu.write_byte (Proc.mmu proc) (Task.core task) ~addr 'v';
+  let k = Syscall.pkey_alloc proc task ~init_rights:Pkru.No_access in
+  Syscall.pkey_mprotect proc task ~addr ~len:4096 ~prot:Perm.rw ~pkey:k;
+  Syscall.pkey_free proc task k;
+  let pte = Page_table.get (Mm.page_table (Proc.mm proc)) ~vpn:(Page_table.vpn_of_addr addr) in
+  Alcotest.(check int) "stale key in PTE" (Pkey.to_int k) (Pkey.to_int (Pte.pkey pte));
+  (* Reallocation hands the same key back: the new owner's rights now
+     govern the *old* pages too. *)
+  let k' = Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write in
+  Alcotest.(check int) "key reused" (Pkey.to_int k) (Pkey.to_int k');
+  Mmu.write_byte (Proc.mmu proc) (Task.core task) ~addr 'x'  (* unintended access works *)
+
+let test_exec_only_memory () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let mmu = Proc.mmu proc in
+  let addr = Syscall.mmap proc task ~len:4096 ~prot:Perm.rw () in
+  Mmu.write_bytes mmu core ~addr (Bytes.of_string "\x90\x90\xc3");
+  Syscall.mprotect proc task ~addr ~len:4096 ~prot:Perm.x_only;
+  ignore (Mmu.fetch mmu core ~addr ~len:3);
+  match Mmu.read_byte mmu core ~addr with
+  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | _ -> Alcotest.fail "exec-only page readable by owner"
+
+let test_exec_only_gap_other_thread () =
+  (* §3.3: no inter-thread synchronization — a thread holding stale
+     rights for the (recycled) execute-only key can still read. *)
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  (* t1 once allocated the key that will become the exec-only key. *)
+  let k = Syscall.pkey_alloc proc t1 ~init_rights:Pkru.Read_write in
+  Syscall.pkey_free proc t1 k;
+  let addr = Syscall.mmap proc t0 ~len:4096 ~prot:Perm.rw () in
+  Mmu.write_bytes (Proc.mmu proc) (Task.core t0) ~addr (Bytes.of_string "secret code");
+  Syscall.mprotect proc t0 ~addr ~len:4096 ~prot:Perm.x_only;
+  (* Owner cannot read... *)
+  (match Mmu.read_byte (Proc.mmu proc) (Task.core t0) ~addr with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "owner read should fault");
+  (* ...but t1 still can: the gap. *)
+  Alcotest.(check char) "other thread reads exec-only memory" 's'
+    (Mmu.read_byte (Proc.mmu proc) (Task.core t1) ~addr)
+
+let test_pkey_sync_updates_all_threads () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  let t2 = Proc.spawn proc ~core_id:2 () in
+  let k = Syscall.pkey_alloc proc t0 ~init_rights:Pkru.Read_write in
+  Syscall.pkey_sync proc t0 ~pkey:k Pkru.Read_only;
+  Alcotest.(check bool) "t1 synced" true (Pkru.rights (Task.pkru t1) k = Pkru.Read_only);
+  Alcotest.(check bool) "t2 synced" true (Pkru.rights (Task.pkru t2) k = Pkru.Read_only)
+
+let test_pkey_sync_lazy_for_descheduled () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  Sched.schedule_out (Proc.sched proc) t1;
+  let k = Syscall.pkey_alloc proc t0 ~init_rights:Pkru.Read_write in
+  Syscall.pkey_sync proc t0 ~pkey:k Pkru.Read_only;
+  (* t1 is off-CPU: the update is queued, not applied... *)
+  Alcotest.(check int) "work queued" 1 (Task.work_pending t1);
+  (* ...and lands before t1 can touch memory again. *)
+  Sched.schedule_in (Proc.sched proc) t1;
+  Alcotest.(check bool) "applied at schedule-in" true
+    (Pkru.rights (Task.pkru t1) k = Pkru.Read_only)
+
+let test_pkey_sync_cost_independent_of_pages () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let _t1 = Proc.spawn proc ~core_id:1 () in
+  let k = Syscall.pkey_alloc proc t0 ~init_rights:Pkru.Read_write in
+  let c1 = measure_task t0 (fun () -> Syscall.pkey_sync proc t0 ~pkey:k Pkru.Read_only) in
+  let c2 = measure_task t0 (fun () -> Syscall.pkey_sync proc t0 ~pkey:k Pkru.Read_write) in
+  Alcotest.(check (float 1e-9)) "constant cost" c1 c2
+
+let test_mprotect_cost_grows_with_pages () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let cost ~populate pages =
+    let addr = Syscall.mmap proc task ~len:(pages * 4096) ~prot:Perm.rw () in
+    if populate then Mm.populate (Proc.mm proc) (Task.core task) ~addr ~len:(pages * 4096);
+    measure_task task (fun () ->
+        Syscall.mprotect proc task ~addr ~len:(pages * 4096) ~prot:Perm.r)
+  in
+  let c1 = cost ~populate:true 1 in
+  let c100 = cost ~populate:true 100 in
+  let c1000 = cost ~populate:true 1000 in
+  Alcotest.(check bool) "100 > 1" true (c100 > c1);
+  Alcotest.(check bool) "1000 > 100" true (c1000 > c100)
+
+let test_mprotect_untouched_vs_populated () =
+  (* The Fig 10 / Fig 14 reconciliation: change_protection pays per
+     present PTE, so mprotect over an untouched GB-scale mapping is
+     orders cheaper than over a populated one. *)
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let pages = 10_000 in
+  let cost ~populate =
+    let addr = Syscall.mmap proc task ~len:(pages * 4096) ~prot:Perm.rw () in
+    if populate then Mm.populate (Proc.mm proc) (Task.core task) ~addr ~len:(pages * 4096);
+    measure_task task (fun () ->
+        Syscall.mprotect proc task ~addr ~len:(pages * 4096) ~prot:Perm.r)
+  in
+  let untouched = cost ~populate:false in
+  let populated = cost ~populate:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "populated (%.0f) >> untouched (%.0f)" populated untouched)
+    true
+    (populated > 10.0 *. untouched)
+
+let test_demand_paging_fault_cost () =
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let core = Task.core task in
+  let addr = Syscall.mmap proc task ~len:4096 ~prot:Perm.rw () in
+  let costs = Cpu.costs core in
+  let first = measure_task task (fun () -> ignore (Mmu.read_byte (Proc.mmu proc) core ~addr)) in
+  let second = measure_task task (fun () -> ignore (Mmu.read_byte (Proc.mmu proc) core ~addr)) in
+  Alcotest.(check bool) "first touch pays the page fault" true
+    (first >= costs.Costs.page_fault);
+  Alcotest.(check bool) "second touch does not" true (second < 10.0)
+
+let test_syscall_counter () =
+  Syscall.reset_count ();
+  let proc = make_proc () in
+  let task = Proc.spawn proc ~core_id:0 () in
+  ignore (Syscall.mmap proc task ~len:4096 ~prot:Perm.rw ());
+  ignore (Syscall.pkey_alloc proc task ~init_rights:Pkru.No_access);
+  Alcotest.(check int) "two syscalls" 2 (Syscall.count ())
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "mpk_kernel"
+    [
+      ( "vma",
+        [
+          tc "add/find" `Quick test_vma_add_find;
+          tc "overlap rejected" `Quick test_vma_add_overlap_rejected;
+          tc "merge on add" `Quick test_vma_merge_on_add;
+          tc "guard gap" `Quick test_vma_guard_gap_no_merge;
+          tc "set_attrs splits" `Quick test_vma_set_attrs_splits;
+          tc "set_attrs merges back" `Quick test_vma_set_attrs_merges_back;
+          tc "set_attrs uncovered" `Quick test_vma_set_attrs_uncovered;
+          tc "remove_range splits" `Quick test_vma_remove_range_splits;
+          tc "covered" `Quick test_vma_covered;
+          tc "overlapping" `Quick test_vma_overlapping;
+          qtest vma_random_ops;
+        ] );
+      ( "pkey_bitmap",
+        [
+          tc "alloc order" `Quick test_bitmap_alloc_order;
+          tc "exhaustion" `Quick test_bitmap_exhaustion;
+          tc "free/reuse" `Quick test_bitmap_free_reuse;
+          tc "free errors" `Quick test_bitmap_free_errors;
+        ] );
+      ( "task_sched",
+        [
+          tc "pkru save/restore" `Quick test_task_pkru_save_restore;
+          tc "task_work on kick" `Quick test_task_work_runs_on_kick;
+          tc "task_work lazy off-cpu" `Quick test_task_work_lazy_when_off_cpu;
+          tc "set_pkru placement" `Quick test_task_pkru_helpers;
+          tc "shootdown flushes tlb" `Quick test_shootdown_flushes_remote_tlb;
+        ] );
+      ( "mm",
+        [
+          tc "mmap rw" `Quick test_mm_mmap_read_write;
+          tc "mmap zeroed" `Quick test_mm_mmap_zeroed;
+          tc "munmap" `Quick test_mm_munmap;
+          tc "sparse vs contiguous" `Quick test_mm_sparse_vs_contiguous_vmas;
+          tc "change_protection" `Quick test_mm_change_protection;
+          tc "partial split" `Quick test_mm_change_protection_partial;
+          tc "tlb flushed" `Quick test_mm_change_protection_flushes_tlb;
+          tc "unmapped fails" `Quick test_mm_unmapped_mprotect_fails;
+          tc "assign pkey" `Quick test_mm_assign_pkey;
+        ] );
+      ( "shared_memory",
+        [
+          tc "cross-process visibility" `Quick test_shared_mapping_visibility;
+          tc "asymmetric permissions" `Quick test_shared_mapping_asymmetric_perms;
+          tc "refcounted frames" `Quick test_shared_frames_refcounted;
+        ] );
+      ( "table1_calibration",
+        [
+          calibrated "pkey_alloc = 186.3" 186.3 table1_pkey_alloc;
+          calibrated "pkey_free = 137.2" 137.2 table1_pkey_free;
+          calibrated "mprotect = 1094.0" 1094.0 table1_mprotect;
+          calibrated "pkey_mprotect = 1104.9" 1104.9 table1_pkey_mprotect;
+        ] );
+      ( "syscalls",
+        [
+          tc "pkey_alloc rights" `Quick test_pkey_alloc_grants_rights;
+          tc "pkey_mprotect gates" `Quick test_pkey_mprotect_gates_access;
+          tc "rejects key 0" `Quick test_pkey_mprotect_rejects_key0;
+          tc "rejects unallocated" `Quick test_pkey_mprotect_rejects_unallocated;
+          tc "use-after-free reproduced" `Quick test_pkey_use_after_free_reproduced;
+          tc "exec-only memory" `Quick test_exec_only_memory;
+          tc "exec-only gap" `Quick test_exec_only_gap_other_thread;
+          tc "pkey_sync all threads" `Quick test_pkey_sync_updates_all_threads;
+          tc "pkey_sync lazy" `Quick test_pkey_sync_lazy_for_descheduled;
+          tc "pkey_sync page-independent" `Quick test_pkey_sync_cost_independent_of_pages;
+          tc "mprotect grows with pages" `Quick test_mprotect_cost_grows_with_pages;
+          tc "untouched vs populated" `Quick test_mprotect_untouched_vs_populated;
+          tc "demand paging fault cost" `Quick test_demand_paging_fault_cost;
+          tc "syscall counter" `Quick test_syscall_counter;
+        ] );
+    ]

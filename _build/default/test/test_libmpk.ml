@@ -1,0 +1,693 @@
+(* Tests for the libmpk core library: key cache, heap, metadata
+   protection, and the eight APIs — including the security properties the
+   paper claims (thread-local isolation, no key-use-after-free, metadata
+   immune to corruption, synchronized mpk_mprotect, scalability past 16
+   groups). *)
+
+open Mpk_hw
+open Mpk_kernel
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let page = Physmem.page_size
+
+let make_env ?(cores = 4) ?(threads = 1) ?vkeys ?(evict_rate = 1.0) () =
+  let machine = Machine.create ~cores ~mem_mib:256 () in
+  let proc = Proc.create machine in
+  let main = Proc.spawn proc ~core_id:0 () in
+  let others = List.init (threads - 1) (fun i -> Proc.spawn proc ~core_id:(i + 1) ()) in
+  let mpk = Libmpk.init ?vkeys ~evict_rate proc main in
+  mpk, proc, main, others
+
+(* --- Key_cache --- *)
+
+let keys n = List.filteri (fun i _ -> i < n) Pkey.allocatable
+
+let test_cache_fresh_then_hit () =
+  let c = Libmpk.Key_cache.create ~keys:(keys 2) () in
+  (match Libmpk.Key_cache.acquire c 100 with
+  | Libmpk.Key_cache.Fresh _ -> ()
+  | _ -> Alcotest.fail "expected fresh");
+  (match Libmpk.Key_cache.acquire c 100 with
+  | Libmpk.Key_cache.Hit _ -> ()
+  | _ -> Alcotest.fail "expected hit");
+  Alcotest.(check int) "hits" 1 (Libmpk.Key_cache.hits c);
+  Alcotest.(check int) "misses" 1 (Libmpk.Key_cache.misses c)
+
+let test_cache_lru_eviction () =
+  let c = Libmpk.Key_cache.create ~keys:(keys 2) () in
+  ignore (Libmpk.Key_cache.acquire c 1);
+  ignore (Libmpk.Key_cache.acquire c 2);
+  ignore (Libmpk.Key_cache.acquire c 1);  (* 2 becomes LRU *)
+  (match Libmpk.Key_cache.acquire c 3 with
+  | Libmpk.Key_cache.Evicted (_, victim) -> Alcotest.(check int) "victim is 2" 2 victim
+  | _ -> Alcotest.fail "expected eviction");
+  Alcotest.(check int) "evictions" 1 (Libmpk.Key_cache.evictions c)
+
+let test_cache_pin_blocks_eviction () =
+  let c = Libmpk.Key_cache.create ~keys:(keys 1) () in
+  ignore (Libmpk.Key_cache.acquire c 1);
+  Libmpk.Key_cache.pin c 1;
+  (match Libmpk.Key_cache.acquire c 2 with
+  | Libmpk.Key_cache.Full -> ()
+  | _ -> Alcotest.fail "pinned mapping must not be evicted");
+  Libmpk.Key_cache.unpin c 1;
+  match Libmpk.Key_cache.acquire c 2 with
+  | Libmpk.Key_cache.Evicted (_, 1) -> ()
+  | _ -> Alcotest.fail "unpinned mapping should be evictable"
+
+let test_cache_may_evict_false () =
+  let c = Libmpk.Key_cache.create ~keys:(keys 1) () in
+  ignore (Libmpk.Key_cache.acquire c 1);
+  match Libmpk.Key_cache.acquire c ~may_evict:false 2 with
+  | Libmpk.Key_cache.Full -> ()
+  | _ -> Alcotest.fail "may_evict:false must not evict"
+
+let test_cache_release () =
+  let c = Libmpk.Key_cache.create ~keys:(keys 1) () in
+  ignore (Libmpk.Key_cache.acquire c 1);
+  Libmpk.Key_cache.release c 1;
+  match Libmpk.Key_cache.acquire c 2 with
+  | Libmpk.Key_cache.Fresh _ -> ()
+  | _ -> Alcotest.fail "released key should be free"
+
+let test_cache_nested_pins () =
+  let c = Libmpk.Key_cache.create ~keys:(keys 1) () in
+  ignore (Libmpk.Key_cache.acquire c 1);
+  Libmpk.Key_cache.pin c 1;
+  Libmpk.Key_cache.pin c 1;
+  Libmpk.Key_cache.unpin c 1;
+  Alcotest.(check bool) "still pinned" true (Libmpk.Key_cache.pinned c 1);
+  Libmpk.Key_cache.unpin c 1;
+  Alcotest.(check bool) "unpinned" false (Libmpk.Key_cache.pinned c 1)
+
+let test_cache_reserve () =
+  let c = Libmpk.Key_cache.create ~keys:(keys 2) () in
+  ignore (Libmpk.Key_cache.acquire c 1);
+  ignore (Libmpk.Key_cache.acquire c 2);
+  (match Libmpk.Key_cache.reserve c with
+  | Some (_, Some _victim) -> ()
+  | Some (_, None) -> Alcotest.fail "expected an eviction"
+  | None -> Alcotest.fail "reserve failed");
+  Alcotest.(check int) "capacity shrank" 1
+    (Libmpk.Key_cache.capacity c)
+
+let cache_lru_property =
+  QCheck.Test.make ~name:"cache never exceeds capacity; hit after acquire" ~count:300
+    QCheck.(small_list (int_bound 30))
+    (fun vkeys ->
+      let c = Libmpk.Key_cache.create ~keys:(keys 5) () in
+      List.for_all
+        (fun v ->
+          (match Libmpk.Key_cache.acquire c v with
+          | Libmpk.Key_cache.Full -> false
+          | _ -> true)
+          && Libmpk.Key_cache.in_use c <= 5
+          &&
+          match Libmpk.Key_cache.acquire c v with
+          | Libmpk.Key_cache.Hit _ -> true
+          | _ -> false)
+        vkeys)
+
+(* --- Mpk_heap --- *)
+
+let test_heap_alloc_free () =
+  let h = Libmpk.Mpk_heap.create ~base:0x1000 ~len:4096 in
+  let a = Option.get (Libmpk.Mpk_heap.alloc h ~size:100) in
+  let b = Option.get (Libmpk.Mpk_heap.alloc h ~size:100) in
+  Alcotest.(check bool) "disjoint" true (abs (a - b) >= 100);
+  Libmpk.Mpk_heap.free h ~addr:a;
+  Libmpk.Mpk_heap.free h ~addr:b;
+  Alcotest.(check int) "all free" 4096 (Libmpk.Mpk_heap.free_bytes h);
+  Alcotest.(check bool) "invariant" true (Libmpk.Mpk_heap.invariant h)
+
+let test_heap_exhaustion () =
+  let h = Libmpk.Mpk_heap.create ~base:0 ~len:64 in
+  let a = Libmpk.Mpk_heap.alloc h ~size:48 in
+  Alcotest.(check bool) "first fits" true (a <> None);
+  Alcotest.(check bool) "second does not" true (Libmpk.Mpk_heap.alloc h ~size:48 = None)
+
+let test_heap_double_free () =
+  let h = Libmpk.Mpk_heap.create ~base:0 ~len:256 in
+  let a = Option.get (Libmpk.Mpk_heap.alloc h ~size:16) in
+  Libmpk.Mpk_heap.free h ~addr:a;
+  Alcotest.check_raises "double free" (Invalid_argument "Mpk_heap.free: not an allocated block")
+    (fun () -> Libmpk.Mpk_heap.free h ~addr:a)
+
+let test_heap_coalescing () =
+  let h = Libmpk.Mpk_heap.create ~base:0 ~len:256 in
+  let a = Option.get (Libmpk.Mpk_heap.alloc h ~size:64) in
+  let b = Option.get (Libmpk.Mpk_heap.alloc h ~size:64) in
+  let c = Option.get (Libmpk.Mpk_heap.alloc h ~size:64) in
+  ignore c;
+  Libmpk.Mpk_heap.free h ~addr:a;
+  Libmpk.Mpk_heap.free h ~addr:b;
+  (* a and b coalesce: a 128-byte block must fit in front *)
+  Alcotest.(check bool) "coalesced" true (Libmpk.Mpk_heap.alloc h ~size:128 <> None);
+  Alcotest.(check bool) "invariant" true (Libmpk.Mpk_heap.invariant h)
+
+let heap_invariant_property =
+  QCheck.Test.make ~name:"heap invariant under random alloc/free" ~count:300
+    QCheck.(small_list (pair (int_range 1 200) bool))
+    (fun ops ->
+      let h = Libmpk.Mpk_heap.create ~base:0x4000 ~len:4096 in
+      let live = ref [] in
+      List.iter
+        (fun (size, do_alloc) ->
+          if do_alloc || !live = [] then (
+            match Libmpk.Mpk_heap.alloc h ~size with
+            | Some a -> live := a :: !live
+            | None -> ())
+          else
+            match !live with
+            | a :: rest ->
+                Libmpk.Mpk_heap.free h ~addr:a;
+                live := rest
+            | [] -> ())
+        ops;
+      Libmpk.Mpk_heap.invariant h)
+
+let group_serialize_roundtrip =
+  QCheck.Test.make ~name:"group metadata serialize/deserialize" ~count:300
+    QCheck.(quad (int_bound 10000) (int_bound 0xFFFFF) (int_range 1 1000) (int_bound 7))
+    (fun (vkey, base_pages, pages, p) ->
+      let prot =
+        Perm.make ~read:(p land 1 <> 0) ~write:(p land 2 <> 0) ~exec:(p land 4 <> 0) ()
+      in
+      let g = Libmpk.Group.make ~vkey ~base:(base_pages * page) ~pages ~prot in
+      match Libmpk.Group.deserialize (Libmpk.Group.serialize g) with
+      | Some (v, b, n, pr, pk) ->
+          v = vkey && b = base_pages * page && n = pages && Perm.equal pr prot && pk = 0
+      | None -> false)
+
+(* --- init --- *)
+
+let test_init_takes_all_keys () =
+  let mpk, proc, _, _ = make_env () in
+  Alcotest.(check int) "kernel bitmap full" 15
+    (Pkey_bitmap.allocated_count (Proc.pkey_bitmap proc));
+  Alcotest.(check int) "cache capacity 15" 15 (Libmpk.Key_cache.capacity (Libmpk.cache mpk))
+
+let test_init_evict_rate_default () =
+  let machine = Machine.create ~cores:2 ~mem_mib:64 () in
+  let proc = Proc.create machine in
+  let main = Proc.spawn proc ~core_id:0 () in
+  let mpk = Libmpk.init ~evict_rate:(-1.0) proc main in
+  Alcotest.(check (float 1e-9)) "negative means 1.0" 1.0 (Libmpk.evict_rate mpk)
+
+(* --- mpk_mmap / mpk_munmap --- *)
+
+let test_mmap_creates_inaccessible_group () =
+  let mpk, proc, main, _ = make_env () in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  (* Before mpk_begin nobody can touch the group. *)
+  match Mmu.read_byte (Proc.mmu proc) (Task.core main) ~addr with
+  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | _ -> Alcotest.fail "group accessible before mpk_begin"
+
+let test_mmap_duplicate_vkey_rejected () =
+  let mpk, _, main, _ = make_env () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw);
+  match Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw with
+  | exception Errno.Error (Errno.EINVAL, _) -> ()
+  | _ -> Alcotest.fail "duplicate vkey accepted"
+
+let test_munmap_frees_everything () =
+  let mpk, proc, main, _ = make_env () in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_munmap mpk main ~vkey:1;
+  Alcotest.(check int) "group gone" 0 (Libmpk.group_count mpk);
+  (match Mmu.read_byte (Proc.mmu proc) (Task.core main) ~addr with
+  | exception Mmu.Fault { cause = Mmu.Not_present; _ } -> ()
+  | _ -> Alcotest.fail "pages still mapped");
+  (* vkey and hardware key are reusable afterwards *)
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw)
+
+let test_munmap_missing_vkey () =
+  let mpk, _, main, _ = make_env () in
+  match Libmpk.mpk_munmap mpk main ~vkey:9 with
+  | exception Errno.Error (Errno.ENOENT, _) -> ()
+  | _ -> Alcotest.fail "expected ENOENT"
+
+(* --- mpk_begin / mpk_end: domain isolation --- *)
+
+let test_begin_end_basic () =
+  let mpk, proc, main, _ = make_env () in
+  let mmu = Proc.mmu proc in
+  let core = Task.core main in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_bytes mmu core ~addr (Bytes.of_string "secret");
+  Alcotest.(check string) "read inside domain" "secret"
+    (Bytes.to_string (Mmu.read_bytes mmu core ~addr ~len:6));
+  Libmpk.mpk_end mpk main ~vkey:1;
+  match Mmu.read_byte mmu core ~addr with
+  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | _ -> Alcotest.fail "accessible after mpk_end (paper Fig 5 says SEGFAULT)"
+
+let test_begin_is_thread_local () =
+  (* The core security property: another thread does NOT gain access when
+     one thread opens a domain. *)
+  let mpk, proc, main, others = make_env ~threads:2 () in
+  let other = List.hd others in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_byte (Proc.mmu proc) (Task.core main) ~addr 's';
+  (match Mmu.read_byte (Proc.mmu proc) (Task.core other) ~addr with
+  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | _ -> Alcotest.fail "other thread can read an open domain");
+  Libmpk.mpk_end mpk main ~vkey:1
+
+let test_begin_read_only () =
+  let mpk, proc, main, _ = make_env () in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.r;
+  ignore (Mmu.read_byte (Proc.mmu proc) (Task.core main) ~addr);
+  (match Mmu.write_byte (Proc.mmu proc) (Task.core main) ~addr 'x' with
+  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | _ -> Alcotest.fail "read-only domain allowed a write");
+  Libmpk.mpk_end mpk main ~vkey:1
+
+let test_begin_beyond_group_prot () =
+  let mpk, _, main, _ = make_env () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.r);
+  match Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw with
+  | exception Errno.Error (Errno.EACCES, _) -> ()
+  | _ -> Alcotest.fail "begin exceeded group permission"
+
+let test_end_without_begin () =
+  let mpk, _, main, _ = make_env () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw);
+  match Libmpk.mpk_end mpk main ~vkey:1 with
+  | exception Errno.Error (Errno.EINVAL, _) -> ()
+  | _ -> Alcotest.fail "mpk_end without begin accepted"
+
+let test_key_exhaustion_exception () =
+  let mpk, _, main, _ = make_env () in
+  for v = 1 to 15 do
+    ignore (Libmpk.mpk_mmap mpk main ~vkey:v ~len:page ~prot:Perm.rw);
+    Libmpk.mpk_begin mpk main ~vkey:v ~prot:Perm.rw
+  done;
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:16 ~len:page ~prot:Perm.rw);
+  (match Libmpk.mpk_begin mpk main ~vkey:16 ~prot:Perm.rw with
+  | exception Libmpk.Key_exhausted -> ()
+  | _ -> Alcotest.fail "expected Key_exhausted");
+  (* Ending one domain frees a key; begin now succeeds. *)
+  Libmpk.mpk_end mpk main ~vkey:3;
+  Libmpk.mpk_begin mpk main ~vkey:16 ~prot:Perm.rw
+
+(* --- Scalability: more groups than hardware keys --- *)
+
+let test_virtualization_past_16_groups () =
+  let mpk, proc, main, _ = make_env () in
+  let mmu = Proc.mmu proc in
+  let core = Task.core main in
+  let n = 40 in
+  let addrs = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    addrs.(v) <- Libmpk.mpk_mmap mpk main ~vkey:v ~len:page ~prot:Perm.rw;
+    Libmpk.mpk_begin mpk main ~vkey:v ~prot:Perm.rw;
+    Mmu.write_byte mmu core ~addr:addrs.(v) (Char.chr (v land 0xff));
+    Libmpk.mpk_end mpk main ~vkey:v
+  done;
+  Alcotest.(check int) "40 groups live" n (Libmpk.group_count mpk);
+  (* Every group keeps its data and its isolation, mapped or evicted. *)
+  for v = 1 to n do
+    (match Mmu.read_byte mmu core ~addr:addrs.(v) with
+    | exception Mmu.Fault _ -> ()
+    | _ -> Alcotest.failf "group %d accessible outside a domain" v);
+    Libmpk.mpk_begin mpk main ~vkey:v ~prot:Perm.r;
+    Alcotest.(check char) "data survives eviction cycles" (Char.chr (v land 0xff))
+      (Mmu.read_byte mmu core ~addr:addrs.(v));
+    Libmpk.mpk_end mpk main ~vkey:v
+  done
+
+let test_no_key_use_after_free_via_libmpk () =
+  (* The hazard of the raw API (see test_kernel) cannot happen through
+     libmpk: recycling a hardware key scrubs rights and retags pages. *)
+  let mpk, proc, main, _ = make_env () in
+  let mmu = Proc.mmu proc in
+  let core = Task.core main in
+  (* Group 1 gets a key and an open domain... then closes. *)
+  let addr1 = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;
+  Libmpk.mpk_end mpk main ~vkey:1;
+  (* Force 15 other groups through begin to evict group 1's key. *)
+  for v = 2 to 16 do
+    ignore (Libmpk.mpk_mmap mpk main ~vkey:v ~len:page ~prot:Perm.rw);
+    Libmpk.mpk_begin mpk main ~vkey:v ~prot:Perm.rw;
+    Libmpk.mpk_end mpk main ~vkey:v
+  done;
+  (* Group 1's pages must not have become accessible through any stale
+     key/rights pair. *)
+  match Mmu.read_byte mmu core ~addr:addr1 with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "evicted group readable: key-use-after-free through libmpk"
+
+(* --- Metadata protection --- *)
+
+let test_metadata_user_write_faults () =
+  let mpk, proc, main, _ = make_env () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw);
+  let md = Libmpk.metadata mpk in
+  let addr = Libmpk.Metadata.slot_addr md ~slot:0 in
+  match Mmu.write_byte (Proc.mmu proc) (Task.core main) ~addr 'X' with
+  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | _ -> Alcotest.fail "metadata writable from userspace"
+
+let test_metadata_user_read_ok () =
+  let mpk, _, main, _ = make_env () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:7 ~len:(2 * page) ~prot:Perm.rw);
+  let md = Libmpk.metadata mpk in
+  match Libmpk.Metadata.read_slot md main ~slot:0 with
+  | Some (vkey, _, pages, prot, _) ->
+      Alcotest.(check int) "vkey" 7 vkey;
+      Alcotest.(check int) "pages" 2 pages;
+      Alcotest.(check string) "prot" "rw-" (Perm.to_string prot)
+  | None -> Alcotest.fail "slot empty"
+
+let test_metadata_tracks_updates () =
+  let mpk, _, main, _ = make_env () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:7 ~len:page ~prot:Perm.rw);
+  Libmpk.mpk_mprotect mpk main ~vkey:7 ~prot:Perm.r;
+  let md = Libmpk.metadata mpk in
+  match Libmpk.Metadata.read_slot md main ~slot:0 with
+  | Some (_, _, _, prot, _) -> Alcotest.(check string) "prot updated" "r--" (Perm.to_string prot)
+  | None -> Alcotest.fail "slot empty"
+
+let test_metadata_grows () =
+  let mpk, _, main, _ = make_env () in
+  let md = Libmpk.metadata mpk in
+  let initial = Libmpk.Metadata.capacity_slots md in
+  (* Many small groups force a doubling of the metadata region. *)
+  for v = 1 to initial + 1 do
+    ignore (Libmpk.mpk_mmap mpk main ~vkey:v ~len:page ~prot:Perm.rw)
+  done;
+  Alcotest.(check bool) "capacity doubled" true
+    (Libmpk.Metadata.capacity_slots md > initial);
+  Alcotest.(check int) "records preserved" (initial + 1) (Libmpk.Metadata.used_slots md)
+
+(* --- Hardcoded vkey registry --- *)
+
+let test_registry_rejects_unknown () =
+  let mpk, _, main, _ = make_env ~vkeys:[ 100; 101 ] () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:100 ~len:page ~prot:Perm.rw);
+  match Libmpk.mpk_mmap mpk main ~vkey:999 ~len:page ~prot:Perm.rw with
+  | exception Libmpk.Unregistered_vkey 999 -> ()
+  | _ -> Alcotest.fail "unregistered vkey accepted"
+
+let test_registry_blocks_corrupted_key_use () =
+  (* Protection-key corruption: even if an attacker overwrites a vkey an
+     application stored in writable memory, using the corrupted value is
+     caught by the load-time-hardcoded registry. *)
+  let mpk, _, main, _ = make_env ~vkeys:[ 100 ] () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:100 ~len:page ~prot:Perm.rw);
+  let corrupted = 100 + 7 in
+  match Libmpk.mpk_begin mpk main ~vkey:corrupted ~prot:Perm.rw with
+  | exception Libmpk.Unregistered_vkey _ -> ()
+  | _ -> Alcotest.fail "corrupted vkey slipped through"
+
+(* --- mpk_mprotect --- *)
+
+let test_mprotect_global_semantics () =
+  (* mprotect-style: the new permission binds every thread, unlike
+     mpk_begin. *)
+  let mpk, proc, main, others = make_env ~threads:2 () in
+  let other = List.hd others in
+  let mmu = Proc.mmu proc in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_byte mmu (Task.core main) ~addr 'a';
+  Mmu.write_byte mmu (Task.core other) ~addr 'b';  (* both threads can write *)
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.r;
+  ignore (Mmu.read_byte mmu (Task.core other) ~addr);
+  (match Mmu.write_byte mmu (Task.core other) ~addr 'c' with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "other thread wrote after global r--");
+  match Mmu.write_byte mmu (Task.core main) ~addr 'c' with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "caller wrote after global r--"
+
+let test_mprotect_lazy_sync_descheduled () =
+  let mpk, proc, main, others = make_env ~threads:2 () in
+  let other = List.hd others in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rw;
+  Sched.schedule_out (Proc.sched proc) other;
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.none;
+  (* other is off-CPU; the rights update is queued and applied before it
+     can run again. *)
+  Sched.schedule_in (Proc.sched proc) other;
+  match Mmu.read_byte (Proc.mmu proc) (Task.core other) ~addr with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "descheduled thread kept stale access"
+
+let test_mprotect_exec_bit_change () =
+  let mpk, proc, main, _ = make_env () in
+  let mmu = Proc.mmu proc in
+  let core = Task.core main in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_bytes mmu core ~addr (Bytes.of_string "\xc3");
+  (match Mmu.fetch mmu core ~addr ~len:1 with
+  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | _ -> Alcotest.fail "fetch before exec granted");
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rwx;
+  ignore (Mmu.fetch mmu core ~addr ~len:1)
+
+let test_mprotect_exec_only_reserved_key () =
+  let mpk, proc, main, others = make_env ~threads:2 () in
+  let other = List.hd others in
+  let mmu = Proc.mmu proc in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_bytes mmu (Task.core main) ~addr (Bytes.of_string "\x90\xc3");
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.x_only;
+  Alcotest.(check bool) "reserved key exists" true (Libmpk.xonly_key mpk <> None);
+  (* fetch works for everyone; read works for NO ONE — unlike the raw
+     kernel's unsynchronized execute-only memory. *)
+  ignore (Mmu.fetch mmu (Task.core main) ~addr ~len:2);
+  ignore (Mmu.fetch mmu (Task.core other) ~addr ~len:2);
+  (match Mmu.read_byte mmu (Task.core main) ~addr with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "owner read exec-only");
+  (match Mmu.read_byte mmu (Task.core other) ~addr with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "other thread read exec-only (the gap libmpk closes)");
+  (* A second exec-only group shares the reserved key. *)
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:2 ~len:page ~prot:Perm.rw);
+  let k_before = Libmpk.xonly_key mpk in
+  Libmpk.mpk_mprotect mpk main ~vkey:2 ~prot:Perm.x_only;
+  Alcotest.(check bool) "same reserved key" true (Libmpk.xonly_key mpk = k_before);
+  (* Leaving exec-only returns the reserve once no group uses it. *)
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rw;
+  Alcotest.(check bool) "still reserved (one group left)" true (Libmpk.xonly_key mpk <> None);
+  Libmpk.mpk_mprotect mpk main ~vkey:2 ~prot:Perm.rw;
+  Alcotest.(check bool) "reserve released" true (Libmpk.xonly_key mpk = None)
+
+let test_mprotect_eviction_rate_zero_falls_back () =
+  (* With evict_rate = 0 a miss never evicts: it must fall back to plain
+     mprotect, still giving correct global semantics. *)
+  let mpk, proc, main, _ = make_env ~evict_rate:0.0 () in
+  let mmu = Proc.mmu proc in
+  let core = Task.core main in
+  (* Fill all 15 keys. *)
+  for v = 1 to 15 do
+    ignore (Libmpk.mpk_mmap mpk main ~vkey:v ~len:page ~prot:Perm.rw)
+  done;
+  let addr16 = Libmpk.mpk_mmap mpk main ~vkey:16 ~len:page ~prot:Perm.rw in
+  let ev_before = Libmpk.Key_cache.evictions (Libmpk.cache mpk) in
+  Libmpk.mpk_mprotect mpk main ~vkey:16 ~prot:Perm.rw;
+  Mmu.write_byte mmu core ~addr:addr16 'x';
+  Libmpk.mpk_mprotect mpk main ~vkey:16 ~prot:Perm.none;
+  (match Mmu.read_byte mmu core ~addr:addr16 with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "permission not enforced by fallback");
+  Alcotest.(check int) "no evictions happened" ev_before
+    (Libmpk.Key_cache.evictions (Libmpk.cache mpk))
+
+let test_mprotect_during_begin_rejected () =
+  let mpk, _, main, _ = make_env () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw);
+  Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;
+  match Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.r with
+  | exception Errno.Error (Errno.EINVAL, _) -> ()
+  | _ -> Alcotest.fail "mpk_mprotect inside an open domain accepted"
+
+let test_mprotect_hit_is_fast () =
+  (* Fig 8 fast path: single-thread hit ≈ user bookkeeping + WRPKRU,
+     an order of magnitude under mprotect's 1094 cycles. *)
+  let mpk, _, main, _ = make_env ~threads:1 () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw);
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rw;  (* warm *)
+  let _, cycles =
+    Cpu.measure (Task.core main) (fun () ->
+        Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.r)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "hit cost %.1f < 150 cycles" cycles)
+    true (cycles < 150.0)
+
+(* --- mpk_malloc / mpk_free --- *)
+
+let test_malloc_free_basic () =
+  let mpk, proc, main, _ = make_env () in
+  let mmu = Proc.mmu proc in
+  let core = Task.core main in
+  let a = Libmpk.mpk_malloc mpk main ~vkey:1 ~size:128 in
+  Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_bytes mmu core ~addr:a (Bytes.of_string "key material");
+  Alcotest.(check string) "readback" "key material"
+    (Bytes.to_string (Mmu.read_bytes mmu core ~addr:a ~len:12));
+  Libmpk.mpk_end mpk main ~vkey:1;
+  (match Mmu.read_byte mmu core ~addr:a with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "heap block accessible outside domain");
+  Libmpk.mpk_free mpk main ~vkey:1 ~addr:a
+
+let test_malloc_distinct_blocks () =
+  let mpk, _, main, _ = make_env () in
+  let a = Libmpk.mpk_malloc mpk main ~vkey:1 ~size:64 in
+  let b = Libmpk.mpk_malloc mpk main ~vkey:1 ~size:64 in
+  Alcotest.(check bool) "disjoint" true (a <> b)
+
+let test_malloc_enomem_on_full_heap () =
+  (* a 1-page default heap: the second large block cannot fit *)
+  let machine = Machine.create ~cores:2 ~mem_mib:64 () in
+  let proc = Proc.create machine in
+  let main = Proc.spawn proc ~core_id:0 () in
+  let mpk = Libmpk.init ~default_heap_bytes:page ~evict_rate:1.0 proc main in
+  ignore (Libmpk.mpk_malloc mpk main ~vkey:1 ~size:3000);
+  match Libmpk.mpk_malloc mpk main ~vkey:1 ~size:3000 with
+  | exception Errno.Error (Errno.ENOMEM, _) -> ()
+  | _ -> Alcotest.fail "expected ENOMEM from a full group heap"
+
+let test_malloc_respects_registry () =
+  let mpk, _, main, _ = make_env ~vkeys:[ 7 ] () in
+  ignore (Libmpk.mpk_malloc mpk main ~vkey:7 ~size:64);
+  match Libmpk.mpk_malloc mpk main ~vkey:8 ~size:64 with
+  | exception Libmpk.Unregistered_vkey 8 -> ()
+  | _ -> Alcotest.fail "unregistered vkey allocated"
+
+let test_metadata_slot_reuse_after_munmap () =
+  let mpk, _, main, _ = make_env () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw);
+  let used_before = Libmpk.Metadata.used_slots (Libmpk.metadata mpk) in
+  Libmpk.mpk_munmap mpk main ~vkey:1;
+  Alcotest.(check int) "slot freed" (used_before - 1)
+    (Libmpk.Metadata.used_slots (Libmpk.metadata mpk));
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:2 ~len:page ~prot:Perm.rw);
+  Alcotest.(check int) "slot reused, no growth" used_before
+    (Libmpk.Metadata.used_slots (Libmpk.metadata mpk))
+
+let test_mprotect_then_begin_interleave () =
+  (* a group can move between the global and domain usage models *)
+  let mpk, proc, main, others = make_env ~threads:2 () in
+  let other = List.hd others in
+  let mmu = Proc.mmu proc in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  (* global phase: both threads write *)
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_byte mmu (Task.core other) ~addr 'g';
+  (* lock globally, then open a domain for main only *)
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.none;
+  Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_byte mmu (Task.core main) ~addr 'd';
+  (match Mmu.read_byte mmu (Task.core other) ~addr with
+  | exception Mmu.Fault _ -> ()
+  | _ -> Alcotest.fail "other thread saw the domain");
+  Libmpk.mpk_end mpk main ~vkey:1;
+  (* back to global *)
+  Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.r;
+  Alcotest.(check char) "data flowed through both models" 'd'
+    (Mmu.read_byte mmu (Task.core other) ~addr)
+
+let test_free_without_heap () =
+  let mpk, _, main, _ = make_env () in
+  match Libmpk.mpk_free mpk main ~vkey:5 ~addr:0x1234 with
+  | exception Errno.Error (Errno.EINVAL, _) -> ()
+  | _ -> Alcotest.fail "expected EINVAL"
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "libmpk"
+    [
+      ( "key_cache",
+        [
+          tc "fresh then hit" `Quick test_cache_fresh_then_hit;
+          tc "lru eviction" `Quick test_cache_lru_eviction;
+          tc "pin blocks eviction" `Quick test_cache_pin_blocks_eviction;
+          tc "may_evict false" `Quick test_cache_may_evict_false;
+          tc "release" `Quick test_cache_release;
+          tc "nested pins" `Quick test_cache_nested_pins;
+          tc "reserve" `Quick test_cache_reserve;
+          qtest cache_lru_property;
+        ] );
+      ( "heap",
+        [
+          tc "alloc/free" `Quick test_heap_alloc_free;
+          tc "exhaustion" `Quick test_heap_exhaustion;
+          tc "double free" `Quick test_heap_double_free;
+          tc "coalescing" `Quick test_heap_coalescing;
+          qtest heap_invariant_property;
+        ] );
+      ("group", [ qtest group_serialize_roundtrip ]);
+      ( "init",
+        [
+          tc "takes all keys" `Quick test_init_takes_all_keys;
+          tc "default evict rate" `Quick test_init_evict_rate_default;
+        ] );
+      ( "mmap",
+        [
+          tc "inaccessible group" `Quick test_mmap_creates_inaccessible_group;
+          tc "duplicate vkey" `Quick test_mmap_duplicate_vkey_rejected;
+          tc "munmap frees" `Quick test_munmap_frees_everything;
+          tc "munmap missing" `Quick test_munmap_missing_vkey;
+        ] );
+      ( "domain",
+        [
+          tc "begin/end" `Quick test_begin_end_basic;
+          tc "thread local" `Quick test_begin_is_thread_local;
+          tc "read-only domain" `Quick test_begin_read_only;
+          tc "beyond group prot" `Quick test_begin_beyond_group_prot;
+          tc "end without begin" `Quick test_end_without_begin;
+          tc "key exhaustion" `Quick test_key_exhaustion_exception;
+        ] );
+      ( "virtualization",
+        [
+          tc "40 groups" `Quick test_virtualization_past_16_groups;
+          tc "no key UAF via libmpk" `Quick test_no_key_use_after_free_via_libmpk;
+        ] );
+      ( "metadata",
+        [
+          tc "user write faults" `Quick test_metadata_user_write_faults;
+          tc "user read ok" `Quick test_metadata_user_read_ok;
+          tc "tracks updates" `Quick test_metadata_tracks_updates;
+          tc "grows" `Quick test_metadata_grows;
+        ] );
+      ( "registry",
+        [
+          tc "rejects unknown" `Quick test_registry_rejects_unknown;
+          tc "blocks corrupted keys" `Quick test_registry_blocks_corrupted_key_use;
+        ] );
+      ( "mprotect",
+        [
+          tc "global semantics" `Quick test_mprotect_global_semantics;
+          tc "lazy sync" `Quick test_mprotect_lazy_sync_descheduled;
+          tc "exec bit change" `Quick test_mprotect_exec_bit_change;
+          tc "exec-only reserved key" `Quick test_mprotect_exec_only_reserved_key;
+          tc "evict_rate 0 fallback" `Quick test_mprotect_eviction_rate_zero_falls_back;
+          tc "rejected during begin" `Quick test_mprotect_during_begin_rejected;
+          tc "hit is fast" `Quick test_mprotect_hit_is_fast;
+        ] );
+      ( "heap_api",
+        [
+          tc "malloc/free" `Quick test_malloc_free_basic;
+          tc "distinct blocks" `Quick test_malloc_distinct_blocks;
+          tc "ENOMEM on full heap" `Quick test_malloc_enomem_on_full_heap;
+          tc "malloc respects registry" `Quick test_malloc_respects_registry;
+          tc "metadata slot reuse" `Quick test_metadata_slot_reuse_after_munmap;
+          tc "mprotect/begin interleave" `Quick test_mprotect_then_begin_interleave;
+          tc "free without heap" `Quick test_free_without_heap;
+        ] );
+    ]

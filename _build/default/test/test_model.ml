@@ -1,0 +1,211 @@
+(* Model-based fuzzing of libmpk: drive random API sequences from two
+   threads and, after EVERY operation, check the security invariants the
+   paper promises:
+
+   I1 (isolation): a thread that is not inside mpk_begin for a group can
+      access it exactly as the group's *global* permission allows —
+      never more.
+   I2 (domain): a thread inside mpk_begin sees at least what it asked
+      for.
+   I3 (bookkeeping): hardware keys in use never exceed 15; every Mapped
+      group's PTEs carry its hardware key; every Unmapped group's pages
+      are back on key 0.
+   I4 (data integrity): a group's bytes survive arbitrary interleavings
+      of eviction, re-attachment and permission changes. *)
+
+open Mpk_hw
+open Mpk_kernel
+
+let page = Physmem.page_size
+
+type op =
+  | Mmap of int  (* vkey *)
+  | Munmap of int
+  | Begin of int * int  (* vkey, thread *)
+  | End of int * int
+  | Mprotect of int * int  (* vkey, prot selector *)
+  | Touch of int * int  (* vkey, thread: benign read attempt *)
+
+let show_op = function
+  | Mmap v -> Printf.sprintf "mmap %d" v
+  | Munmap v -> Printf.sprintf "munmap %d" v
+  | Begin (v, t) -> Printf.sprintf "begin %d @t%d" v t
+  | End (v, t) -> Printf.sprintf "end %d @t%d" v t
+  | Mprotect (v, p) -> Printf.sprintf "mprotect %d p%d" v p
+  | Touch (v, t) -> Printf.sprintf "touch %d @t%d" v t
+
+let gen_op =
+  QCheck.Gen.(
+    let vkey = int_range 1 6 in
+    let thread = int_range 0 1 in
+    oneof
+      [
+        map (fun v -> Mmap v) vkey;
+        map (fun v -> Munmap v) vkey;
+        map2 (fun v t -> Begin (v, t)) vkey thread;
+        map2 (fun v t -> End (v, t)) vkey thread;
+        map2 (fun v p -> Mprotect (v, p)) vkey (int_range 0 2);
+        map2 (fun v t -> Touch (v, t)) vkey thread;
+      ])
+
+let arb_ops = QCheck.make ~print:(fun l -> String.concat "; " (List.map show_op l))
+    QCheck.Gen.(list_size (int_range 1 60) gen_op)
+
+(* The model: what we believe each group's state is. *)
+type mgroup = {
+  addr : int;
+  mutable global_prot : Perm.t option;  (* None = domain-only (locked) *)
+  mutable open_by : (int, int) Hashtbl.t;  (* thread -> depth *)
+  mutable payload : char;
+}
+
+let prot_of_selector = function 0 -> Perm.none | 1 -> Perm.r | _ -> Perm.rw
+
+let run_sequence ?(hw_keys = 15) ops =
+  let machine = Machine.create ~cores:3 ~mem_mib:128 () in
+  let proc = Proc.create machine in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  let threads = [| t0; t1 |] in
+  let mpk = Libmpk.init ~hw_keys ~evict_rate:1.0 proc t0 in
+  let mmu = Proc.mmu proc in
+  let model : (int, mgroup) Hashtbl.t = Hashtbl.create 8 in
+  let fail op msg = failwith (Printf.sprintf "[%s] %s" (show_op op) msg) in
+
+  let readable_by g thread =
+    (* what the model says this thread may read *)
+    let tid = Task.id threads.(thread) in
+    let open_here = Option.value ~default:0 (Hashtbl.find_opt g.open_by tid) > 0 in
+    open_here
+    || match g.global_prot with Some p -> p.Perm.read | None -> false
+  in
+  let check_invariants op =
+    (* I3: key usage bound *)
+    if Libmpk.Key_cache.in_use (Libmpk.cache mpk) > 15 then fail op "more than 15 keys";
+    Hashtbl.iter
+      (fun vkey g ->
+        (* I3: PTE tags consistent with the group state *)
+        (match Libmpk.find_group mpk vkey with
+        | None -> fail op "model has a group libmpk lost"
+        | Some lg -> (
+            let vpn = Page_table.vpn_of_addr g.addr in
+            let pte = Page_table.get (Mm.page_table (Proc.mm proc)) ~vpn in
+            match lg.Libmpk.Group.state, Pte.is_present pte with
+            | Libmpk.Group.Mapped k, true ->
+                if not (Pkey.equal (Pte.pkey pte) k) then fail op "Mapped group PTE tag mismatch"
+            | Libmpk.Group.Unmapped, true ->
+                if Pkey.to_int (Pte.pkey pte) <> 0 then fail op "Unmapped group keeps a key"
+            | _, false -> ()));
+        (* I1/I2: per-thread readability matches the model *)
+        Array.iteri
+          (fun i task ->
+            let expect = readable_by g i in
+            let got =
+              match Mmu.read_byte mmu (Task.core task) ~addr:g.addr with
+              | c -> Some c
+              | exception Mmu.Fault _ -> None
+            in
+            match expect, got with
+            | true, Some c ->
+                (* I4: the data is the model's data *)
+                if c <> g.payload then fail op "payload corrupted"
+            | true, None -> fail op (Printf.sprintf "thread %d lost expected access" i)
+            | false, Some _ -> fail op (Printf.sprintf "thread %d has forbidden access" i)
+            | false, None -> ())
+          threads)
+      model
+  in
+
+  List.iter
+    (fun op ->
+      (match op with
+      | Mmap vkey ->
+          if not (Hashtbl.mem model vkey) then begin
+            let addr = Libmpk.mpk_mmap mpk t0 ~vkey ~len:page ~prot:Perm.rw in
+            (* write an identifying byte through a temporary domain; under
+               extreme key pressure the begin may legitimately fail, in
+               which case the group keeps its zeroed contents *)
+            let payload =
+              match Libmpk.mpk_begin mpk t0 ~vkey ~prot:Perm.rw with
+              | () ->
+                  let payload = Char.chr (65 + (vkey mod 26)) in
+                  Mmu.write_byte mmu (Task.core t0) ~addr payload;
+                  Libmpk.mpk_end mpk t0 ~vkey;
+                  payload
+              | exception Libmpk.Key_exhausted -> '\000'
+            in
+            Hashtbl.replace model vkey
+              { addr; global_prot = None; open_by = Hashtbl.create 2; payload }
+          end
+      | Munmap vkey -> (
+          match Hashtbl.find_opt model vkey with
+          | Some g when Hashtbl.fold (fun _ d acc -> acc + d) g.open_by 0 = 0 ->
+              Libmpk.mpk_munmap mpk t0 ~vkey;
+              Hashtbl.remove model vkey
+          | Some _ | None -> ())
+      | Begin (vkey, thread) -> (
+          match Hashtbl.find_opt model vkey with
+          | Some g -> (
+              let task = threads.(thread) in
+              match Libmpk.mpk_begin mpk task ~vkey ~prot:Perm.rw with
+              | () ->
+                  let tid = Task.id task in
+                  Hashtbl.replace g.open_by tid
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt g.open_by tid))
+              | exception Libmpk.Key_exhausted -> ())
+          | None -> ())
+      | End (vkey, thread) -> (
+          match Hashtbl.find_opt model vkey with
+          | Some g -> (
+              let task = threads.(thread) in
+              let tid = Task.id task in
+              let depth = Option.value ~default:0 (Hashtbl.find_opt g.open_by tid) in
+              match Libmpk.mpk_end mpk task ~vkey with
+              | () ->
+                  if depth = 0 then failwith "mpk_end accepted without begin";
+                  if depth = 1 then Hashtbl.remove g.open_by tid
+                  else Hashtbl.replace g.open_by tid (depth - 1)
+              | exception Errno.Error (Errno.EINVAL, _) ->
+                  if depth > 0 then failwith "mpk_end rejected a legitimate end")
+          | None -> ())
+      | Mprotect (vkey, sel) -> (
+          match Hashtbl.find_opt model vkey with
+          | Some g
+            when Hashtbl.fold (fun _ d acc -> acc + d) g.open_by 0 = 0 ->
+              let prot = prot_of_selector sel in
+              Libmpk.mpk_mprotect mpk t0 ~vkey ~prot;
+              g.global_prot <- Some prot
+          | Some _ | None -> ())
+      | Touch (vkey, thread) -> (
+          match Hashtbl.find_opt model vkey with
+          | Some g ->
+              ignore
+                (match Mmu.read_byte mmu (Task.core threads.(thread)) ~addr:g.addr with
+                | (_ : char) -> ()
+                | exception Mmu.Fault _ -> ())
+          | None -> ()));
+      check_invariants op)
+    ops;
+  true
+
+let model_fuzz =
+  QCheck.Test.make ~name:"libmpk invariants hold under random API sequences" ~count:500
+    arb_ops
+    (fun ops -> run_sequence ops)
+
+(* Two hardware keys for six groups: nearly every begin evicts, so the
+   recycle/scrub/retag paths run constantly. *)
+let model_fuzz_key_pressure =
+  QCheck.Test.make ~name:"invariants hold under extreme key pressure (2 hw keys)"
+    ~count:500 arb_ops
+    (fun ops -> run_sequence ~hw_keys:2 ops)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest model_fuzz;
+          QCheck_alcotest.to_alcotest model_fuzz_key_pressure;
+        ] );
+    ]
