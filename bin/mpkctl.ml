@@ -2,7 +2,9 @@
 
      mpkctl list                 show the available experiments
      mpkctl run [ID ...]         run experiments (default: all)
-     mpkctl attack [STRATEGY]    run the JIT race attack under a W^X strategy *)
+     mpkctl attack [STRATEGY]    run the JIT race attack under a W^X strategy
+     mpkctl audit [OPTIONS]      randomized stress run with the invariant
+                                 auditor enabled after every operation *)
 
 open Cmdliner
 
@@ -88,7 +90,52 @@ let maps_cmd =
   in
   Cmd.v (Cmd.info "maps" ~doc) Term.(const run $ const ())
 
+let audit_cmd =
+  let doc =
+    "Run the randomized stress driver with the cross-layer invariant auditor enabled \
+     after every operation. Exits 0 when every audit passes; on a violation, prints \
+     the replayable seed and a minimized failing op trace and exits nonzero."
+  in
+  let ops =
+    Arg.(value & opt int 1000 & info [ "ops" ] ~docv:"N" ~doc:"number of operations")
+  in
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (replayable)")
+  in
+  let hw_keys =
+    Arg.(
+      value & opt int 15
+      & info [ "hw-keys" ] ~docv:"K" ~doc:"hardware keys in circulation (1-15)")
+  in
+  let tasks =
+    Arg.(value & opt int 2 & info [ "tasks" ] ~docv:"T" ~doc:"interleaved tasks")
+  in
+  let evict_rate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "evict-rate" ] ~docv:"P" ~doc:"mpk_mprotect eviction probability")
+  in
+  let run ops seed hw_keys tasks evict_rate =
+    let cfg =
+      { Mpk_check.Stress.default_config with seed; hw_keys; tasks; evict_rate }
+    in
+    let op_list = Mpk_check.Stress.gen_ops cfg ops in
+    match Mpk_check.Stress.run cfg op_list with
+    | Mpk_check.Stress.Passed { applied; benign_errors } ->
+        Printf.printf
+          "audit OK: %d ops (seed %Ld, %d hw keys, %d tasks), %d benign API errors, \
+           all invariants held after every operation\n"
+          applied seed hw_keys tasks benign_errors;
+        `Ok ()
+    | Mpk_check.Stress.Failed failure ->
+        let minimized = Mpk_check.Stress.minimize cfg op_list in
+        print_string (Mpk_check.Stress.report cfg ~ops_total:ops failure minimized);
+        `Error (false, "invariant violation")
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(ret (const run $ ops $ seed $ hw_keys $ tasks $ evict_rate))
+
 let () =
   let doc = "libmpk (USENIX ATC'19) reproduction on a simulated MPK machine" in
   let info = Cmd.info "mpkctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; attack_cmd; maps_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; attack_cmd; maps_cmd; audit_cmd ]))

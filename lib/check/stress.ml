@@ -1,0 +1,206 @@
+open Mpk_hw
+open Mpk_kernel
+
+type config = {
+  hw_keys : int;
+  tasks : int;
+  evict_rate : float;
+  vkeys : int;
+  max_pages : int;
+  seed : int64;
+}
+
+let default_config =
+  { hw_keys = 15; tasks = 2; evict_rate = 1.0; vkeys = 8; max_pages = 4; seed = 1L }
+
+type op =
+  | Mmap of { vkey : int; task : int; pages : int; prot_sel : int }
+  | Munmap of { vkey : int; task : int }
+  | Begin of { vkey : int; task : int; prot_sel : int }
+  | End of { vkey : int; task : int }
+  | Mprotect of { vkey : int; task : int; prot_sel : int }
+  | Malloc of { vkey : int; task : int; size : int }
+  | Free of { vkey : int; task : int; index : int }
+  | Touch of { vkey : int; task : int }
+
+let mmap_prot = function 0 -> Perm.rw | 1 -> Perm.r | _ -> Perm.rwx
+let begin_prot = function 0 -> Perm.r | 1 -> Perm.rw | _ -> Perm.rx
+
+(* Selector 4 is the execute-only transition (served by the reserved key). *)
+let mprotect_prot = function
+  | 0 -> Perm.none
+  | 1 -> Perm.r
+  | 2 -> Perm.rw
+  | 3 -> Perm.rx
+  | _ -> Perm.x_only
+
+let show_op = function
+  | Mmap { vkey; task; pages; prot_sel } ->
+      Printf.sprintf "mmap v%d %dp %s @t%d" vkey pages
+        (Perm.to_string (mmap_prot prot_sel)) task
+  | Munmap { vkey; task } -> Printf.sprintf "munmap v%d @t%d" vkey task
+  | Begin { vkey; task; prot_sel } ->
+      Printf.sprintf "begin v%d %s @t%d" vkey (Perm.to_string (begin_prot prot_sel)) task
+  | End { vkey; task } -> Printf.sprintf "end v%d @t%d" vkey task
+  | Mprotect { vkey; task; prot_sel } ->
+      Printf.sprintf "mprotect v%d %s @t%d" vkey
+        (Perm.to_string (mprotect_prot prot_sel)) task
+  | Malloc { vkey; task; size } -> Printf.sprintf "malloc v%d %dB @t%d" vkey size task
+  | Free { vkey; task; index } -> Printf.sprintf "free v%d #%d @t%d" vkey index task
+  | Touch { vkey; task } -> Printf.sprintf "touch v%d @t%d" vkey task
+
+let gen_ops cfg n =
+  let prng = Mpk_util.Prng.create ~seed:cfg.seed in
+  let vkey () = 1 + Mpk_util.Prng.int prng (max 1 cfg.vkeys) in
+  let task () = Mpk_util.Prng.int prng (max 1 cfg.tasks) in
+  List.init n (fun _ ->
+      let r = Mpk_util.Prng.int prng 100 in
+      if r < 14 then
+        Mmap
+          {
+            vkey = vkey ();
+            task = task ();
+            pages = 1 + Mpk_util.Prng.int prng (max 1 cfg.max_pages);
+            prot_sel = Mpk_util.Prng.int prng 3;
+          }
+      else if r < 22 then Munmap { vkey = vkey (); task = task () }
+      else if r < 42 then
+        Begin { vkey = vkey (); task = task (); prot_sel = Mpk_util.Prng.int prng 3 }
+      else if r < 62 then End { vkey = vkey (); task = task () }
+      else if r < 74 then
+        Mprotect { vkey = vkey (); task = task (); prot_sel = Mpk_util.Prng.int prng 5 }
+      else if r < 82 then
+        Malloc { vkey = vkey (); task = task (); size = 16 + Mpk_util.Prng.int prng 2048 }
+      else if r < 88 then
+        Free { vkey = vkey (); task = task (); index = Mpk_util.Prng.int prng 8 }
+      else Touch { vkey = vkey (); task = task () })
+
+type kind = Violations of Audit.violation list | Crash of string
+
+type failure = { index : int; op : op; kind : kind }
+
+type result =
+  | Passed of { applied : int; benign_errors : int }
+  | Failed of failure
+
+exception Stop of failure
+
+let run cfg ops =
+  let tasks = max 1 cfg.tasks in
+  let machine = Machine.create ~cores:tasks ~mem_mib:128 () in
+  let proc = Proc.create machine in
+  let threads = Array.init tasks (fun i -> Proc.spawn proc ~core_id:i ()) in
+  let mpk =
+    Libmpk.init ~hw_keys:cfg.hw_keys ~evict_rate:cfg.evict_rate
+      ~default_heap_bytes:(16 * Physmem.page_size) ~seed:cfg.seed proc threads.(0)
+  in
+  let mmu = Proc.mmu proc in
+  let allocs : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let benign = ref 0 in
+  let audit index op =
+    match Audit.run mpk with
+    | [] -> ()
+    | violations -> raise (Stop { index; op; kind = Violations violations })
+  in
+  let apply op =
+    match op with
+    | Mmap { vkey; task; pages; prot_sel } ->
+        ignore
+          (Libmpk.mpk_mmap mpk threads.(task) ~vkey
+             ~len:(pages * Physmem.page_size)
+             ~prot:(mmap_prot prot_sel))
+    | Munmap { vkey; task } ->
+        Libmpk.mpk_munmap mpk threads.(task) ~vkey;
+        Hashtbl.remove allocs vkey
+    | Begin { vkey; task; prot_sel } ->
+        Libmpk.mpk_begin mpk threads.(task) ~vkey ~prot:(begin_prot prot_sel)
+    | End { vkey; task } -> Libmpk.mpk_end mpk threads.(task) ~vkey
+    | Mprotect { vkey; task; prot_sel } ->
+        Libmpk.mpk_mprotect mpk threads.(task) ~vkey ~prot:(mprotect_prot prot_sel)
+    | Malloc { vkey; task; size } ->
+        let addr = Libmpk.mpk_malloc mpk threads.(task) ~vkey ~size in
+        let live =
+          match Hashtbl.find_opt allocs vkey with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace allocs vkey l;
+              l
+        in
+        live := addr :: !live
+    | Free { vkey; task; index } -> (
+        match Hashtbl.find_opt allocs vkey with
+        | Some live when !live <> [] ->
+            let n = List.length !live in
+            let addr = List.nth !live (index mod n) in
+            live := List.filter (fun a -> a <> addr) !live;
+            Libmpk.mpk_free mpk threads.(task) ~vkey ~addr
+        | Some _ | None -> ()  (* nothing recorded to free *))
+    | Touch { vkey; task } -> (
+        match Libmpk.find_group mpk vkey with
+        | Some g -> (
+            match
+              Mmu.read_byte mmu (Task.core threads.(task)) ~addr:g.Libmpk.Group.base
+            with
+            | (_ : char) -> ()
+            | exception Mmu.Fault _ -> ())  (* denial is a legal outcome *)
+        | None -> ())
+  in
+  try
+    audit (-1) (Touch { vkey = 0; task = 0 });  (* initial state must be clean *)
+    List.iteri
+      (fun index op ->
+        (match apply op with
+        | () -> ()
+        | exception Libmpk.Key_exhausted -> incr benign
+        | exception Errno.Error _ -> incr benign
+        | exception Libmpk.Unregistered_vkey _ -> incr benign
+        | exception exn ->
+            raise (Stop { index; op; kind = Crash (Printexc.to_string exn) }));
+        audit index op)
+      ops;
+    Passed { applied = List.length ops; benign_errors = !benign }
+  with Stop f -> Failed f
+
+let fails cfg ops = match run cfg ops with Failed _ -> true | Passed _ -> false
+
+let minimize cfg ops =
+  match run cfg ops with
+  | Passed _ -> ops
+  | Failed f ->
+      (* Everything after the failing op is irrelevant. *)
+      let current = ref (List.filteri (fun i _ -> i <= f.index) ops) in
+      (* ddmin-style: drop ever-smaller chunks while the failure persists. *)
+      let chunk = ref (max 1 (List.length !current / 2)) in
+      while !chunk >= 1 do
+        let i = ref 0 in
+        while !i < List.length !current do
+          let cand =
+            List.filteri (fun j _ -> j < !i || j >= !i + !chunk) !current
+          in
+          if cand <> [] && fails cfg cand then current := cand else i := !i + !chunk
+        done;
+        chunk := (if !chunk = 1 then 0 else !chunk / 2)
+      done;
+      !current
+
+let report cfg ~ops_total failure minimized =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "audit FAILED at op %d: %s\n" failure.index (show_op failure.op));
+  (match failure.kind with
+  | Violations vs ->
+      List.iter
+        (fun v -> Buffer.add_string buf (Format.asprintf "  %a\n" Audit.pp_violation v))
+        vs
+  | Crash msg -> Buffer.add_string buf (Printf.sprintf "  unexpected exception: %s\n" msg));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "replay: mpkctl audit --ops %d --seed %Ld --hw-keys %d --tasks %d --evict-rate %g\n"
+       ops_total cfg.seed cfg.hw_keys cfg.tasks cfg.evict_rate);
+  Buffer.add_string buf
+    (Printf.sprintf "minimized trace (%d ops):\n" (List.length minimized));
+  List.iteri
+    (fun i op -> Buffer.add_string buf (Printf.sprintf "  %3d: %s\n" i (show_op op)))
+    minimized;
+  Buffer.contents buf

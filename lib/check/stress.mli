@@ -1,0 +1,65 @@
+(** Randomized stress driver for the invariant auditor.
+
+    Generates a weighted, seeded sequence of libmpk API calls —
+    mmap/munmap/begin/end/mprotect (including execute-only transitions)
+    /malloc/free plus benign memory touches — interleaved across several
+    tasks, and runs {!Audit.run} after every operation. Everything is
+    derived from [config.seed] via [Mpk_util.Prng], so a failure is
+    replayable from the seed alone, and the pre-generated op list can be
+    shrunk to a minimal failing trace.
+
+    Expected API errors (key exhaustion, EINVAL on an unmatched end,
+    EACCES on an over-privileged begin, …) are caught and counted; any
+    other exception, or a non-empty audit, stops the run and is reported
+    as a failure at that op index. *)
+
+type config = {
+  hw_keys : int;  (** keys in circulation, 1..15 *)
+  tasks : int;  (** interleaved tasks, one per core *)
+  evict_rate : float;  (** mpk_mprotect eviction probability *)
+  vkeys : int;  (** virtual keys drawn from 1..vkeys *)
+  max_pages : int;  (** group size drawn from 1..max_pages *)
+  seed : int64;
+}
+
+(** 15 keys, 2 tasks, evict_rate 1.0, 8 vkeys, 4 pages, seed 1. *)
+val default_config : config
+
+type op =
+  | Mmap of { vkey : int; task : int; pages : int; prot_sel : int }
+  | Munmap of { vkey : int; task : int }
+  | Begin of { vkey : int; task : int; prot_sel : int }
+  | End of { vkey : int; task : int }
+  | Mprotect of { vkey : int; task : int; prot_sel : int }
+  | Malloc of { vkey : int; task : int; size : int }
+  | Free of { vkey : int; task : int; index : int }
+      (** frees the [index]-th (mod live count) recorded allocation *)
+  | Touch of { vkey : int; task : int }  (** benign read attempt *)
+
+val show_op : op -> string
+
+(** [gen_ops cfg n] — the deterministic op sequence for [cfg.seed]. *)
+val gen_ops : config -> int -> op list
+
+type kind =
+  | Violations of Audit.violation list  (** the auditor flagged the state *)
+  | Crash of string  (** an unexpected exception escaped the API *)
+
+type failure = { index : int; op : op; kind : kind }
+
+type result =
+  | Passed of { applied : int; benign_errors : int }
+  | Failed of failure
+
+(** [run cfg ops] applies the sequence, auditing the initial state and
+    then after every operation. *)
+val run : config -> op list -> result
+
+(** [minimize cfg ops] — a smaller op list that still fails under [cfg]
+    (ddmin-style chunk removal; [ops] unchanged when it passes). *)
+val minimize : config -> op list -> op list
+
+(** [report cfg ~ops_total failure minimized] — human-readable failure
+    report: the violated invariants, the replay seed/config, and the
+    minimized trace. *)
+val report : config -> ops_total:int -> failure -> op list -> string

@@ -11,6 +11,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   proc : Proc.t;
+  hw_keys : int;  (* keys handed to the cache at init — the conserved total *)
   evict_rate : float;
   prng : Mpk_util.Prng.t;
   cache : Key_cache.t;
@@ -46,6 +47,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  cache_reserved : int;
 }
 
 (* Userspace bookkeeping per API call: hashmap lookup plus internal data
@@ -70,6 +72,7 @@ let init ?vkeys ?(default_heap_bytes = 1 lsl 20) ?(seed = 0xC0FFEEL)
   in
   {
     proc;
+    hw_keys;
     evict_rate;
     prng = Mpk_util.Prng.create ~seed;
     cache = Key_cache.create ~policy ~seed ~keys ();
@@ -90,12 +93,18 @@ let init ?vkeys ?(default_heap_bytes = 1 lsl 20) ?(seed = 0xC0FFEEL)
   }
 
 let proc t = t.proc
+let hw_keys t = t.hw_keys
 let evict_rate t = t.evict_rate
 let group_count t = Hashtbl.length t.groups
 let find_group t vkey = Option.map fst (Hashtbl.find_opt t.groups vkey)
 let cache t = t.cache
 let metadata t = t.metadata
 let xonly_key t = t.xonly_reserved
+let xonly_group_count t = t.xonly_groups
+
+let groups t =
+  Hashtbl.fold (fun vkey (g, slot) acc -> (vkey, g, slot) :: acc) t.groups []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let stats t =
   {
@@ -109,13 +118,14 @@ let stats t =
     cache_hits = Key_cache.hits t.cache;
     cache_misses = Key_cache.misses t.cache;
     cache_evictions = Key_cache.evictions t.cache;
+    cache_reserved = Key_cache.reserved_count t.cache;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "mmap:%d munmap:%d begin:%d end:%d mprotect:%d malloc:%d free:%d | cache hit:%d miss:%d evict:%d"
+    "mmap:%d munmap:%d begin:%d end:%d mprotect:%d malloc:%d free:%d | cache hit:%d miss:%d evict:%d reserved:%d"
     s.mmap_calls s.munmap_calls s.begin_calls s.end_calls s.mprotect_calls s.malloc_calls
-    s.free_calls s.cache_hits s.cache_misses s.cache_evictions
+    s.free_calls s.cache_hits s.cache_misses s.cache_evictions s.cache_reserved
 
 let check_vkey t vkey =
   match t.registry with

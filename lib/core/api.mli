@@ -89,6 +89,17 @@ val cache : t -> Key_cache.t
 val metadata : t -> Metadata.t
 val xonly_key : t -> Pkey.t option
 
+(** Hardware keys handed to the key cache at [init] — the conserved
+    total that free + mapped + reserved must always sum to. *)
+val hw_keys : t -> int
+
+(** Number of live execute-only groups (they share the reserved key). *)
+val xonly_group_count : t -> int
+
+(** All live page groups as (vkey, group, metadata slot) triples,
+    ascending vkey. Read-only view for auditing. *)
+val groups : t -> (Vkey.t * Group.t * int) list
+
 (** Cycles charged per API call for libmpk's userspace bookkeeping
     (hashmap lookup, internal data structures). *)
 val user_op_cycles : float
@@ -105,6 +116,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  cache_reserved : int;  (** keys withdrawn for the execute-only reserve *)
 }
 
 val stats : t -> stats

@@ -13,6 +13,7 @@ type t = {
   policy : policy;
   prng : Mpk_util.Prng.t;
   mutable free : Pkey.t list;
+  mutable reserved : Pkey.t list;  (* withdrawn from circulation, still owned *)
   map : (Vkey.t, entry) Hashtbl.t;
   mutable clock : int;
   mutable hits : int;
@@ -25,6 +26,7 @@ let create ?(policy = Lru) ?(seed = 0x5EEDL) ~keys () =
     policy;
     prng = Mpk_util.Prng.create ~seed;
     free = keys;
+    reserved = [];
     map = Hashtbl.create 16;
     clock = 0;
     hits = 0;
@@ -92,7 +94,9 @@ let acquire t ?(may_evict = true) vkey =
                 t.evictions <- t.evictions + 1;
                 Evicted (e.pkey, victim)))
 
-let add_key t pkey = t.free <- pkey :: t.free
+let add_key t pkey =
+  t.reserved <- List.filter (fun k -> not (Pkey.equal k pkey)) t.reserved;
+  t.free <- pkey :: t.free
 
 let lookup t vkey =
   match Hashtbl.find_opt t.map vkey with
@@ -105,6 +109,7 @@ let reserve t =
   match t.free with
   | pkey :: rest ->
       t.free <- rest;
+      t.reserved <- pkey :: t.reserved;
       Some (pkey, None)
   | [] -> (
       match lru_victim t with
@@ -112,6 +117,7 @@ let reserve t =
       | Some (victim, e) ->
           Hashtbl.remove t.map victim;
           t.evictions <- t.evictions + 1;
+          t.reserved <- e.pkey :: t.reserved;
           Some (e.pkey, Some victim))
 
 let pin t vkey =
@@ -130,13 +136,27 @@ let pinned t vkey =
 
 let release t vkey =
   match Hashtbl.find_opt t.map vkey with
+  | Some e when e.pins > 0 ->
+      (* Recycling a pinned key would hand an mpk_begin holder's rights to
+         the next group mapped onto it — refuse loudly instead. *)
+      invalid_arg (Printf.sprintf "Key_cache.release: vkey %d is pinned" vkey)
   | Some e ->
       Hashtbl.remove t.map vkey;
       t.free <- e.pkey :: t.free
   | None -> ()
 
-let capacity t = List.length t.free + Hashtbl.length t.map
+let capacity t = List.length t.free + List.length t.reserved + Hashtbl.length t.map
 let in_use t = Hashtbl.length t.map
+let free_keys t = t.free
+let reserved_keys t = t.reserved
+let reserved_count t = List.length t.reserved
+
+let pins t vkey =
+  match Hashtbl.find_opt t.map vkey with Some e -> e.pins | None -> 0
+
+let mappings t =
+  Hashtbl.fold (fun vkey e acc -> (vkey, e.pkey, e.pins) :: acc) t.map []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions

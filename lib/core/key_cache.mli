@@ -19,10 +19,11 @@ val create : ?policy:policy -> ?seed:int64 -> keys:Pkey.t list -> unit -> t
 
 val policy : t -> policy
 
-(** Permanently withdraw one key from circulation (the execute-only
-    reserve). Prefers a free key; evicts an unpinned LRU mapping if
-    needed; [None] when everything is pinned. Returns the key plus the
-    evicted vkey, if any. *)
+(** Withdraw one key from circulation (the execute-only reserve). Prefers
+    a free key; evicts an unpinned LRU mapping if needed; [None] when
+    everything is pinned. Returns the key plus the evicted vkey, if any.
+    The key is tracked as *reserved* — still owned by the cache for
+    accounting ([capacity] is conserved) — until [add_key] returns it. *)
 val reserve : t -> (Pkey.t * Vkey.t option) option
 
 type acquire_result =
@@ -51,11 +52,31 @@ val unpin : t -> Vkey.t -> unit
 val pinned : t -> Vkey.t -> bool
 
 (** [release t vkey] drops the mapping, returning the key to the free
-    list. No-op when unmapped. *)
+    list. No-op when unmapped. Raises [Invalid_argument] when the entry
+    is pinned: a pinned key backs a live [mpk_begin] domain, and handing
+    it to another group would leak the holder's rights. *)
 val release : t -> Vkey.t -> unit
 
+(** Total keys owned: free + mapped + reserved. Conserved across
+    [acquire]/[release]/[reserve]/[add_key]. *)
 val capacity : t -> int
+
 val in_use : t -> int
+
+(** Keys currently on the free list. *)
+val free_keys : t -> Pkey.t list
+
+(** Keys withdrawn by [reserve] and not yet returned. *)
+val reserved_keys : t -> Pkey.t list
+
+val reserved_count : t -> int
+
+(** [pins t vkey] — the entry's pin count, 0 when unmapped. *)
+val pins : t -> Vkey.t -> int
+
+(** Mappings as (vkey, pkey, pin-count) triples, ascending vkey. Purely
+    observational (no LRU bump, no stats). *)
+val mappings : t -> (Vkey.t * Pkey.t * int) list
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int

@@ -88,6 +88,16 @@ let flush_page t ~vpn =
     row;
   t.flushes <- t.flushes + 1
 
+let fold t f init =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc s -> match s.e with Some e -> f e acc | None -> acc)
+        acc row)
+    init t.slots
+
+let entries t = List.rev (fold t (fun e acc -> e :: acc) [])
+
 let hits t = t.hits
 let misses t = t.misses
 let flushes t = t.flushes

@@ -17,6 +17,14 @@ val insert : t -> vpn:int -> Pte.t -> unit
 val flush_all : t -> unit
 val flush_page : t -> vpn:int -> unit
 
+(** [fold t f init] over every live entry, in no particular order. Purely
+    observational: no LRU bump, no stats — safe for auditors that must
+    not perturb the state they inspect. *)
+val fold : t -> (entry -> 'a -> 'a) -> 'a -> 'a
+
+(** All live entries ([fold] as a list). *)
+val entries : t -> entry list
+
 val hits : t -> int
 val misses : t -> int
 val flushes : t -> int

@@ -20,3 +20,6 @@ val free : t -> Pkey.t -> unit
 
 val is_allocated : t -> Pkey.t -> bool
 val allocated_count : t -> int
+
+(** Currently allocated keys, ascending (key 0 excluded). *)
+val allocated : t -> Pkey.t list

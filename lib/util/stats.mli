@@ -16,7 +16,8 @@ val max : t -> float
 val total : t -> float
 
 (** [percentile xs p] for [p] in [\[0, 100\]] using linear interpolation.
-    Raises [Invalid_argument] on an empty array. *)
+    Raises [Invalid_argument] on an empty array or when any sample is
+    NaN (NaN has no rank; sorting it would silently skew the result). *)
 val percentile : float array -> float -> float
 
 val mean_of : float array -> float

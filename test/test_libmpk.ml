@@ -89,8 +89,11 @@ let test_cache_reserve () =
   | Some (_, Some _victim) -> ()
   | Some (_, None) -> Alcotest.fail "expected an eviction"
   | None -> Alcotest.fail "reserve failed");
-  Alcotest.(check int) "capacity shrank" 1
-    (Libmpk.Key_cache.capacity c)
+  (* The withdrawn key stays on the books as reserved: capacity is
+     conserved, circulation shrinks. *)
+  Alcotest.(check int) "capacity conserved" 2 (Libmpk.Key_cache.capacity c);
+  Alcotest.(check int) "one key reserved" 1 (Libmpk.Key_cache.reserved_count c);
+  Alcotest.(check int) "one mapping left" 1 (Libmpk.Key_cache.in_use c)
 
 let cache_lru_property =
   QCheck.Test.make ~name:"cache never exceeds capacity; hit after acquire" ~count:300
