@@ -124,7 +124,7 @@ let test_fig14_kv_get () =
     Mpk_kvstore.Server.create ~mode:Mpk_kvstore.Server.Domain ~workers:1 ~slab_mib:8
       ~buckets:1024 ()
   in
-  Mpk_kvstore.Server.set srv ~worker:0 ~key:"bench" ~value:(Bytes.make 512 'v');
+  ignore (Mpk_kvstore.Server.set srv ~worker:0 ~key:"bench" ~value:(Bytes.make 512 'v') : (unit, _) result);
   Staged.stage (fun () -> ignore (Mpk_kvstore.Server.get srv ~worker:0 ~key:"bench"))
 
 let test_table3_begin_end () =

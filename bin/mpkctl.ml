@@ -4,7 +4,11 @@
      mpkctl run [ID ...]         run experiments (default: all)
      mpkctl attack [STRATEGY]    run the JIT race attack under a W^X strategy
      mpkctl audit [OPTIONS]      randomized stress run with the invariant
-                                 auditor enabled after every operation *)
+                                 auditor enabled after every operation
+     mpkctl faults [OPTIONS]     the same stress run with deterministic
+                                 fault injection armed (--spec), checking
+                                 that every injected failure leaves the
+                                 stack consistent *)
 
 open Cmdliner
 
@@ -135,7 +139,87 @@ let audit_cmd =
   Cmd.v (Cmd.info "audit" ~doc)
     Term.(ret (const run $ ops $ seed $ hw_keys $ tasks $ evict_rate))
 
+let faults_cmd =
+  let doc =
+    "Run the stress driver with deterministic fault injection armed: frame exhaustion, \
+     pkey_alloc ENOSPC, key-cache refusal, forced preemption. The invariant auditor \
+     runs after every operation, so a fault that leaves libmpk inconsistent fails the \
+     run. With no --spec, every registered failure point is exercised in its own run \
+     (fire once, first hit)."
+  in
+  let ops =
+    Arg.(value & opt int 500 & info [ "ops" ] ~docv:"N" ~doc:"number of operations")
+  in
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (replayable)")
+  in
+  let hw_keys =
+    Arg.(
+      value & opt int 15
+      & info [ "hw-keys" ] ~docv:"K" ~doc:"hardware keys in circulation (1-15)")
+  in
+  let tasks =
+    Arg.(value & opt int 2 & info [ "tasks" ] ~docv:"T" ~doc:"interleaved tasks")
+  in
+  let evict_rate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "evict-rate" ] ~docv:"P" ~doc:"mpk_mprotect eviction probability")
+  in
+  let spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"SPEC" ~doc:("failure schedule: " ^ Mpk_faultinj.spec_grammar))
+  in
+  let run ops seed hw_keys tasks evict_rate spec =
+    let schedules =
+      match spec with
+      | Some s -> Result.map (fun fs -> [ fs ]) (Mpk_faultinj.parse_spec s)
+      | None ->
+          (* one run per registered point, firing on its first hit *)
+          Ok (List.map (fun p -> [ p, Mpk_faultinj.Once 0 ]) (Mpk_faultinj.points ()))
+    in
+    match schedules with
+    | Error e -> `Error (false, e)
+    | Ok [] -> `Error (false, "no failure points registered")
+    | Ok schedules ->
+        let failures = ref 0 in
+        List.iter
+          (fun faults ->
+            let label =
+              String.concat ","
+                (List.map (fun (n, p) -> n ^ Mpk_faultinj.plan_to_string p) faults)
+            in
+            let cfg =
+              { Mpk_check.Stress.default_config with seed; hw_keys; tasks; evict_rate; faults }
+            in
+            let op_list = Mpk_check.Stress.gen_ops cfg ops in
+            match Mpk_check.Stress.run cfg op_list with
+            | Mpk_check.Stress.Passed { applied; benign_errors } ->
+                let fired =
+                  Mpk_check.Stress.last_fault_stats ()
+                  |> List.map (fun s ->
+                         Printf.sprintf "%s hit:%d fired:%d" s.Mpk_faultinj.name
+                           s.Mpk_faultinj.hits s.Mpk_faultinj.fired)
+                  |> String.concat "  "
+                in
+                Printf.printf "faults OK [%s]: %d ops, %d benign errors | %s\n" label
+                  applied benign_errors fired
+            | Mpk_check.Stress.Failed failure ->
+                incr failures;
+                Printf.printf "faults FAILED [%s]:\n" label;
+                let minimized = Mpk_check.Stress.minimize cfg op_list in
+                print_string (Mpk_check.Stress.report cfg ~ops_total:ops failure minimized))
+          schedules;
+        if !failures = 0 then `Ok ()
+        else `Error (false, Printf.sprintf "%d fault schedule(s) violated invariants" !failures)
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(ret (const run $ ops $ seed $ hw_keys $ tasks $ evict_rate $ spec))
+
 let () =
   let doc = "libmpk (USENIX ATC'19) reproduction on a simulated MPK machine" in
   let info = Cmd.info "mpkctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; attack_cmd; maps_cmd; audit_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; attack_cmd; maps_cmd; audit_cmd; faults_cmd ]))

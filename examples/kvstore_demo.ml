@@ -18,8 +18,8 @@ let () =
   List.iter
     (fun mode ->
       let srv = Server.create ~mode ~workers:2 ~slab_mib:8 ~buckets:256 () in
-      Server.set srv ~worker:0 ~key:"user:42" ~value:(Bytes.of_string "alice");
-      Server.set srv ~worker:1 ~key:"session" ~value:(Bytes.of_string "tok-9f1");
+      ignore (Server.set srv ~worker:0 ~key:"user:42" ~value:(Bytes.of_string "alice") : (unit, _) result);
+      ignore (Server.set srv ~worker:1 ~key:"session" ~value:(Bytes.of_string "tok-9f1") : (unit, _) result);
       let v = Option.map Bytes.to_string (Server.get srv ~worker:1 ~key:"user:42") in
       Printf.printf "  %-13s get(user:42) = %s\n" (Server.mode_name mode)
         (Option.value ~default:"<missing>" v))
@@ -29,7 +29,7 @@ let () =
   List.iter
     (fun mode ->
       let srv = Server.create ~mode ~workers:2 ~slab_mib:8 ~buckets:256 () in
-      Server.set srv ~worker:0 ~key:"card" ~value:(Bytes.of_string "4111-1111");
+      ignore (Server.set srv ~worker:0 ~key:"card" ~value:(Bytes.of_string "4111-1111") : (unit, _) result);
       let attacker = Server.attacker_task srv in
       match
         Mmu.read_bytes (Proc.mmu (Server.proc srv)) (Task.core attacker)
@@ -37,16 +37,16 @@ let () =
       with
       | _ -> Printf.printf "  %-13s slab memory READABLE by a compromised thread\n"
                (Server.mode_name mode)
-      | exception Mmu.Fault f ->
+      | exception Signal.Killed si ->
           Printf.printf "  %-13s blocked (%s)\n" (Server.mode_name mode)
-            (Mmu.fault_to_string f))
+            (Signal.to_string si))
     modes;
 
   print_endline "\n== performance: per-request cost with 256 MiB resident ==";
   List.iter
     (fun mode ->
       let srv = Server.create ~mode ~workers:1 ~slab_mib:256 ~buckets:256 () in
-      Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.make 512 'v');
+      ignore (Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.make 512 'v') : (unit, _) result);
       Server.populate_slab srv ~mib:256;
       let core = Task.core (Server.workers srv).(0) in
       let before = Cpu.cycles core in

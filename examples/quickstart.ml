@@ -40,9 +40,9 @@ let () =
 
   (* The paper's Figure 5 comment: printf(addr) now SEGFAULTs. *)
   (match Mmu.read_byte mmu core ~addr with
-  | exception Mmu.Fault f ->
+  | exception Signal.Killed si ->
       Printf.printf "mpk_end   -> read after end: %s (as the paper promises)\n"
-        (Mmu.fault_to_string f)
+        (Signal.to_string si)
   | _ -> failwith "BUG: group readable outside the domain");
 
   (* --- quick permission change ------------------------------------ *)
@@ -62,7 +62,7 @@ let () =
   Printf.printf "speedup: %.1fx\n" (mcycles /. cycles);
 
   (match Mmu.write_byte mmu core ~addr:addr2 'x' with
-  | exception Mmu.Fault _ -> print_endline "write after mpk_mprotect(r--): faults, as it should"
+  | exception Signal.Killed _ -> print_endline "write after mpk_mprotect(r--): faults, as it should"
   | _ -> print_endline "NOTE: page writable again after plain mprotect(rw)");
 
   print_endline "\nquickstart done."

@@ -39,7 +39,7 @@ let () =
       let readable =
         match Mmu.read_byte (Proc.mmu proc) (Task.core task) ~addr:m.Xom.base with
         | _ -> true
-        | exception Mmu.Fault _ -> false
+        | exception Signal.Killed _ -> false
       in
       Printf.printf "  %-10s executes -> %d; readable: %b\n" m.Xom.name v readable)
     mods;

@@ -8,10 +8,19 @@ type config = {
   vkeys : int;
   max_pages : int;
   seed : int64;
+  faults : (string * Mpk_faultinj.plan) list;
 }
 
 let default_config =
-  { hw_keys = 15; tasks = 2; evict_rate = 1.0; vkeys = 8; max_pages = 4; seed = 1L }
+  {
+    hw_keys = 15;
+    tasks = 2;
+    evict_rate = 1.0;
+    vkeys = 8;
+    max_pages = 4;
+    seed = 1L;
+    faults = [];
+  }
 
 type op =
   | Mmap of { vkey : int; task : int; pages : int; prot_sel : int }
@@ -75,6 +84,9 @@ let gen_ops cfg n =
         Free { vkey = vkey (); task = task (); index = Mpk_util.Prng.int prng 8 }
       else Touch { vkey = vkey (); task = task () })
 
+let last_fault_stats_ref : Mpk_faultinj.stats list ref = ref []
+let last_fault_stats () = !last_fault_stats_ref
+
 type kind = Violations of Audit.violation list | Crash of string
 
 type failure = { index : int; op : op; kind : kind }
@@ -87,6 +99,11 @@ exception Stop of failure
 
 let run cfg ops =
   let tasks = max 1 cfg.tasks in
+  (* Injection must not perturb setup, so arming happens after init; and
+     every run re-seeds and re-arms from the config, so a given
+     (cfg, ops) pair is fully deterministic — which is what lets
+     [minimize] replay candidate traces meaningfully. *)
+  Mpk_faultinj.reset ();
   let machine = Machine.create ~cores:tasks ~mem_mib:128 () in
   let proc = Proc.create machine in
   let threads = Array.init tasks (fun i -> Proc.spawn proc ~core_id:i ()) in
@@ -94,6 +111,8 @@ let run cfg ops =
     Libmpk.init ~hw_keys:cfg.hw_keys ~evict_rate:cfg.evict_rate
       ~default_heap_bytes:(16 * Physmem.page_size) ~seed:cfg.seed proc threads.(0)
   in
+  Mpk_faultinj.set_seed cfg.seed;
+  List.iter (fun (name, plan) -> Mpk_faultinj.arm name plan) cfg.faults;
   let mmu = Proc.mmu proc in
   let allocs : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
   let benign = ref 0 in
@@ -143,9 +162,15 @@ let run cfg ops =
               Mmu.read_byte mmu (Task.core threads.(task)) ~addr:g.Libmpk.Group.base
             with
             | (_ : char) -> ()
-            | exception Mmu.Fault _ -> ())  (* denial is a legal outcome *)
+            | exception Mmu.Fault _ -> ()  (* denial is a legal outcome *)
+            | exception Signal.Killed _ -> ())  (* ditto, as a signal *)
         | None -> ())
   in
+  let finish () =
+    last_fault_stats_ref := List.filter (fun s -> s.Mpk_faultinj.armed) (Mpk_faultinj.stats ());
+    Mpk_faultinj.reset ()
+  in
+  Fun.protect ~finally:finish @@ fun () ->
   try
     audit (-1) (Touch { vkey = 0; task = 0 });  (* initial state must be clean *)
     List.iteri
@@ -155,6 +180,12 @@ let run cfg ops =
         | exception Libmpk.Key_exhausted -> incr benign
         | exception Errno.Error _ -> incr benign
         | exception Libmpk.Unregistered_vkey _ -> incr benign
+        (* Injected faults surface as signals (pkey/OOM kills) or raw
+           OOM from the allocator; the API must stay consistent after
+           them — which the post-op audit checks — but the errors
+           themselves are expected. *)
+        | exception Signal.Killed _ -> incr benign
+        | exception Out_of_memory -> incr benign
         | exception exn ->
             raise (Stop { index; op; kind = Crash (Printexc.to_string exn) }));
         audit index op)
@@ -194,10 +225,19 @@ let report cfg ~ops_total failure minimized =
         (fun v -> Buffer.add_string buf (Format.asprintf "  %a\n" Audit.pp_violation v))
         vs
   | Crash msg -> Buffer.add_string buf (Printf.sprintf "  unexpected exception: %s\n" msg));
+  let spec =
+    match cfg.faults with
+    | [] -> ""
+    | faults ->
+        Printf.sprintf " --spec '%s'"
+          (String.concat ","
+             (List.map (fun (n, p) -> n ^ Mpk_faultinj.plan_to_string p) faults))
+  in
   Buffer.add_string buf
     (Printf.sprintf
-       "replay: mpkctl audit --ops %d --seed %Ld --hw-keys %d --tasks %d --evict-rate %g\n"
-       ops_total cfg.seed cfg.hw_keys cfg.tasks cfg.evict_rate);
+       "replay: mpkctl %s --ops %d --seed %Ld --hw-keys %d --tasks %d --evict-rate %g%s\n"
+       (if cfg.faults = [] then "audit" else "faults")
+       ops_total cfg.seed cfg.hw_keys cfg.tasks cfg.evict_rate spec);
   Buffer.add_string buf
     (Printf.sprintf "minimized trace (%d ops):\n" (List.length minimized));
   List.iteri

@@ -20,9 +20,15 @@ type config = {
   vkeys : int;  (** virtual keys drawn from 1..vkeys *)
   max_pages : int;  (** group size drawn from 1..max_pages *)
   seed : int64;
+  faults : (string * Mpk_faultinj.plan) list;
+      (** failure points armed for the run (after setup, seeded from
+          [seed]); injected failures count as benign errors, but the
+          auditor still runs after every op, so a fault that corrupts
+          library state is caught. Empty = no injection. *)
 }
 
-(** 15 keys, 2 tasks, evict_rate 1.0, 8 vkeys, 4 pages, seed 1. *)
+(** 15 keys, 2 tasks, evict_rate 1.0, 8 vkeys, 4 pages, seed 1,
+    no fault injection. *)
 val default_config : config
 
 type op =
@@ -54,6 +60,11 @@ type result =
 (** [run cfg ops] applies the sequence, auditing the initial state and
     then after every operation. *)
 val run : config -> op list -> result
+
+(** Injection statistics (hits/fired per armed point) captured at the end
+    of the most recent [run] — the registry itself is reset between runs,
+    so this is the only way to see what actually fired. *)
+val last_fault_stats : unit -> Mpk_faultinj.stats list
 
 (** [minimize cfg ops] — a smaller op list that still fails under [cfg]
     (ddmin-style chunk removal; [ops] unchanged when it passes). *)

@@ -4,6 +4,20 @@ open Mpk_kernel
 exception Key_exhausted
 exception Unregistered_vkey of Vkey.t
 
+type begin_policy =
+  | Fail_fast
+  | Retry of { attempts : int; backoff_cycles : float }
+  | Wait_for_key of { max_wait_cycles : float; poll_cycles : float }
+
+let check_policy = function
+  | Fail_fast -> ()
+  | Retry { attempts; backoff_cycles } ->
+      if attempts < 1 then invalid_arg "begin_policy: Retry needs attempts >= 1";
+      if backoff_cycles < 0.0 then invalid_arg "begin_policy: negative backoff"
+  | Wait_for_key { max_wait_cycles; poll_cycles } ->
+      if poll_cycles <= 0.0 then invalid_arg "begin_policy: poll_cycles must be positive";
+      if max_wait_cycles < 0.0 then invalid_arg "begin_policy: negative max_wait"
+
 (* Debug tracing: enable with Logs.Src.set_level Api.log_src (Some Debug). *)
 let log_src = Logs.Src.create "libmpk" ~doc:"libmpk key-management events"
 
@@ -13,6 +27,7 @@ type t = {
   proc : Proc.t;
   hw_keys : int;  (* keys handed to the cache at init — the conserved total *)
   evict_rate : float;
+  begin_policy : begin_policy;  (* default when mpk_begin gets no override *)
   prng : Mpk_util.Prng.t;
   cache : Key_cache.t;
   metadata : Metadata.t;
@@ -58,7 +73,9 @@ let user_op_cycles = 60.0
 let charge_user task = Cpu.charge (Task.core task) user_op_cycles
 
 let init ?vkeys ?(default_heap_bytes = 1 lsl 20) ?(seed = 0xC0FFEEL)
-    ?(policy = Key_cache.Lru) ?(hw_keys = 15) ~evict_rate proc task =
+    ?(policy = Key_cache.Lru) ?(hw_keys = 15) ?(begin_policy = Fail_fast) ~evict_rate
+    proc task =
+  check_policy begin_policy;
   let evict_rate = if evict_rate < 0.0 then 1.0 else Float.min evict_rate 1.0 in
   let hw_keys = max 1 (min 15 hw_keys) in
   (* Take every hardware key away from the kernel so nothing else in the
@@ -74,6 +91,7 @@ let init ?vkeys ?(default_heap_bytes = 1 lsl 20) ?(seed = 0xC0FFEEL)
     proc;
     hw_keys;
     evict_rate;
+    begin_policy;
     prng = Mpk_util.Prng.create ~seed;
     cache = Key_cache.create ~policy ~seed ~keys ();
     metadata = Metadata.create proc task;
@@ -188,20 +206,32 @@ let mpk_mmap t task ~vkey ~len ~prot =
   let addr = Syscall.mmap t.proc task ~len ~prot () in
   let pages = Mm.pages_of_len len in
   let group = Group.make ~vkey ~base:addr ~pages ~prot in
-  (* Attach a hardware key when one is free so the group starts gated by
-     PKRU (inaccessible: every thread's rights default to no-access).
-     Without a free key, hold the pages at PROT_NONE instead. *)
-  (match Key_cache.acquire t.cache ~may_evict:false vkey with
-  | Key_cache.Fresh pkey ->
-      attach_group t task group ~pkey ~page_prot:(mapped_page_perm prot)
-  | Key_cache.Hit _ -> assert false  (* group did not exist *)
-  | Key_cache.Evicted _ -> assert false  (* may_evict:false *)
-  | Key_cache.Full ->
-      Syscall.mprotect t.proc task ~addr ~len ~prot:Perm.none;
-      group.Group.state <- Group.Unmapped);
-  let slot = Metadata.alloc_slot t.metadata task group in
-  Hashtbl.replace t.groups vkey (group, slot);
-  addr
+  try
+    (* Attach a hardware key when one is free so the group starts gated by
+       PKRU (inaccessible: every thread's rights default to no-access).
+       Without a free key, hold the pages at PROT_NONE instead. *)
+    (match Key_cache.acquire t.cache ~may_evict:false vkey with
+    | Key_cache.Fresh pkey ->
+        attach_group t task group ~pkey ~page_prot:(mapped_page_perm prot)
+    | Key_cache.Hit _ -> assert false  (* group did not exist *)
+    | Key_cache.Evicted _ -> assert false  (* may_evict:false *)
+    | Key_cache.Full ->
+        Syscall.mprotect t.proc task ~addr ~len ~prot:Perm.none;
+        group.Group.state <- Group.Unmapped);
+    let slot = Metadata.alloc_slot t.metadata task group in
+    Hashtbl.replace t.groups vkey (group, slot);
+    addr
+  with e ->
+    (* Roll back to the pre-call state: the mapping is destroyed (which
+       also drops any freshly tagged PTEs) and the hardware key — never
+       yet granted to anyone — returns to the cache's free list. The
+       caller sees the failure with no half-created group behind it. *)
+    let bt = Printexc.get_raw_backtrace () in
+    Log.warn (fun m ->
+        m "mpk_mmap vkey:%d failed (%s) — rolling back" vkey (Printexc.to_string e));
+    Key_cache.release t.cache vkey;
+    (try Syscall.munmap t.proc task ~addr ~len with _ -> ());
+    Printexc.raise_with_backtrace e bt
 
 let reclaim_xonly_reserve t =
   if t.xonly_groups = 0 then (
@@ -244,35 +274,77 @@ let mpk_munmap t task ~vkey =
   Hashtbl.remove t.groups vkey;
   Hashtbl.remove t.heaps vkey
 
-(* Guarantee [group] holds a hardware key, evicting if necessary. A
-   globally-unlocked group re-attached to a (possibly recycled) key must
-   re-synchronize everyone's rights, or other threads would lose the
-   global permission the moment a domain is opened on the group. *)
-let ensure_mapped_for_begin t task group =
+(* One attempt to guarantee [group] holds a hardware key, evicting if
+   necessary; [None] when every key is pinned. A globally-unlocked group
+   re-attached to a (possibly recycled) key must re-synchronize
+   everyone's rights, or other threads would lose the global permission
+   the moment a domain is opened on the group. *)
+let try_map_for_begin t task group =
   let restore_global_rights pkey =
     if not group.Group.isolated then
       sync_rights t task pkey (Pkru.rights_of_perm group.Group.prot)
   in
   match group.Group.state with
-  | Group.Mapped pkey -> pkey
+  | Group.Mapped pkey -> Some pkey
   | Group.Unmapped -> (
       match Key_cache.acquire t.cache ~may_evict:true group.Group.vkey with
       | Key_cache.Hit pkey | Key_cache.Fresh pkey ->
           attach_group t task group ~pkey ~page_prot:(mapped_page_perm group.Group.prot);
           restore_global_rights pkey;
-          pkey
+          Some pkey
       | Key_cache.Evicted (pkey, victim) ->
           evict_group t task ~victim ~pkey;
           attach_group t task group ~pkey ~page_prot:(mapped_page_perm group.Group.prot);
           restore_global_rights pkey;
-          pkey
-      | Key_cache.Full ->
-          Log.warn (fun m ->
-              m "mpk_begin vkey:%d: every hardware key pinned — Key_exhausted"
-                group.Group.vkey);
-          raise Key_exhausted)
+          Some pkey
+      | Key_cache.Full -> None)
 
-let mpk_begin t task ~vkey ~prot =
+let exhausted group =
+  Log.warn (fun m ->
+      m "mpk_begin vkey:%d: every hardware key pinned — Key_exhausted" group.Group.vkey);
+  raise Key_exhausted
+
+(* Degradation policy for key exhaustion: fail fast (the paper's
+   behaviour — "mpk_begin raises an exception and lets the calling thread
+   handle it"), retry with backoff a bounded number of times, or poll
+   until a cycle budget runs out. Retrying charges cycles, so injected
+   preemptions fire inside the wait and other threads' task_work can
+   release pins. *)
+let ensure_mapped_for_begin t task ~policy group =
+  match try_map_for_begin t task group with
+  | Some pkey -> pkey
+  | None -> (
+      match policy with
+      | Fail_fast -> exhausted group
+      | Retry { attempts; backoff_cycles } ->
+          let rec go n =
+            if n >= attempts then exhausted group
+            else begin
+              Cpu.charge (Task.core task) backoff_cycles;
+              match try_map_for_begin t task group with
+              | Some pkey ->
+                  Log.debug (fun m ->
+                      m "mpk_begin vkey:%d: key appeared after %d retries"
+                        group.Group.vkey (n + 1));
+                  pkey
+              | None -> go (n + 1)
+            end
+          in
+          go 0
+      | Wait_for_key { max_wait_cycles; poll_cycles } ->
+          let deadline = Cpu.cycles (Task.core task) +. max_wait_cycles in
+          let rec go () =
+            if Cpu.cycles (Task.core task) >= deadline then exhausted group
+            else begin
+              Cpu.charge (Task.core task) poll_cycles;
+              match try_map_for_begin t task group with
+              | Some pkey -> pkey
+              | None -> go ()
+            end
+          in
+          go ())
+
+let mpk_begin ?policy t task ~vkey ~prot =
   check_vkey t vkey;
   charge_user task;
   count t c_begin;
@@ -283,7 +355,14 @@ let mpk_begin t task ~vkey ~prot =
     Errno.fail EACCES "mpk_begin: requested %s exceeds group permission %s"
       (Perm.to_string prot)
       (Perm.to_string group.Group.max_prot);
-  let pkey = ensure_mapped_for_begin t task group in
+  let policy =
+    match policy with
+    | Some p ->
+        check_policy p;
+        p
+    | None -> t.begin_policy
+  in
+  let pkey = ensure_mapped_for_begin t task ~policy group in
   Key_cache.pin t.cache vkey;
   group.Group.begin_depth <- group.Group.begin_depth + 1;
   let id = Task.id task in

@@ -21,6 +21,17 @@ type t = {
   mutable evictions : int;
 }
 
+(* Fault injection: force the miss path to find no usable key ("cache
+   full": all entries pinned), or make [reserve] refuse. Exercises the
+   Key_exhausted / degradation paths that a well-provisioned cache never
+   reaches naturally. *)
+let fp_full = "key_cache.full"
+let fp_reserve = "key_cache.reserve"
+
+let () =
+  Mpk_faultinj.declare fp_full;
+  Mpk_faultinj.declare fp_reserve
+
 let create ?(policy = Lru) ?(seed = 0x5EEDL) ~keys () =
   {
     policy;
@@ -76,6 +87,8 @@ let acquire t ?(may_evict = true) vkey =
       Hit e.pkey
   | None -> (
       t.misses <- t.misses + 1;
+      if Mpk_faultinj.fire fp_full then Full
+      else
       match t.free with
       | pkey :: rest ->
           t.free <- rest;
@@ -106,6 +119,8 @@ let lookup t vkey =
   | None -> None
 
 let reserve t =
+  if Mpk_faultinj.fire fp_reserve then None
+  else
   match t.free with
   | pkey :: rest ->
       t.free <- rest;

@@ -22,15 +22,26 @@ let used_slots t = Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 t
 
 let slot_addr t ~slot = t.base + (slot * Group.metadata_bytes)
 
+(* A privileged copy can still run out of physical frames while demand
+   paging; that surfaces as the syscall-shaped ENOMEM, not a raw MMU
+   fault — metadata writes happen inside kernel-mediated calls. *)
 let kernel_write t ~slot data =
-  Mmu.kernel_write_bytes (Proc.mmu t.proc) ~addr:(slot_addr t ~slot) data
+  try Mmu.kernel_write_bytes (Proc.mmu t.proc) ~addr:(slot_addr t ~slot) data
+  with Mmu.Fault { Mmu.cause = Mmu.No_memory; _ } ->
+    Errno.fail ENOMEM "metadata: out of physical frames"
 
 let grow t task =
   let new_bytes = t.bytes * 2 in
   let new_base = Syscall.mmap t.proc task ~len:new_bytes ~prot:Perm.r () in
   (* The kernel migrates the records to the larger region. *)
-  let old = Mmu.kernel_read_bytes (Proc.mmu t.proc) ~addr:t.base ~len:t.bytes in
-  Mmu.kernel_write_bytes (Proc.mmu t.proc) ~addr:new_base old;
+  (try
+     let old = Mmu.kernel_read_bytes (Proc.mmu t.proc) ~addr:t.base ~len:t.bytes in
+     Mmu.kernel_write_bytes (Proc.mmu t.proc) ~addr:new_base old
+   with Mmu.Fault { Mmu.cause = Mmu.No_memory; _ } ->
+     (* failed migration: drop the half-populated new region, keep the
+        old one — the caller sees ENOMEM against an intact store *)
+     (try Syscall.munmap t.proc task ~addr:new_base ~len:new_bytes with _ -> ());
+     Errno.fail ENOMEM "metadata grow: out of physical frames");
   Syscall.munmap t.proc task ~addr:t.base ~len:t.bytes;
   let new_used = Array.make (slots_of_bytes new_bytes) false in
   Array.blit t.used 0 new_used 0 (Array.length t.used);
@@ -53,8 +64,11 @@ let alloc_slot t task group =
         | Some s -> s
         | None -> assert false)
   in
-  t.used.(slot) <- true;
+  (* Write before marking the slot used: if the kernel write throws
+     (frame exhaustion during demand paging), the slot map still agrees
+     with the protected region (auditor invariant I6). *)
   kernel_write t ~slot (Group.serialize group);
+  t.used.(slot) <- true;
   slot
 
 let update_slot t _task ~slot group =

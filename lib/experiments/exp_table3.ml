@@ -48,7 +48,7 @@ let jit_row strategy label =
 
 let memcached_row () =
   let srv = Mpk_kvstore.Server.create ~mode:Mpk_kvstore.Server.Domain ~workers:2 ~slab_mib:8 ~buckets:64 () in
-  Mpk_kvstore.Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v");
+  ignore (Mpk_kvstore.Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v"));
   ignore (Proc.tasks (Mpk_kvstore.Server.proc srv) : Task.t list);
   ignore (Machine.core_count (Proc.machine (Mpk_kvstore.Server.proc srv)));
   {

@@ -1,0 +1,149 @@
+type plan =
+  | Once of int
+  | Every of int
+  | Prob of float
+
+type stats = { name : string; armed : bool; hits : int; fired : int }
+
+type point = {
+  name : string;
+  mutable plan : plan option;
+  mutable hits : int;
+  mutable fired : int;
+}
+
+let table : (string, point) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []  (* registration order, reversed *)
+let armed_count = ref 0
+let prng = ref (Mpk_util.Prng.create ~seed:0xFA177L)
+
+let find_or_add name =
+  match Hashtbl.find_opt table name with
+  | Some p -> p
+  | None ->
+      let p = { name; plan = None; hits = 0; fired = 0 } in
+      Hashtbl.replace table name p;
+      order := name :: !order;
+      p
+
+let declare name = ignore (find_or_add name)
+
+let arm name plan =
+  (match plan with
+  | Every n when n < 1 -> invalid_arg "Faultinj.arm: Every requires n >= 1"
+  | Once n when n < 0 -> invalid_arg "Faultinj.arm: Once requires n >= 0"
+  | Prob p when not (p >= 0.0 && p <= 1.0) ->
+      invalid_arg "Faultinj.arm: Prob requires p in [0, 1]"
+  | Once _ | Every _ | Prob _ -> ());
+  let p = find_or_add name in
+  if p.plan = None then incr armed_count;
+  p.plan <- Some plan;
+  p.hits <- 0;
+  p.fired <- 0
+
+let disarm name =
+  match Hashtbl.find_opt table name with
+  | Some p when p.plan <> None ->
+      p.plan <- None;
+      decr armed_count
+  | Some _ | None -> ()
+
+let reset () =
+  Hashtbl.iter
+    (fun _ p ->
+      p.plan <- None;
+      p.hits <- 0;
+      p.fired <- 0)
+    table;
+  armed_count := 0
+
+let set_seed seed = prng := Mpk_util.Prng.create ~seed
+
+let fire name =
+  if !armed_count = 0 then false
+  else
+    match Hashtbl.find_opt table name with
+    | None | Some { plan = None; _ } -> false
+    | Some ({ plan = Some plan; _ } as p) ->
+        let n = p.hits in
+        p.hits <- n + 1;
+        let hit =
+          match plan with
+          | Once k -> n = k
+          | Every k -> (n + 1) mod k = 0
+          | Prob pr -> Mpk_util.Prng.bool !prng ~p:pr
+        in
+        if hit then p.fired <- p.fired + 1;
+        hit
+
+let points () = List.rev !order
+
+let stats_of name =
+  Option.map
+    (fun p -> { name = p.name; armed = p.plan <> None; hits = p.hits; fired = p.fired })
+    (Hashtbl.find_opt table name)
+
+let stats () = List.filter_map stats_of (points ())
+
+let plan_to_string = function
+  | Once n -> Printf.sprintf "@%d" n
+  | Every n -> Printf.sprintf "%%%d" n
+  | Prob p -> Printf.sprintf "~%g" p
+
+let spec_grammar =
+  "comma-separated failure points: NAME (fire on first hit), NAME@N (fire once on the \
+   N-th hit, 0-based), NAME%N (fire every N-th hit), NAME~P (fire with probability P)"
+
+let parse_one s =
+  let split c =
+    match String.index_opt s c with
+    | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> None
+  in
+  let with_name name plan =
+    if name = "" then Error (Printf.sprintf "empty point name in %S" s) else plan name
+  in
+  match split '@' with
+  | Some (name, n) ->
+      with_name name (fun name ->
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> Ok (name, Once n)
+          | Some _ | None -> Error (Printf.sprintf "bad hit index in %S" s))
+  | None -> (
+      match split '%' with
+      | Some (name, n) ->
+          with_name name (fun name ->
+              match int_of_string_opt n with
+              | Some n when n >= 1 -> Ok (name, Every n)
+              | Some _ | None -> Error (Printf.sprintf "bad period in %S" s))
+      | None -> (
+          match split '~' with
+          | Some (name, p) ->
+              with_name name (fun name ->
+                  match float_of_string_opt p with
+                  | Some p when p >= 0.0 && p <= 1.0 -> Ok (name, Prob p)
+                  | Some _ | None -> Error (Printf.sprintf "bad probability in %S" s))
+          | None -> with_name s (fun name -> Ok (name, Once 0))))
+
+let parse_spec spec =
+  let items =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if items = [] then Error "empty failure spec"
+  else
+    List.fold_left
+      (fun acc item ->
+        match acc, parse_one item with
+        | Error _, _ -> acc
+        | _, Error e -> Error e
+        | Ok l, Ok kv -> Ok (kv :: l))
+      (Ok []) items
+    |> Result.map List.rev
+
+(* --- preemption hook --- *)
+
+let preempt_action : (int -> unit) ref = ref (fun _ -> ())
+let set_preempt_action f = preempt_action := f
+let preempt core_id = !preempt_action core_id

@@ -1,0 +1,76 @@
+(** Deterministic fault injection (modeled on Linux's fault-injection
+    framework, CONFIG_FAULT_INJECTION).
+
+    Layers register named {e failure points} ([declare]) and consult them
+    on their fallible paths ([fire]). A point does nothing until a test or
+    the stress driver arms it with a {!plan}; every plan is evaluated
+    against a per-point hit counter or the module's seeded PRNG, so a
+    failure schedule is replayable from [(seed, spec)] alone.
+
+    The registry is process-global, mirroring the simulator's single
+    simulated machine per test. [reset] returns to the all-disarmed state
+    and zeroes counters; drivers must call it around every armed run. *)
+
+type plan =
+  | Once of int  (** fire on the [n]-th evaluation (0-based), then never again *)
+  | Every of int  (** fire on every [n]-th evaluation ([n >= 1]) *)
+  | Prob of float  (** fire independently with this probability (seeded) *)
+
+type stats = {
+  name : string;
+  armed : bool;
+  hits : int;  (** evaluations while armed *)
+  fired : int;  (** evaluations that injected the failure *)
+}
+
+(** Register a failure point. Idempotent; instrumented modules call this at
+    initialization so that [points] enumerates the full surface even
+    before any path is exercised. *)
+val declare : string -> unit
+
+(** [arm name plan] — activate a point (declaring it if needed) and reset
+    its counters. *)
+val arm : string -> plan -> unit
+
+val disarm : string -> unit
+
+(** Disarm every point and zero all counters. *)
+val reset : unit -> unit
+
+(** Reseed the PRNG behind [Prob] plans. *)
+val set_seed : int64 -> unit
+
+(** [fire name] — evaluate the point: true means the caller must inject
+    its failure now. Unarmed (or unknown) points never fire; the disarmed
+    fast path is a single integer compare, so hot paths may call this
+    unconditionally. *)
+val fire : string -> bool
+
+(** Every declared point, in registration order. *)
+val points : unit -> string list
+
+val stats : unit -> stats list
+val stats_of : string -> stats option
+
+(** Parse a failure spec: comma-separated [NAME@N] (once, on the N-th
+    hit), [NAME%N] (every N-th hit), [NAME~P] (probability P), or bare
+    [NAME] (shorthand for [NAME@0]).
+    Returns [Error message] on malformed input or an unknown plan value. *)
+val parse_spec : string -> ((string * plan) list, string) result
+
+val plan_to_string : plan -> string
+
+(** Documentation string for the spec grammar (CLI help). *)
+val spec_grammar : string
+
+(** {2 Preemption hook}
+
+    The ["sched.preempt"] point is evaluated by [Cpu.charge] — i.e.
+    between any two charged events. The hardware layer cannot reach the
+    scheduler, so the kernel installs the actual preemption action here;
+    it receives the core id that charged. *)
+
+val set_preempt_action : (int -> unit) -> unit
+
+(** Run the installed preemption action (no-op when none installed). *)
+val preempt : int -> unit

@@ -14,7 +14,16 @@ let id t = t.id
 let costs t = t.costs
 let tlb t = t.tlb
 let cycles t = t.cycles
-let charge t c = t.cycles <- t.cycles +. c
+
+(* Fault injection: a charged event is the finest-grained point at which
+   the scheduler may preempt the running task (the kernel installs the
+   actual action via [Mpk_faultinj.set_preempt_action]). *)
+let fp_preempt = "sched.preempt"
+let () = Mpk_faultinj.declare fp_preempt
+
+let charge t c =
+  t.cycles <- t.cycles +. c;
+  if Mpk_faultinj.fire fp_preempt then Mpk_faultinj.preempt t.id
 
 let measure t f =
   let before = t.cycles in

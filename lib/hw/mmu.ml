@@ -1,6 +1,6 @@
 type access = Read | Write | Fetch
 
-type cause = Not_present | Page_perm | Pkey_denied
+type cause = Not_present | Page_perm | Pkey_denied | No_memory
 
 type fault = { addr : int; access : access; cause : cause }
 
@@ -15,6 +15,7 @@ let cause_to_string = function
   | Not_present -> "not-present"
   | Page_perm -> "page-permission"
   | Pkey_denied -> "pkey-denied"
+  | No_memory -> "out-of-frames"
 
 let fault_to_string f =
   Printf.sprintf "fault: %s at 0x%x (%s)" (access_to_string f.access) f.addr
@@ -24,20 +25,38 @@ type t = {
   table : Page_table.t;
   mem : Physmem.t;
   mutable fault_handler : (Cpu.t option -> fault -> bool) option;
+  mutable fault_sink : (Cpu.t -> fault -> unit) option;
 }
 
-let create table mem = { table; mem; fault_handler = None }
+let create table mem = { table; mem; fault_handler = None; fault_sink = None }
 
 let page_table t = t.table
 
 let set_fault_handler t h = t.fault_handler <- Some h
+let set_fault_sink t s = t.fault_sink <- Some s
+
+(* An unresolved fault from user code traps to the kernel's sink (signal
+   delivery) when one is installed; the sink normally raises. [Fault] is
+   the bare-hardware fallback: no kernel attached, or a privileged access
+   (no faulting CPU context). *)
+let user_fault t cpu fault =
+  (match cpu, t.fault_sink with
+  | Some cpu, Some sink -> sink cpu fault
+  | _ -> ());
+  raise (Fault fault)
 
 (* Not-present faults get one shot at the kernel's demand-paging handler
-   before being delivered. *)
+   before being delivered. The handler may itself refuse with a [Fault]
+   (e.g. frame exhaustion becomes [No_memory]); that refusal is delivered
+   in place of the original fault. *)
 let resolve_or_fault t cpu fault =
   match fault.cause, t.fault_handler with
-  | Not_present, Some handler when handler cpu fault -> ()
-  | _ -> raise (Fault fault)
+  | Not_present, Some handler -> (
+      match handler cpu fault with
+      | true -> ()
+      | false -> user_fault t cpu fault
+      | exception Fault refusal -> user_fault t cpu refusal)
+  | _ -> user_fault t cpu fault
 
 let translate t cpu ~addr =
   let vpn = Page_table.vpn_of_addr addr in
@@ -60,7 +79,7 @@ let check t cpu ~addr ~access =
       resolve_or_fault t (Some cpu) { addr; access; cause = Not_present };
       let retried = translate t cpu ~addr in
       if Pte.is_present retried then retried
-      else raise (Fault { addr; access; cause = Not_present })
+      else user_fault t (Some cpu) { addr; access; cause = Not_present }
     end
   in
   let perm = Pte.perm pte in
@@ -70,13 +89,13 @@ let check t cpu ~addr ~access =
     | Write -> perm.Perm.write
     | Fetch -> perm.Perm.exec
   in
-  if not page_ok then raise (Fault { addr; access; cause = Page_perm });
+  if not page_ok then user_fault t (Some cpu) { addr; access; cause = Page_perm };
   (match access with
   | Fetch -> ()  (* instruction fetch is independent of PKRU *)
   | Read | Write ->
       let rights = Pkru.rights (Cpu.pkru cpu) (Pte.pkey pte) in
       if not (Pkru.allows rights ~write:(access = Write)) then
-        raise (Fault { addr; access; cause = Pkey_denied }));
+        user_fault t (Some cpu) { addr; access; cause = Pkey_denied });
   Cpu.charge cpu (Cpu.costs cpu).mem_access;
   pte
 

@@ -11,6 +11,7 @@ type cause =
   | Not_present  (** no translation *)
   | Page_perm  (** page permission bits deny the access *)
   | Pkey_denied  (** PKRU rights for the page's key deny the access *)
+  | No_memory  (** demand paging found no free physical frame *)
 
 type fault = { addr : int; access : access; cause : cause }
 
@@ -32,6 +33,15 @@ val page_table : t -> Page_table.t
     (demand paging) and the access retries; [false] delivers the fault.
     At most one handler; installed by the kernel's [Mm]. *)
 val set_fault_handler : t -> (Cpu.t option -> fault -> bool) -> unit
+
+(** The kernel's fault {e sink}: called with every unresolved fault raised
+    by user-mode code (the faulting CPU is known), before [Fault] would
+    escape. The kernel uses it to deliver a POSIX-shaped signal to the
+    task on that CPU — the sink is expected to raise (signal handler
+    escape or default-kill); if it returns, the raw [Fault] is raised as
+    the bare-hardware fallback. Privileged accesses (kernel copies)
+    never reach the sink. At most one; installed by [Proc]. *)
+val set_fault_sink : t -> (Cpu.t -> fault -> unit) -> unit
 
 (** [check t cpu ~addr ~access] translates and permission-checks one
     address, charging TLB/walk cycles; returns the PTE or raises [Fault]. *)

@@ -1,6 +1,10 @@
 let page_size = 4096
 let page_shift = 12
 
+(* Fault injection: simulate physical-frame exhaustion (ENOMEM upstream). *)
+let fp_alloc_frame = "physmem.alloc_frame"
+let () = Mpk_faultinj.declare fp_alloc_frame
+
 type frame = int
 
 type t = {
@@ -27,6 +31,7 @@ let total_frames t = t.total
 let frames_in_use t = t.in_use
 
 let alloc_frame t =
+  if Mpk_faultinj.fire fp_alloc_frame then raise Out_of_memory;
   let frame =
     match t.free_list with
     | f :: rest ->

@@ -37,6 +37,7 @@ let run ~strategy () =
     with
     | () -> attack_result := Injected 0
     | exception Mmu.Fault f -> attack_result := Blocked (Mmu.fault_to_string f)
+    | exception Signal.Killed si -> attack_result := Blocked (Signal.to_string si)
   in
   (* the legitimate patch re-emits the function's own code *)
   let fs_code = Bytecode.compile (Bytecode.synth ~seed:1 ~ops:10) in

@@ -12,7 +12,8 @@ let bump_base_vpn = 0x10000  (* user mappings start at 256 MiB *)
 
 (* Demand paging: a not-present fault inside a VMA materializes a zeroed
    frame with the VMA's protection and key; anything else is a real
-   segfault. *)
+   segfault. Frame exhaustion refuses the fault with [No_memory], which
+   the MMU delivers in place of the original (SIGBUS upstream). *)
 let fault_handler t cpu (fault : Mmu.fault) =
   let vpn = Page_table.vpn_of_addr fault.Mmu.addr in
   match Vma.find t.vmas vpn with
@@ -21,7 +22,10 @@ let fault_handler t cpu (fault : Mmu.fault) =
       (match cpu with
       | Some cpu -> Cpu.charge cpu (Cpu.costs cpu).page_fault
       | None -> ());
-      let frame = Physmem.alloc_frame t.mem in
+      let frame =
+        try Physmem.alloc_frame t.mem
+        with Out_of_memory -> raise (Mmu.Fault { fault with Mmu.cause = Mmu.No_memory })
+      in
       Page_table.set t.table ~vpn
         (Pte.make ~frame ~perm:v.Vma.attrs.Vma.prot ~pkey:v.Vma.attrs.Vma.pkey);
       true
@@ -178,11 +182,15 @@ let frames_of_range t cpu ~addr ~len =
       let pte =
         if Pte.is_present pte then pte
         else begin
-          if
-            not
-              (fault_handler t (Some cpu)
-                 { Mmu.addr = Page_table.addr_of_vpn vpn; access = Mmu.Read; cause = Mmu.Not_present })
-          then Errno.fail ENOMEM "frames_of_range: 0x%x not mapped" (Page_table.addr_of_vpn vpn);
+          (match
+             fault_handler t (Some cpu)
+               { Mmu.addr = Page_table.addr_of_vpn vpn; access = Mmu.Read; cause = Mmu.Not_present }
+           with
+          | true -> ()
+          | false ->
+              Errno.fail ENOMEM "frames_of_range: 0x%x not mapped" (Page_table.addr_of_vpn vpn)
+          | exception Mmu.Fault { Mmu.cause = Mmu.No_memory; _ } ->
+              Errno.fail ENOMEM "frames_of_range: out of physical frames");
           Page_table.get t.table ~vpn
         end
       in
@@ -222,6 +230,12 @@ let populate t cpu ~addr ~len =
   for vpn = start to start + pages - 1 do
     let pte = Page_table.get t.table ~vpn in
     if not (Pte.is_present pte) then
-      if not (fault_handler t (Some cpu) { Mmu.addr = Page_table.addr_of_vpn vpn; access = Mmu.Read; cause = Mmu.Not_present })
-      then Errno.fail ENOMEM "populate: 0x%x not mapped" (Page_table.addr_of_vpn vpn)
+      match
+        fault_handler t (Some cpu)
+          { Mmu.addr = Page_table.addr_of_vpn vpn; access = Mmu.Read; cause = Mmu.Not_present }
+      with
+      | true -> ()
+      | false -> Errno.fail ENOMEM "populate: 0x%x not mapped" (Page_table.addr_of_vpn vpn)
+      | exception Mmu.Fault { Mmu.cause = Mmu.No_memory; _ } ->
+          Errno.fail ENOMEM "populate: out of physical frames"
   done

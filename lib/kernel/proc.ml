@@ -9,13 +9,29 @@ type t = {
 }
 
 let create machine =
-  {
-    machine;
-    mm = Mm.create (Machine.mem machine);
-    sched = Sched.create machine;
-    pkeys = Pkey_bitmap.create ();
-    xonly = None;
-  }
+  let mm = Mm.create (Machine.mem machine) in
+  let sched = Sched.create machine in
+  (* Signal delivery: an unresolved user fault traps to the kernel, which
+     classifies it into a siginfo (SEGV_PKUERR carries the page's key)
+     and delivers it to the task on the faulting core. Cores with no task
+     (bare-hardware use) fall back to the raw [Mmu.Fault]. *)
+  Mmu.set_fault_sink (Mm.mmu mm) (fun cpu (fault : Mmu.fault) ->
+      match Sched.task_on sched ~core_id:(Cpu.id cpu) with
+      | None -> ()
+      | Some task ->
+          Cpu.charge cpu (Cpu.costs cpu).kernel_entry_exit;
+          let pkey =
+            match fault.Mmu.cause with
+            | Mmu.Pkey_denied ->
+                let vpn = Page_table.vpn_of_addr fault.Mmu.addr in
+                Pkey.to_int (Pte.pkey (Page_table.get (Mm.page_table mm) ~vpn))
+            | _ -> 0
+          in
+          Task.deliver_signal task (Signal.of_fault fault ~pkey));
+  (* Injected preemption ("sched.preempt") bounces the current task
+     through a real schedule_out/in pair. *)
+  Mpk_faultinj.set_preempt_action (fun core_id -> Sched.preempt sched ~core_id);
+  { machine; mm; sched; pkeys = Pkey_bitmap.create (); xonly = None }
 
 let machine t = t.machine
 let mm t = t.mm

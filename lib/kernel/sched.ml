@@ -37,6 +37,29 @@ let spawn t ~core_id =
 
 let tasks t = t.tasks
 
+let task_on t ~core_id =
+  List.find_opt
+    (fun task -> Task.state task = Task.On_cpu && Cpu.id (Task.core task) = core_id)
+    t.tasks
+
+(* Forced preemption (fault injection): bounce the on-CPU task through a
+   schedule_out/schedule_in pair. Context switches themselves charge
+   cycles — and charged events are where forced preemption fires — so a
+   reentrancy guard keeps the bounce from recursing. *)
+let preempting = ref false
+
+let preempt t ~core_id =
+  if not !preempting then
+    match task_on t ~core_id with
+    | None -> ()
+    | Some task ->
+        preempting := true;
+        Fun.protect
+          ~finally:(fun () -> preempting := false)
+          (fun () ->
+            schedule_out t task;
+            schedule_in t task)
+
 let kick _t ~from target =
   let sender = Task.core from in
   Cpu.charge sender (Cpu.costs sender).ipi_send;

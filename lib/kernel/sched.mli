@@ -20,6 +20,17 @@ val spawn : t -> core_id:int -> Task.t
 
 val tasks : t -> Task.t list
 
+(** The task currently scheduled on the given core, if any. *)
+val task_on : t -> core_id:int -> Task.t option
+
+(** Forced preemption (used by fault injection): schedule the on-CPU task
+    on [core_id] out and immediately back in — PKRU is saved and restored
+    and pending task_work drains, exactly as a real involuntary context
+    switch would. No-op if the core is idle or a preemption is already in
+    progress (context switches charge cycles, which are themselves
+    preemption points). *)
+val preempt : t -> core_id:int -> unit
+
 (** [schedule_out t task] saves PKRU into the task struct and marks the
     task off-CPU; charges a context switch. *)
 val schedule_out : t -> Task.t -> unit

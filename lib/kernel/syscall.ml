@@ -30,7 +30,14 @@ let munmap proc task ~addr ~len =
   Mm.munmap (Proc.mm proc) (Task.core task) ~addr ~len;
   shootdown_others proc task
 
+(* Fault injection: a pkey_alloc that fails with ENOSPC even though the
+   bitmap has free keys (e.g. another process raced us to them). *)
+let fp_pkey_alloc = "syscall.pkey_alloc"
+let () = Mpk_faultinj.declare fp_pkey_alloc
+
 let alloc_key proc =
+  if Mpk_faultinj.fire fp_pkey_alloc then
+    Errno.fail ENOSPC "no free protection key (injected)";
   match Pkey_bitmap.alloc (Proc.pkey_bitmap proc) with
   | Some k -> k
   | None -> Errno.fail ENOSPC "no free protection key"

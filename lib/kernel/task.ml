@@ -8,10 +8,20 @@ type t = {
   mutable state : state;
   mutable saved_pkru : Pkru.t;
   work : (t -> unit) Queue.t;
+  mutable sig_handler : Signal.handler option;
+  mutable sig_delivered : int;
 }
 
 let create ~id ~core () =
-  { id; core; state = Off_cpu; saved_pkru = Pkru.init; work = Queue.create () }
+  {
+    id;
+    core;
+    state = Off_cpu;
+    saved_pkru = Pkru.init;
+    work = Queue.create ();
+    sig_handler = None;
+    sig_delivered = 0;
+  }
 
 let id t = t.id
 let core t = t.core
@@ -30,6 +40,24 @@ let set_pkru t v =
 
 let saved_pkru t = t.saved_pkru
 let set_saved_pkru t v = t.saved_pkru <- v
+
+let set_signal_handler t h = t.sig_handler <- Some h
+let clear_signal_handler t = t.sig_handler <- None
+let signals_delivered t = t.sig_delivered
+
+let with_signal_handler t h f =
+  let prev = t.sig_handler in
+  t.sig_handler <- Some h;
+  Fun.protect ~finally:(fun () -> t.sig_handler <- prev) f
+
+let deliver_signal t si =
+  t.sig_delivered <- t.sig_delivered + 1;
+  (match t.sig_handler with
+  | Some handler -> handler si  (* escape by raising = siglongjmp idiom *)
+  | None -> ());
+  (* No handler, or the handler returned: the access would refault
+     forever, so the default disposition kills the task. *)
+  raise (Signal.Killed si)
 
 let work_add t f = Queue.add f t.work
 

@@ -31,6 +31,26 @@ val set_pkru : t -> Pkru.t -> unit
 val saved_pkru : t -> Pkru.t
 val set_saved_pkru : t -> Pkru.t -> unit
 
+(** Install the task's handler for memory-fault signals. A handler that
+    wants to survive the fault must escape by raising (the [siglongjmp]
+    idiom); returning normally still kills the task — the faulting
+    access would just refault. *)
+val set_signal_handler : t -> Signal.handler -> unit
+
+val clear_signal_handler : t -> unit
+
+(** [with_signal_handler t h f] runs [f] with [h] installed, restoring
+    the previous handler (if any) on exit — including exceptional exit. *)
+val with_signal_handler : t -> Signal.handler -> (unit -> 'a) -> 'a
+
+(** Signals delivered to this task so far (handled or fatal). *)
+val signals_delivered : t -> int
+
+(** Deliver a signal: run the handler if installed; if none is installed
+    or the handler returns normally, raises [Signal.Killed]. Called by
+    the kernel's fault sink — never returns normally. *)
+val deliver_signal : t -> Signal.siginfo -> 'a
+
 (** Append a callback to the task's [task_work] list. *)
 val work_add : t -> (t -> unit) -> unit
 

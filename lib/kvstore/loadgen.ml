@@ -63,8 +63,9 @@ let run server ~conn_rate ?(duration_s = 1.0) ?(reqs_per_conn = 10) ?(value_size
           | Some v -> data := !data + Bytes.length v
           | None -> ())
         else begin
-          Server.set server ~worker:!w ~key ~value:(Bytes.make value_size 'w');
-          data := !data + value_size
+          match Server.set server ~worker:!w ~key ~value:(Bytes.make value_size 'w') with
+          | Ok () -> data := !data + value_size
+          | Error _ -> ()
         end
       done
     end

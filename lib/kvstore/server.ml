@@ -83,33 +83,44 @@ let slab_base t = t.slab_base
 let mpk_exn t = match t.mpk with Some m -> m | None -> assert false
 
 (* Open both regions for the calling worker (or globally), run the store
-   operation, seal again. *)
+   operation, seal again. Sealing happens even when [f] escapes with an
+   exception (a signal-handler escape mid-request, an injected fault):
+   a worker must never leave the store open, and a leaked mpk_begin pin
+   would block key recycling forever. *)
 let with_store t task f =
   match t.mode with
   | Baseline -> f ()
   | Domain ->
       let mpk = mpk_exn t in
       Libmpk.mpk_begin mpk task ~vkey:slab_vkey ~prot:Perm.rw;
-      Libmpk.mpk_begin mpk task ~vkey:hash_vkey ~prot:Perm.rw;
-      let result = f () in
-      Libmpk.mpk_end mpk task ~vkey:hash_vkey;
-      Libmpk.mpk_end mpk task ~vkey:slab_vkey;
-      result
+      let hash_open = ref false in
+      Fun.protect
+        ~finally:(fun () ->
+          if !hash_open then Libmpk.mpk_end mpk task ~vkey:hash_vkey;
+          Libmpk.mpk_end mpk task ~vkey:slab_vkey)
+        (fun () ->
+          Libmpk.mpk_begin mpk task ~vkey:hash_vkey ~prot:Perm.rw;
+          hash_open := true;
+          f ())
   | Sync ->
       let mpk = mpk_exn t in
       Libmpk.mpk_mprotect mpk task ~vkey:slab_vkey ~prot:Perm.rw;
-      Libmpk.mpk_mprotect mpk task ~vkey:hash_vkey ~prot:Perm.rw;
-      let result = f () in
-      Libmpk.mpk_mprotect mpk task ~vkey:hash_vkey ~prot:Perm.none;
-      Libmpk.mpk_mprotect mpk task ~vkey:slab_vkey ~prot:Perm.none;
-      result
+      Fun.protect
+        ~finally:(fun () ->
+          Libmpk.mpk_mprotect mpk task ~vkey:hash_vkey ~prot:Perm.none;
+          Libmpk.mpk_mprotect mpk task ~vkey:slab_vkey ~prot:Perm.none)
+        (fun () ->
+          Libmpk.mpk_mprotect mpk task ~vkey:hash_vkey ~prot:Perm.rw;
+          f ())
   | Mprotect_sys ->
       Syscall.mprotect t.proc task ~addr:t.slab_base ~len:t.slab_len ~prot:Perm.rw;
-      Syscall.mprotect t.proc task ~addr:t.hash_base ~len:t.hash_len ~prot:Perm.rw;
-      let result = f () in
-      Syscall.mprotect t.proc task ~addr:t.hash_base ~len:t.hash_len ~prot:Perm.none;
-      Syscall.mprotect t.proc task ~addr:t.slab_base ~len:t.slab_len ~prot:Perm.none;
-      result
+      Fun.protect
+        ~finally:(fun () ->
+          Syscall.mprotect t.proc task ~addr:t.hash_base ~len:t.hash_len ~prot:Perm.none;
+          Syscall.mprotect t.proc task ~addr:t.slab_base ~len:t.slab_len ~prot:Perm.none)
+        (fun () ->
+          Syscall.mprotect t.proc task ~addr:t.hash_base ~len:t.hash_len ~prot:Perm.rw;
+          f ())
 
 let worker_task t i =
   if i < 0 || i >= Array.length t.workers then invalid_arg "Server: bad worker";
@@ -135,7 +146,9 @@ let delete t ~worker ~key =
 let prefill t ~items ~value_size =
   let value = Bytes.make value_size 'v' in
   for i = 0 to items - 1 do
-    set t ~worker:(i mod Array.length t.workers) ~key:(Printf.sprintf "key-%d" i) ~value
+    match set t ~worker:(i mod Array.length t.workers) ~key:(Printf.sprintf "key-%d" i) ~value with
+    | Ok () -> ()
+    | Error e -> Errno.fail e "prefill: slab exhausted after %d items" i
   done
 
 let populate_slab t ~mib =
@@ -188,11 +201,11 @@ let set_item t task ~key ~flags ~deadline payload =
   let value = encode_item ~flags ~deadline payload in
   let rec attempt tries =
     match Shash.set t.table task ~key ~value with
-    | () ->
+    | Ok () ->
         Queue.add key t.lru;
         true
-    | exception Failure _ when tries > 0 ->
-        if evict_one t task then attempt (tries - 1) else false
+    | Error _ when tries > 0 -> if evict_one t task then attempt (tries - 1) else false
+    | Error _ -> false
   in
   attempt 64
 
@@ -211,11 +224,22 @@ let get_item t task ~now ~key =
         Some (flags, payload)
       end
 
+(* Escape hatch for the per-request signal guard: the handler raises this
+   out of the faulting request; the dispatch loop catches it and answers
+   with a protocol error, so one bad request cannot take the worker down. *)
+exception Request_fault of Signal.siginfo
+
+let guard_request task f =
+  try Task.with_signal_handler task (fun si -> raise (Request_fault si)) f
+  with Request_fault si ->
+    Protocol.Server_error (Printf.sprintf "protection fault (%s)" (Signal.to_string si))
+
 let dispatch t ~worker ~now wire =
   let task = worker_task t worker in
   charge_request task;
   t.protocol_requests <- t.protocol_requests + 1;
   let response =
+    guard_request task @@ fun () ->
     match Protocol.parse_request wire with
     | Error msg -> Protocol.Server_error msg
     | Ok (Protocol.Set { key; flags; exptime; data }) ->
@@ -239,6 +263,22 @@ let dispatch t ~worker ~now wire =
             "cmd_total", string_of_int t.protocol_requests;
             "mode", mode_name t.mode;
           ]
+  in
+  Protocol.render_response response
+
+(* A deliberately buggy request path: dereferences [addr] without opening
+   the store — the kind of wild read a parsing bug produces. Under the
+   protected modes the sealed regions trip a pkey fault, which the
+   per-request guard converts to a protocol error; the worker survives.
+   Under [Baseline] the read silently succeeds and leaks the byte. *)
+let buggy_peek t ~worker ~addr =
+  let task = worker_task t worker in
+  charge_request task;
+  t.protocol_requests <- t.protocol_requests + 1;
+  let response =
+    guard_request task @@ fun () ->
+    let byte = Mmu.read_byte (Proc.mmu t.proc) (Task.core task) ~addr in
+    Protocol.Value { key = "peek"; flags = 0; data = Bytes.make 1 byte }
   in
   Protocol.render_response response
 

@@ -35,8 +35,9 @@ val request_overhead_cycles : float
 
 (** [set t ~worker ~key ~value] / [get t ~worker ~key] — one client
     request handled by the given worker thread, with the mode's
-    protection discipline around the store access. *)
-val set : t -> worker:int -> key:string -> value:bytes -> unit
+    protection discipline around the store access. [Error ENOSPC] when
+    the slab region is exhausted. *)
+val set : t -> worker:int -> key:string -> value:bytes -> (unit, Errno.t) result
 
 val get : t -> worker:int -> key:string -> bytes option
 
@@ -65,6 +66,13 @@ val dispatch : t -> worker:int -> now:float -> string -> string
 
 (** Items evicted by the LRU reclaimer so far. *)
 val items_evicted : t -> int
+
+(** [buggy_peek t ~worker ~addr] — a request path with a planted bug: it
+    reads [addr] without opening the store. In the protected modes the
+    per-request signal guard turns the resulting pkey fault into a
+    [SERVER_ERROR] response and the worker keeps serving; in [Baseline]
+    the read succeeds and the response leaks the byte. *)
+val buggy_peek : t -> worker:int -> addr:int -> string
 
 (** Direct (attacker) access to the slab region from a non-worker task:
     used by security tests. *)

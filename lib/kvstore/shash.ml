@@ -76,33 +76,32 @@ let set t task ~key ~value =
   let keylen = String.length key in
   let vallen = Bytes.length value in
   let size = header_bytes + keylen + vallen in
-  let entry =
-    match Slab.alloc t.slab ~size with
-    | Some addr -> addr
-    | None -> failwith "Shash.set: slab region exhausted"
-  in
-  let slot = bucket_addr t key in
-  let old = find_with_prev t task ~key in
-  let head = read_ptr t task slot in
-  (* head insert *)
-  write_ptr t task entry head;
-  let hdr = Bytes.create 8 in
-  Bytes.set_uint16_le hdr 0 keylen;
-  Bytes.set_int32_le hdr 2 (Int32.of_int vallen);
-  Bytes.set_uint16_le hdr 6 0;
-  Mmu.write_bytes mmu core ~addr:(entry + 8) hdr;
-  Mmu.write_bytes mmu core ~addr:(entry + header_bytes) (Bytes.of_string key);
-  Mmu.write_bytes mmu core ~addr:(entry + header_bytes + keylen) value;
-  write_ptr t task slot entry;
-  t.entries <- t.entries + 1;
-  (* drop a shadowed older version *)
-  match old with
-  | Some (prev_link, old_entry, next, _, _) ->
-      let prev_link = if prev_link = slot then entry else prev_link in
-      unlink t task ~prev_link ~entry:old_entry ~next;
-      Slab.free t.slab ~addr:old_entry;
-      t.entries <- t.entries - 1
-  | None -> ()
+  match Slab.alloc t.slab ~size with
+  | None -> Error Errno.ENOSPC
+  | Some entry ->
+      let slot = bucket_addr t key in
+      let old = find_with_prev t task ~key in
+      let head = read_ptr t task slot in
+      (* head insert *)
+      write_ptr t task entry head;
+      let hdr = Bytes.create 8 in
+      Bytes.set_uint16_le hdr 0 keylen;
+      Bytes.set_int32_le hdr 2 (Int32.of_int vallen);
+      Bytes.set_uint16_le hdr 6 0;
+      Mmu.write_bytes mmu core ~addr:(entry + 8) hdr;
+      Mmu.write_bytes mmu core ~addr:(entry + header_bytes) (Bytes.of_string key);
+      Mmu.write_bytes mmu core ~addr:(entry + header_bytes + keylen) value;
+      write_ptr t task slot entry;
+      t.entries <- t.entries + 1;
+      (* drop a shadowed older version *)
+      (match old with
+      | Some (prev_link, old_entry, next, _, _) ->
+          let prev_link = if prev_link = slot then entry else prev_link in
+          unlink t task ~prev_link ~entry:old_entry ~next;
+          Slab.free t.slab ~addr:old_entry;
+          t.entries <- t.entries - 1
+      | None -> ());
+      Ok ()
 
 let get t task ~key =
   match find_with_prev t task ~key with

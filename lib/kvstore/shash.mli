@@ -18,9 +18,10 @@ val create : Proc.t -> buckets:int -> bucket_base:int -> Slab.t -> t
 
 val buckets : t -> int
 
-(** [set t task ~key ~value] — insert or overwrite. Raises [Failure] when
-    the slab region is exhausted. *)
-val set : t -> Task.t -> key:string -> value:bytes -> unit
+(** [set t task ~key ~value] — insert or overwrite. [Error ENOSPC] when
+    the slab region is exhausted (the caller decides whether to evict,
+    report, or fail — nothing is written in that case). *)
+val set : t -> Task.t -> key:string -> value:bytes -> (unit, Errno.t) result
 
 val get : t -> Task.t -> key:string -> bytes option
 

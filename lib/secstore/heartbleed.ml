@@ -9,6 +9,7 @@ let echo ks task ~payload ~claimed_len =
   match Keystore.attacker_read ks task ~addr:buf ~len:claimed_len with
   | data -> Leaked data
   | exception Mmu.Fault f -> Crashed (Mmu.fault_to_string f)
+  | exception Signal.Killed si -> Crashed (Signal.to_string si)
 
 let contains ~needle hay =
   let n = Bytes.length needle and h = Bytes.length hay in

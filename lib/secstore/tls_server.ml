@@ -58,6 +58,27 @@ let verify_server t ~client_random ~blob ~signature =
 
 let session_key s = s.key
 
+type heartbeat_outcome = Served of bytes | Rejected of Signal.siginfo
+
+exception Heartbeat_fault of Signal.siginfo
+
+(* The Heartbleed-shaped request: echo [claimed_len] bytes from a buffer
+   that only holds [payload]. An honest length echoes; an over-long one
+   walks into protected memory, and instead of leaking (Baseline) or
+   dying, the worker catches its own SIGSEGV, drops the request, and the
+   session stays usable. *)
+let handle_heartbeat t task ~payload ~claimed_len =
+  let core = Task.core task in
+  let mmu = Proc.mmu t.proc in
+  let buf = Keystore.alloc_request_buffer t.ks task ~len:(Bytes.length payload) in
+  Mmu.write_bytes mmu core ~addr:buf payload;
+  Cpu.charge core (float_of_int (max 1 claimed_len) *. per_byte_cycles);
+  try
+    Task.with_signal_handler task
+      (fun si -> raise (Heartbeat_fault si))
+      (fun () -> Served (Mmu.read_bytes mmu core ~addr:buf ~len:claimed_len))
+  with Heartbeat_fault si -> Rejected si
+
 let serve t task session ~size =
   ignore t.proc;
   let core = Task.core task in

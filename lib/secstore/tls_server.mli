@@ -55,3 +55,18 @@ val session_key : session -> bytes
     response: decrypt-request + build + encrypt-response, all charged to
     the task's core. Returns the (encrypted) response. *)
 val serve : t -> Task.t -> session -> size:int -> bytes
+
+(** Outcome of a heartbeat request (the Heartbleed probe). *)
+type heartbeat_outcome =
+  | Served of bytes  (** echoed bytes — over-long reads leak memory *)
+  | Rejected of Signal.siginfo
+      (** the read faulted on protected memory; the worker caught the
+          signal, dropped the request and keeps serving *)
+
+(** [handle_heartbeat t task ~payload ~claimed_len] — echo [claimed_len]
+    bytes back from a request buffer holding [payload]. The worker
+    installs a signal handler for the duration of the copy, so a pkey
+    fault on the keystore's pages rejects the one request instead of
+    killing the server. *)
+val handle_heartbeat :
+  t -> Task.t -> payload:bytes -> claimed_len:int -> heartbeat_outcome

@@ -203,7 +203,7 @@ let test_eviction_preserves_exec_bit () =
   (* fetch still works; data access still blocked *)
   ignore (Mmu.fetch mmu core ~addr:code_addr ~len:1);
   match Mmu.read_byte mmu core ~addr:code_addr with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "evicted code group readable"
 
 let update_range_matches_per_page =
@@ -263,7 +263,7 @@ let test_mpk_begin_nested () =
   Alcotest.(check bool) "still pinned" true (Libmpk.Key_cache.pinned (Libmpk.cache mpk) 1);
   Libmpk.mpk_end mpk main ~vkey:1;
   match Mmu.read_byte mmu core ~addr with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "accessible after final end"
 
 let test_xonly_munmap_releases_reserve () =
@@ -289,12 +289,12 @@ let test_begin_concurrent_threads_independent_rights () =
   (* main closes its domain: main loses access, other keeps its own *)
   Libmpk.mpk_end mpk main ~vkey:1;
   (match Mmu.read_byte mmu (Task.core main) ~addr with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "main kept access after its own end");
   ignore (Mmu.read_byte mmu (Task.core other) ~addr);
   Libmpk.mpk_end mpk other ~vkey:1;
   match Mmu.read_byte mmu (Task.core other) ~addr with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "other kept access after its end"
 
 let test_end_by_non_holder_rejected () =
@@ -323,7 +323,7 @@ let test_munmap_scrubs_recycled_key_rights () =
   List.iter
     (fun task ->
       match Mmu.read_byte mmu (Task.core task) ~addr:secret with
-      | exception Mmu.Fault _ -> ()
+      | exception Signal.Killed _ -> ()
       | _ -> Alcotest.failf "thread %d inherited rights through a recycled key" (Task.id task))
     [ main; other ]
 

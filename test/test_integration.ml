@@ -51,16 +51,16 @@ let test_three_apps_one_libmpk () =
   (* attacker can't read the TLS key... *)
   let key_addr, key_len = Mpk_secstore.Keystore.secret_region (Mpk_secstore.Tls_server.keystore tls) in
   (match Mmu.read_bytes mmu (Task.core attacker) ~addr:key_addr ~len:key_len with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "attacker read the TLS private key");
   (* ...or write the code cache... *)
   (let entry = Option.get (Mpk_jit.Codecache.find (Mpk_jit.Engine.cache engine) ~name:fname) in
    match Mmu.write_byte mmu (Task.core attacker) ~addr:entry.Mpk_jit.Codecache.addr 'X' with
-   | exception Mmu.Fault _ -> ()
+   | exception Signal.Killed _ -> ()
    | _ -> Alcotest.fail "attacker wrote the JIT code cache");
   (* ...or read the sealed module... *)
   (match Mmu.read_byte mmu (Task.core attacker) ~addr:m.Mpk_jit.Xom.base with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "attacker read the XOM module");
   (* ...while everything keeps working for legitimate threads *)
   ignore (Mpk_jit.Engine.run engine jit_thread fname);
@@ -91,7 +91,7 @@ let test_interleaved_domains () =
   Mpk_jit.Engine.patch engine t1 f;
   (* t1 must not see t0's open domain *)
   (match Mmu.read_byte mmu (Task.core t1) ~addr:secret with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "JIT thread read the open keystore domain");
   (* and t0's domain is still open and intact *)
   Alcotest.(check char) "t0 still inside its domain" 's'

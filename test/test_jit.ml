@@ -104,7 +104,7 @@ let test_bytecode_needs_exec () =
   let addr = Syscall.mmap proc task ~len:4096 ~prot:Perm.rw () in
   Mmu.write_bytes (Proc.mmu proc) (Task.core task) ~addr code;
   match Bytecode.execute (Proc.mmu proc) (Task.core task) ~addr ~len:(Bytes.length code) with
-  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_accerr; _ } -> ()
   | _ -> Alcotest.fail "executed non-executable memory"
 
 let bytecode_matches_host =
@@ -170,7 +170,7 @@ let test_cache_not_writable_outside_window () =
       match
         Mmu.write_byte (Proc.mmu proc) (Task.core task) ~addr:entry.Codecache.addr 'X'
       with
-      | exception Mmu.Fault _ -> ()
+      | exception Signal.Killed _ -> ()
       | _ -> Alcotest.failf "%s: code writable outside update window" (Wx.to_string strategy))
     [ Wx.Mprotect; Wx.Key_per_page; Wx.Key_per_process; Wx.Sdcg ]
 
@@ -312,7 +312,7 @@ let test_xom_sealed_unreadable_all_threads () =
   List.iter
     (fun t ->
       match Mmu.read_byte (Proc.mmu proc) (Task.core t) ~addr:m.Xom.base with
-      | exception Mmu.Fault _ -> ()
+      | exception Signal.Killed _ -> ()
       | _ -> Alcotest.fail "sealed module readable (code disclosure!)")
     [ task; other ]
 

@@ -241,7 +241,7 @@ let test_mm_munmap () =
   let addr = Mm.mmap (Proc.mm proc) core ~len:4096 ~prot:Perm.rw () in
   Mm.munmap (Proc.mm proc) core ~addr ~len:4096;
   (match Mmu.read_byte (Proc.mmu proc) core ~addr with
-  | exception Mmu.Fault { cause = Mmu.Not_present; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_maperr; _ } -> ()
   | _ -> Alcotest.fail "expected not-present fault");
   Alcotest.(check int) "frames released" 0 (Physmem.frames_in_use (Machine.mem (Proc.machine proc)))
 
@@ -270,7 +270,7 @@ let test_mm_change_protection () =
   Alcotest.(check int) "1 vma" 1 r.Mm.vmas_touched;
   Alcotest.(check int) "no splits" 0 r.Mm.splits;
   match Mmu.write_byte (Proc.mmu proc) core ~addr 'x' with
-  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_accerr; _ } -> ()
   | _ -> Alcotest.fail "write should fault after mprotect(r)"
 
 let test_mm_change_protection_partial () =
@@ -293,7 +293,7 @@ let test_mm_change_protection_flushes_tlb () =
   ignore (Mm.change_protection mm core ~addr ~len:4096 ~prot:Perm.none);
   (* Without the flush the stale TLB entry would still allow the read. *)
   match Mmu.read_byte (Proc.mmu proc) core ~addr with
-  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_accerr; _ } -> ()
   | _ -> Alcotest.fail "stale TLB entry allowed a revoked access"
 
 let test_mm_unmapped_mprotect_fails () =
@@ -350,7 +350,7 @@ let test_shared_mapping_asymmetric_perms () =
   Mmu.write_byte (Proc.mmu writer) (Task.core tw) ~addr:aw '\x90';
   ignore (Mmu.fetch (Proc.mmu executor) (Task.core tx) ~addr:ax ~len:1);
   match Mmu.write_byte (Proc.mmu executor) (Task.core tx) ~addr:ax 'x' with
-  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_accerr; _ } -> ()
   | _ -> Alcotest.fail "executor wrote a read-only shared mapping"
 
 let test_shared_frames_refcounted () =
@@ -423,7 +423,7 @@ let test_pkey_mprotect_gates_access () =
   let k = Syscall.pkey_alloc proc task ~init_rights:Pkru.No_access in
   Syscall.pkey_mprotect proc task ~addr ~len:4096 ~prot:Perm.rw ~pkey:k;
   (match Mmu.read_byte mmu core ~addr with
-  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_pkuerr; _ } -> ()
   | _ -> Alcotest.fail "pkey should deny");
   Cpu.wrpkru core (Pkru.set_rights (Cpu.pkru core) k Pkru.Read_write);
   Mmu.write_byte mmu core ~addr 'y'
@@ -475,7 +475,7 @@ let test_exec_only_memory () =
   Syscall.mprotect proc task ~addr ~len:4096 ~prot:Perm.x_only;
   ignore (Mmu.fetch mmu core ~addr ~len:3);
   match Mmu.read_byte mmu core ~addr with
-  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_pkuerr; _ } -> ()
   | _ -> Alcotest.fail "exec-only page readable by owner"
 
 let test_exec_only_gap_other_thread () =
@@ -492,7 +492,7 @@ let test_exec_only_gap_other_thread () =
   Syscall.mprotect proc t0 ~addr ~len:4096 ~prot:Perm.x_only;
   (* Owner cannot read... *)
   (match Mmu.read_byte (Proc.mmu proc) (Task.core t0) ~addr with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "owner read should fault");
   (* ...but t1 still can: the gap. *)
   Alcotest.(check char) "other thread reads exec-only memory" 's'

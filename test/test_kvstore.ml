@@ -75,8 +75,8 @@ let slab_invariant_random =
 
 let test_hash_set_get () =
   let srv = Server.create ~mode:Server.Baseline ~workers:1 ~slab_mib:8 ~buckets:64 () in
-  Server.set srv ~worker:0 ~key:"alpha" ~value:(Bytes.of_string "one");
-  Server.set srv ~worker:0 ~key:"beta" ~value:(Bytes.of_string "two");
+  ignore (Server.set srv ~worker:0 ~key:"alpha" ~value:(Bytes.of_string "one") : (unit, _) result);
+  ignore (Server.set srv ~worker:0 ~key:"beta" ~value:(Bytes.of_string "two") : (unit, _) result);
   Alcotest.(check (option string)) "alpha" (Some "one")
     (Option.map Bytes.to_string (Server.get srv ~worker:0 ~key:"alpha"));
   Alcotest.(check (option string)) "beta" (Some "two")
@@ -86,14 +86,14 @@ let test_hash_set_get () =
 
 let test_hash_overwrite () =
   let srv = Server.create ~mode:Server.Baseline ~workers:1 ~slab_mib:8 ~buckets:64 () in
-  Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v1");
-  Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v2-longer");
+  ignore (Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v1") : (unit, _) result);
+  ignore (Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v2-longer") : (unit, _) result);
   Alcotest.(check (option string)) "overwritten" (Some "v2-longer")
     (Option.map Bytes.to_string (Server.get srv ~worker:0 ~key:"k"))
 
 let test_hash_delete () =
   let srv = Server.create ~mode:Server.Baseline ~workers:1 ~slab_mib:8 ~buckets:64 () in
-  Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v");
+  ignore (Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v") : (unit, _) result);
   Alcotest.(check bool) "deleted" true (Server.delete srv ~worker:0 ~key:"k");
   Alcotest.(check bool) "gone" true (Server.get srv ~worker:0 ~key:"k" = None);
   Alcotest.(check bool) "double delete" false (Server.delete srv ~worker:0 ~key:"k")
@@ -103,8 +103,10 @@ let test_hash_collisions () =
   let srv = Server.create ~mode:Server.Baseline ~workers:1 ~slab_mib:8 ~buckets:2 () in
   let n = 50 in
   for i = 0 to n - 1 do
-    Server.set srv ~worker:0 ~key:(Printf.sprintf "key%d" i)
-      ~value:(Bytes.of_string (string_of_int (i * i)))
+    ignore
+      (Server.set srv ~worker:0 ~key:(Printf.sprintf "key%d" i)
+         ~value:(Bytes.of_string (string_of_int (i * i)))
+        : (unit, _) result)
   done;
   for i = 0 to n - 1 do
     Alcotest.(check (option string)) (Printf.sprintf "key%d" i)
@@ -132,7 +134,7 @@ let hash_model_property =
           let key = Printf.sprintf "k%d" k in
           match op with
           | 0 ->
-              Server.set srv ~worker:0 ~key ~value:(Bytes.of_string v);
+              ignore (Server.set srv ~worker:0 ~key ~value:(Bytes.of_string v) : (unit, _) result);
               Hashtbl.replace model key v;
               true
           | 1 ->
@@ -153,49 +155,49 @@ let test_all_modes_work () =
   List.iter
     (fun mode ->
       let srv = Server.create ~mode ~workers:2 ~slab_mib:8 ~buckets:64 () in
-      Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v");
+      ignore (Server.set srv ~worker:0 ~key:"k" ~value:(Bytes.of_string "v") : (unit, _) result);
       Alcotest.(check (option string)) (Server.mode_name mode) (Some "v")
         (Option.map Bytes.to_string (Server.get srv ~worker:1 ~key:"k")))
     all_modes
 
 let test_domain_blocks_attacker () =
   let srv = Server.create ~mode:Server.Domain ~workers:2 ~slab_mib:8 ~buckets:64 () in
-  Server.set srv ~worker:0 ~key:"secret" ~value:(Bytes.of_string "hunter2");
+  ignore (Server.set srv ~worker:0 ~key:"secret" ~value:(Bytes.of_string "hunter2") : (unit, _) result);
   let attacker = Server.attacker_task srv in
   match
     Mmu.read_bytes (Proc.mmu (Server.proc srv)) (Task.core attacker)
       ~addr:(Server.slab_base srv) ~len:64
   with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "attacker read slab memory in Domain mode"
 
 let test_sync_blocks_attacker_between_requests () =
   let srv = Server.create ~mode:Server.Sync ~workers:2 ~slab_mib:8 ~buckets:64 () in
-  Server.set srv ~worker:0 ~key:"secret" ~value:(Bytes.of_string "hunter2");
+  ignore (Server.set srv ~worker:0 ~key:"secret" ~value:(Bytes.of_string "hunter2") : (unit, _) result);
   let attacker = Server.attacker_task srv in
   match
     Mmu.read_bytes (Proc.mmu (Server.proc srv)) (Task.core attacker)
       ~addr:(Server.slab_base srv) ~len:64
   with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "attacker read slab memory in Sync mode (sealed between requests)"
 
 let test_mprotect_blocks_attacker_between_requests () =
   let srv = Server.create ~mode:Server.Mprotect_sys ~workers:2 ~slab_mib:8 ~buckets:64 () in
-  Server.set srv ~worker:0 ~key:"secret" ~value:(Bytes.of_string "hunter2");
+  ignore (Server.set srv ~worker:0 ~key:"secret" ~value:(Bytes.of_string "hunter2") : (unit, _) result);
   let attacker = Server.attacker_task srv in
   match
     Mmu.read_bytes (Proc.mmu (Server.proc srv)) (Task.core attacker)
       ~addr:(Server.slab_base srv) ~len:64
   with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "attacker read slab memory in Mprotect mode"
 
 let test_baseline_attacker_succeeds () =
   (* Unprotected Memcached: an arbitrary-read attacker wins (the paper's
      motivation). *)
   let srv = Server.create ~mode:Server.Baseline ~workers:1 ~slab_mib:8 ~buckets:64 () in
-  Server.set srv ~worker:0 ~key:"secret" ~value:(Bytes.of_string "hunter2");
+  ignore (Server.set srv ~worker:0 ~key:"secret" ~value:(Bytes.of_string "hunter2") : (unit, _) result);
   let attacker = Server.attacker_task srv in
   ignore
     (Mmu.read_bytes (Proc.mmu (Server.proc srv)) (Task.core attacker)
@@ -312,8 +314,43 @@ let test_dispatch_protected_isolation_intact () =
     Mmu.read_bytes (Proc.mmu (Server.proc srv)) (Task.core attacker)
       ~addr:(Server.slab_base srv) ~len:64
   with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "slab readable after a protocol request"
+
+let test_dispatch_survives_buggy_request () =
+  (* a pkey fault inside one request becomes a SERVER_ERROR response; the
+     worker answers the next request as if nothing happened *)
+  let srv = Server.create ~mode:Server.Domain ~workers:1 ~slab_mib:8 ~buckets:64 () in
+  let d = Server.dispatch srv ~worker:0 ~now:0.0 in
+  Alcotest.(check string) "set" "STORED\r\n" (d "set k 0 0 5\r\nhello\r\n");
+  let reply = Server.buggy_peek srv ~worker:0 ~addr:(Server.slab_base srv) in
+  Alcotest.(check bool)
+    (Printf.sprintf "buggy request -> SERVER_ERROR (%S)" reply)
+    true
+    (String.length reply >= 12 && String.sub reply 0 12 = "SERVER_ERROR");
+  Alcotest.(check string) "next request still served" "VALUE k 0 5\r\nhello\r\nEND\r\n"
+    (d "get k\r\n");
+  (* in Baseline there is no key on the slab: the planted bug leaks *)
+  let srv = Server.create ~mode:Server.Baseline ~workers:1 ~slab_mib:8 ~buckets:64 () in
+  let reply = Server.buggy_peek srv ~worker:0 ~addr:(Server.slab_base srv) in
+  Alcotest.(check bool) "baseline leaks instead" true
+    (String.length reply >= 5 && String.sub reply 0 5 = "VALUE")
+
+let test_set_enospc_is_server_error () =
+  (* the raw Server.set path (no LRU reclaim) surfaces slab exhaustion as
+     a typed ENOSPC, not an exception; the store keeps serving reads *)
+  let srv = Server.create ~mode:Server.Domain ~workers:1 ~slab_mib:1 ~buckets:64 () in
+  let value = Bytes.make 60_000 'x' in  (* 64 KiB class: 16 chunks per 1 MiB slab *)
+  let enospc = ref 0 in
+  for i = 0 to 19 do
+    match Server.set srv ~worker:0 ~key:(Printf.sprintf "k%d" i) ~value with
+    | Ok () -> ()
+    | Error Errno.ENOSPC -> incr enospc
+    | Error e -> Alcotest.failf "expected ENOSPC, got %s" (Errno.to_string e)
+  done;
+  Alcotest.(check bool) "exhaustion reported as ENOSPC" true (!enospc > 0);
+  Alcotest.(check bool) "earlier items still served" true
+    (Server.get srv ~worker:0 ~key:"k0" <> None)
 
 (* --- Loadgen --- *)
 
@@ -408,6 +445,8 @@ let () =
           tc "lru eviction" `Quick test_dispatch_lru_eviction;
           tc "stats" `Quick test_dispatch_stats;
           tc "isolation intact" `Quick test_dispatch_protected_isolation_intact;
+          tc "survives buggy request" `Quick test_dispatch_survives_buggy_request;
+          tc "ENOSPC -> SERVER_ERROR" `Quick test_set_enospc_is_server_error;
         ] );
       ( "loadgen",
         [

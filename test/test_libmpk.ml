@@ -205,7 +205,7 @@ let test_mmap_creates_inaccessible_group () =
   let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
   (* Before mpk_begin nobody can touch the group. *)
   match Mmu.read_byte (Proc.mmu proc) (Task.core main) ~addr with
-  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_pkuerr; _ } -> ()
   | _ -> Alcotest.fail "group accessible before mpk_begin"
 
 let test_mmap_duplicate_vkey_rejected () =
@@ -221,7 +221,7 @@ let test_munmap_frees_everything () =
   Libmpk.mpk_munmap mpk main ~vkey:1;
   Alcotest.(check int) "group gone" 0 (Libmpk.group_count mpk);
   (match Mmu.read_byte (Proc.mmu proc) (Task.core main) ~addr with
-  | exception Mmu.Fault { cause = Mmu.Not_present; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_maperr; _ } -> ()
   | _ -> Alcotest.fail "pages still mapped");
   (* vkey and hardware key are reusable afterwards *)
   ignore (Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw)
@@ -245,7 +245,7 @@ let test_begin_end_basic () =
     (Bytes.to_string (Mmu.read_bytes mmu core ~addr ~len:6));
   Libmpk.mpk_end mpk main ~vkey:1;
   match Mmu.read_byte mmu core ~addr with
-  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_pkuerr; _ } -> ()
   | _ -> Alcotest.fail "accessible after mpk_end (paper Fig 5 says SEGFAULT)"
 
 let test_begin_is_thread_local () =
@@ -257,7 +257,7 @@ let test_begin_is_thread_local () =
   Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;
   Mmu.write_byte (Proc.mmu proc) (Task.core main) ~addr 's';
   (match Mmu.read_byte (Proc.mmu proc) (Task.core other) ~addr with
-  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_pkuerr; _ } -> ()
   | _ -> Alcotest.fail "other thread can read an open domain");
   Libmpk.mpk_end mpk main ~vkey:1
 
@@ -267,7 +267,7 @@ let test_begin_read_only () =
   Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.r;
   ignore (Mmu.read_byte (Proc.mmu proc) (Task.core main) ~addr);
   (match Mmu.write_byte (Proc.mmu proc) (Task.core main) ~addr 'x' with
-  | exception Mmu.Fault { cause = Mmu.Pkey_denied; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_pkuerr; _ } -> ()
   | _ -> Alcotest.fail "read-only domain allowed a write");
   Libmpk.mpk_end mpk main ~vkey:1
 
@@ -317,7 +317,7 @@ let test_virtualization_past_16_groups () =
   (* Every group keeps its data and its isolation, mapped or evicted. *)
   for v = 1 to n do
     (match Mmu.read_byte mmu core ~addr:addrs.(v) with
-    | exception Mmu.Fault _ -> ()
+    | exception Signal.Killed _ -> ()
     | _ -> Alcotest.failf "group %d accessible outside a domain" v);
     Libmpk.mpk_begin mpk main ~vkey:v ~prot:Perm.r;
     Alcotest.(check char) "data survives eviction cycles" (Char.chr (v land 0xff))
@@ -344,7 +344,7 @@ let test_no_key_use_after_free_via_libmpk () =
   (* Group 1's pages must not have become accessible through any stale
      key/rights pair. *)
   match Mmu.read_byte mmu core ~addr:addr1 with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "evicted group readable: key-use-after-free through libmpk"
 
 (* --- Metadata protection --- *)
@@ -355,7 +355,7 @@ let test_metadata_user_write_faults () =
   let md = Libmpk.metadata mpk in
   let addr = Libmpk.Metadata.slot_addr md ~slot:0 in
   match Mmu.write_byte (Proc.mmu proc) (Task.core main) ~addr 'X' with
-  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_accerr; _ } -> ()
   | _ -> Alcotest.fail "metadata writable from userspace"
 
 let test_metadata_user_read_ok () =
@@ -425,10 +425,10 @@ let test_mprotect_global_semantics () =
   Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.r;
   ignore (Mmu.read_byte mmu (Task.core other) ~addr);
   (match Mmu.write_byte mmu (Task.core other) ~addr 'c' with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "other thread wrote after global r--");
   match Mmu.write_byte mmu (Task.core main) ~addr 'c' with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "caller wrote after global r--"
 
 let test_mprotect_lazy_sync_descheduled () =
@@ -442,7 +442,7 @@ let test_mprotect_lazy_sync_descheduled () =
      can run again. *)
   Sched.schedule_in (Proc.sched proc) other;
   match Mmu.read_byte (Proc.mmu proc) (Task.core other) ~addr with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "descheduled thread kept stale access"
 
 let test_mprotect_exec_bit_change () =
@@ -453,7 +453,7 @@ let test_mprotect_exec_bit_change () =
   Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rw;
   Mmu.write_bytes mmu core ~addr (Bytes.of_string "\xc3");
   (match Mmu.fetch mmu core ~addr ~len:1 with
-  | exception Mmu.Fault { cause = Mmu.Page_perm; _ } -> ()
+  | exception Signal.Killed { Signal.code = Signal.Segv_accerr; _ } -> ()
   | _ -> Alcotest.fail "fetch before exec granted");
   Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:Perm.rwx;
   ignore (Mmu.fetch mmu core ~addr ~len:1)
@@ -472,10 +472,10 @@ let test_mprotect_exec_only_reserved_key () =
   ignore (Mmu.fetch mmu (Task.core main) ~addr ~len:2);
   ignore (Mmu.fetch mmu (Task.core other) ~addr ~len:2);
   (match Mmu.read_byte mmu (Task.core main) ~addr with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "owner read exec-only");
   (match Mmu.read_byte mmu (Task.core other) ~addr with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "other thread read exec-only (the gap libmpk closes)");
   (* A second exec-only group shares the reserved key. *)
   ignore (Libmpk.mpk_mmap mpk main ~vkey:2 ~len:page ~prot:Perm.rw);
@@ -504,7 +504,7 @@ let test_mprotect_eviction_rate_zero_falls_back () =
   Mmu.write_byte mmu core ~addr:addr16 'x';
   Libmpk.mpk_mprotect mpk main ~vkey:16 ~prot:Perm.none;
   (match Mmu.read_byte mmu core ~addr:addr16 with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "permission not enforced by fallback");
   Alcotest.(check int) "no evictions happened" ev_before
     (Libmpk.Key_cache.evictions (Libmpk.cache mpk))
@@ -544,7 +544,7 @@ let test_malloc_free_basic () =
     (Bytes.to_string (Mmu.read_bytes mmu core ~addr:a ~len:12));
   Libmpk.mpk_end mpk main ~vkey:1;
   (match Mmu.read_byte mmu core ~addr:a with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "heap block accessible outside domain");
   Libmpk.mpk_free mpk main ~vkey:1 ~addr:a
 
@@ -597,7 +597,7 @@ let test_mprotect_then_begin_interleave () =
   Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;
   Mmu.write_byte mmu (Task.core main) ~addr 'd';
   (match Mmu.read_byte mmu (Task.core other) ~addr with
-  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "other thread saw the domain");
   Libmpk.mpk_end mpk main ~vkey:1;
   (* back to global *)

@@ -103,7 +103,7 @@ let run_sequence ?(hw_keys = 15) ops =
             let got =
               match Mmu.read_byte mmu (Task.core task) ~addr:g.addr with
               | c -> Some c
-              | exception Mmu.Fault _ -> None
+              | exception Signal.Killed _ -> None
             in
             match expect, got with
             | true, Some c ->
@@ -182,7 +182,7 @@ let run_sequence ?(hw_keys = 15) ops =
               ignore
                 (match Mmu.read_byte mmu (Task.core threads.(thread)) ~addr:g.addr with
                 | (_ : char) -> ()
-                | exception Mmu.Fault _ -> ())
+                | exception Signal.Killed _ -> ())
           | None -> ()));
       check_invariants op)
     ops;

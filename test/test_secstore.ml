@@ -49,7 +49,7 @@ let test_keystore_protected_key_unreadable_outside_domain () =
   ignore (Keystore.store ks main (keypair 3L));
   let addr, len = Keystore.secret_region ks in
   match Keystore.attacker_read ks main ~addr ~len with
-  | exception Mpk_hw.Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ()
   | _ -> Alcotest.fail "secret readable outside mpk_begin"
 
 (* --- Heartbleed --- *)
@@ -143,6 +143,34 @@ let test_serve_charges_by_size () =
   let large = measure (512 * 1024) in
   Alcotest.(check bool) "large costs more" true (large > 100.0 *. small)
 
+let test_heartbeat_rejected_then_serves () =
+  (* the Heartbleed probe against the hardened server: the over-read hits
+     the keystore's pkey, the worker's signal handler rejects the one
+     request, and the server completes a fresh handshake + request after *)
+  let proc, main, _ = make_env () in
+  let mpk = Libmpk.init ~evict_rate:1.0 proc main in
+  let server = Tls_server.create ~mode:Keystore.Protected proc main ~mpk ~seed:31L () in
+  (* the probe: claim far more than was sent — the first request buffer
+     sits directly below the keystore group, so the over-read walks into
+     its pkey-protected pages *)
+  (match Tls_server.handle_heartbeat server main ~payload:(Bytes.of_string "ping") ~claimed_len:65536 with
+  | Tls_server.Served data ->
+      Alcotest.failf "probe served: leaked %d bytes" (Bytes.length data)
+  | Tls_server.Rejected si -> (
+      match si.Signal.code with
+      | Signal.Segv_pkuerr -> ()
+      | c -> Alcotest.failf "expected SEGV_PKUERR, got %s" (Signal.code_to_string c)));
+  (* an honest heartbeat afterwards: served *)
+  (match Tls_server.handle_heartbeat server main ~payload:(Bytes.of_string "ping") ~claimed_len:4 with
+  | Tls_server.Served data -> Alcotest.(check string) "echo" "ping" (Bytes.to_string data)
+  | Tls_server.Rejected si -> Alcotest.failf "honest heartbeat rejected: %s" (Signal.to_string si));
+  (* the worker survived: next client is served normally *)
+  let prng = Mpk_util.Prng.create ~seed:32L in
+  let blob, client_key = Tls_server.client_hello server prng in
+  let session = Tls_server.accept server main blob in
+  Alcotest.(check bytes) "handshake after the probe" client_key (Tls_server.session_key session);
+  ignore (Tls_server.serve server main session ~size:1024)
+
 let test_loadgen_overhead_under_one_percent () =
   (* Fig 11's claim: libmpk costs < 1% of throughput. *)
   let throughput mode =
@@ -188,6 +216,7 @@ let () =
           tc "handshake agrees" `Quick test_handshake_agrees;
           tc "authenticated handshake" `Quick test_authenticated_handshake;
           tc "serve charges by size" `Quick test_serve_charges_by_size;
+          tc "heartbeat rejected, server survives" `Quick test_heartbeat_rejected_then_serves;
           tc "libmpk overhead <1%" `Quick test_loadgen_overhead_under_one_percent;
         ] );
     ]

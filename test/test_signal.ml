@@ -1,0 +1,302 @@
+(* Pkey-fault signal delivery and fault-injection exception safety.
+
+   Part 1 mirrors the kernel contract: an unresolved user fault becomes a
+   SIGSEGV (SEGV_MAPERR / SEGV_ACCERR / SEGV_PKUERR, the latter carrying
+   si_pkey) or a SIGBUS on frame exhaustion, delivered to the faulting
+   task's handler; with no handler — or a handler that returns normally —
+   the task is killed ([Signal.Killed]).
+
+   Part 2 arms each registered failure point individually and checks that
+   the library degrades gracefully: typed errors out, invariants intact
+   (the PR-2 auditor is the oracle), and the same call succeeds once the
+   fault is disarmed. *)
+
+open Mpk_hw
+open Mpk_kernel
+
+let page = Physmem.page_size
+
+let make_env ?(cores = 2) ?hw_keys () =
+  Mpk_faultinj.reset ();
+  let machine = Machine.create ~cores ~mem_mib:64 () in
+  let proc = Proc.create machine in
+  let main = Proc.spawn proc ~core_id:0 () in
+  let mpk = Libmpk.init ?hw_keys ~evict_rate:1.0 proc main in
+  (mpk, proc, main)
+
+let read proc task ~addr = Mmu.read_byte (Proc.mmu proc) (Task.core task) ~addr
+let write proc task ~addr c = Mmu.write_byte (Proc.mmu proc) (Task.core task) ~addr c
+
+(* The siglongjmp idiom: the handler escapes by raising, the caller
+   resumes at the "sigsetjmp point" with the siginfo in hand. *)
+exception Recovered of Signal.siginfo
+
+let catch_signal task f =
+  match Task.with_signal_handler task (fun si -> raise (Recovered si)) f with
+  | _ -> None
+  | exception Recovered si -> Some si
+
+let audit_clean what mpk =
+  match Mpk_check.Audit.run mpk with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "%s: auditor flagged %d violation(s): %s" what (List.length vs)
+        (String.concat "; "
+           (List.map (fun v -> Format.asprintf "%a" Mpk_check.Audit.pp_violation v) vs))
+
+(* --- part 1: classification and delivery ------------------------------- *)
+
+let test_pkuerr_classification () =
+  let mpk, proc, main = make_env () in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  (* No mpk_begin: the group's key is No_access in PKRU. *)
+  match catch_signal main (fun () -> ignore (read proc main ~addr)) with
+  | None -> Alcotest.fail "read outside the domain should fault"
+  | Some si ->
+      Alcotest.(check int) "signo" Signal.sigsegv si.Signal.signo;
+      (match si.Signal.code with
+      | Signal.Segv_pkuerr -> ()
+      | c -> Alcotest.failf "expected SEGV_PKUERR, got %s" (Signal.code_to_string c));
+      Alcotest.(check int) "si_addr" addr si.Signal.addr;
+      let pkey =
+        match Libmpk.find_group mpk 1 with
+        | Some { Libmpk.Group.state = Libmpk.Group.Mapped k; _ } -> Pkey.to_int k
+        | _ -> Alcotest.fail "group should be Mapped"
+      in
+      Alcotest.(check int) "si_pkey is the group's key" pkey si.Signal.pkey
+
+let test_accerr_classification () =
+  let _mpk, proc, main = make_env () in
+  let addr = Syscall.mmap proc main ~len:page ~prot:Perm.rw () in
+  write proc main ~addr 'x';
+  Syscall.mprotect proc main ~addr ~len:page ~prot:Perm.r;
+  match catch_signal main (fun () -> write proc main ~addr 'y') with
+  | None -> Alcotest.fail "write to a read-only page should fault"
+  | Some si ->
+      Alcotest.(check int) "signo" Signal.sigsegv si.Signal.signo;
+      (match si.Signal.code with
+      | Signal.Segv_accerr -> ()
+      | c -> Alcotest.failf "expected SEGV_ACCERR, got %s" (Signal.code_to_string c));
+      (match si.Signal.access with
+      | Mmu.Write -> ()
+      | _ -> Alcotest.fail "si should record a write access");
+      Alcotest.(check int) "no pkey on ACCERR" 0 si.Signal.pkey
+
+let test_maperr_classification () =
+  let _mpk, proc, main = make_env () in
+  match catch_signal main (fun () -> ignore (read proc main ~addr:0x7fff_0000)) with
+  | None -> Alcotest.fail "read of an unmapped address should fault"
+  | Some si -> (
+      match si.Signal.code with
+      | Signal.Segv_maperr -> ()
+      | c -> Alcotest.failf "expected SEGV_MAPERR, got %s" (Signal.code_to_string c))
+
+let test_sigbus_on_frame_exhaustion () =
+  let _mpk, proc, main = make_env () in
+  let addr = Syscall.mmap proc main ~len:page ~prot:Perm.rw () in
+  Mpk_faultinj.arm "physmem.alloc_frame" (Mpk_faultinj.Once 0);
+  (match catch_signal main (fun () -> ignore (read proc main ~addr)) with
+  | None -> Alcotest.fail "demand paging under frame exhaustion should fault"
+  | Some si ->
+      Alcotest.(check int) "signo is SIGBUS" Signal.sigbus si.Signal.signo;
+      (match si.Signal.code with
+      | Signal.Bus_adrerr -> ()
+      | c -> Alcotest.failf "expected BUS_ADRERR, got %s" (Signal.code_to_string c)));
+  Mpk_faultinj.reset ();
+  (* the fault left nothing behind: the same touch now succeeds *)
+  ignore (read proc main ~addr)
+
+let test_default_disposition_kills () =
+  let _mpk, proc, main = make_env () in
+  (match read proc main ~addr:0x7fff_0000 with
+  | _ -> Alcotest.fail "expected a fatal fault"
+  | exception Signal.Killed si ->
+      Alcotest.(check int) "signo" Signal.sigsegv si.Signal.signo);
+  Alcotest.(check int) "delivery counted" 1 (Task.signals_delivered main)
+
+let test_handler_returning_still_kills () =
+  let _mpk, proc, main = make_env () in
+  let seen = ref 0 in
+  Task.set_signal_handler main (fun _si -> incr seen);
+  (match read proc main ~addr:0x7fff_0000 with
+  | _ -> Alcotest.fail "a handler that returns cannot resolve the fault"
+  | exception Signal.Killed _ -> ());
+  Alcotest.(check int) "handler ran before the kill" 1 !seen;
+  Task.clear_signal_handler main
+
+let test_handler_scoping () =
+  let _mpk, proc, main = make_env () in
+  let outer = ref 0 in
+  Task.with_signal_handler main
+    (fun si -> incr outer; raise (Recovered si))
+    (fun () ->
+      (* the inner handler shadows, then the outer is restored *)
+      (match catch_signal main (fun () -> ignore (read proc main ~addr:0x7fff_0000)) with
+      | Some _ -> ()
+      | None -> Alcotest.fail "inner handler should have caught");
+      Alcotest.(check int) "outer handler not called while shadowed" 0 !outer;
+      match read proc main ~addr:0x7fff_0000 with
+      | _ -> Alcotest.fail "unreachable"
+      | exception Recovered _ -> ());
+  Alcotest.(check int) "outer handler restored" 1 !outer;
+  (* scope over: back to the default disposition *)
+  match read proc main ~addr:0x7fff_0000 with
+  | _ -> Alcotest.fail "expected a fatal fault"
+  | exception Signal.Killed _ -> ()
+
+let test_fault_inside_domain () =
+  let mpk, proc, main = make_env () in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.r;
+  Alcotest.(check char) "read allowed inside r domain" '\000' (read proc main ~addr);
+  (match catch_signal main (fun () -> write proc main ~addr 'x') with
+  | None -> Alcotest.fail "write inside an r-only domain should fault"
+  | Some si -> (
+      match si.Signal.code with
+      | Signal.Segv_pkuerr -> ()
+      | c -> Alcotest.failf "expected SEGV_PKUERR, got %s" (Signal.code_to_string c)));
+  (* the domain survives the handled fault: still readable, end cleanly *)
+  Alcotest.(check char) "domain intact after handled fault" '\000' (read proc main ~addr);
+  Libmpk.mpk_end mpk main ~vkey:1;
+  audit_clean "after handled in-domain fault" mpk
+
+(* --- part 2: per-point exception safety -------------------------------- *)
+
+let test_oom_during_mpk_mmap_rolls_back () =
+  let mpk, _proc, main = make_env () in
+  Mpk_faultinj.arm "physmem.alloc_frame" (Mpk_faultinj.Once 0);
+  (match Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw with
+  | _ -> Alcotest.fail "mpk_mmap should fail under frame exhaustion"
+  | exception Errno.Error (Errno.ENOMEM, _) -> ());
+  Alcotest.(check bool) "no half-created group" true (Libmpk.find_group mpk 1 = None);
+  Alcotest.(check int) "group count unchanged" 0 (Libmpk.group_count mpk);
+  audit_clean "after injected OOM in mpk_mmap" mpk;
+  Mpk_faultinj.reset ();
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Alcotest.(check bool) "retry succeeds" true (addr > 0);
+  audit_clean "after retry" mpk
+
+let test_pkey_alloc_enospc () =
+  Mpk_faultinj.reset ();
+  let machine = Machine.create ~cores:1 ~mem_mib:16 () in
+  let proc = Proc.create machine in
+  let main = Proc.spawn proc ~core_id:0 () in
+  Mpk_faultinj.arm "syscall.pkey_alloc" (Mpk_faultinj.Once 0);
+  (match Syscall.pkey_alloc proc main ~init_rights:Pkru.Read_write with
+  | _ -> Alcotest.fail "pkey_alloc should report ENOSPC"
+  | exception Errno.Error (Errno.ENOSPC, _) -> ());
+  Mpk_faultinj.reset ();
+  let k = Syscall.pkey_alloc proc main ~init_rights:Pkru.Read_write in
+  Syscall.pkey_free proc main k
+
+let test_key_cache_full_retry_policy () =
+  let mpk, _proc, main = make_env () in
+  (* injected Full at mmap: the group starts Unmapped (PROT_NONE) *)
+  Mpk_faultinj.arm "key_cache.full" (Mpk_faultinj.Once 0);
+  let _addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  (match Libmpk.find_group mpk 1 with
+  | Some { Libmpk.Group.state = Libmpk.Group.Unmapped; _ } -> ()
+  | _ -> Alcotest.fail "group should start keyless under injected Full");
+  audit_clean "after keyless mmap" mpk;
+  (* Fail_fast (the default): an injected Full raises immediately. *)
+  Mpk_faultinj.arm "key_cache.full" (Mpk_faultinj.Every 1);
+  (match Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw with
+  | () -> Alcotest.fail "Fail_fast should raise on exhaustion"
+  | exception Libmpk.Key_exhausted -> ());
+  audit_clean "after Fail_fast exhaustion" mpk;
+  (* Retry: the first attempt hits the injected Full, the second wins. *)
+  Mpk_faultinj.arm "key_cache.full" (Mpk_faultinj.Once 0);
+  Libmpk.mpk_begin mpk main
+    ~policy:(Libmpk.Retry { attempts = 3; backoff_cycles = 50. })
+    ~vkey:1 ~prot:Perm.rw;
+  (match Libmpk.find_group mpk 1 with
+  | Some { Libmpk.Group.state = Libmpk.Group.Mapped _; _ } -> ()
+  | _ -> Alcotest.fail "retry should have attached a key");
+  Libmpk.mpk_end mpk main ~vkey:1;
+  audit_clean "after successful retry" mpk;
+  Mpk_faultinj.reset ()
+
+let test_wait_for_key_policy () =
+  let mpk, proc, main = make_env ~hw_keys:1 () in
+  let a1 = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:2 ~len:page ~prot:Perm.rw);
+  Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;  (* pins the only key *)
+  let before = Cpu.cycles (Task.core main) in
+  (match
+     Libmpk.mpk_begin mpk main
+       ~policy:(Libmpk.Wait_for_key { max_wait_cycles = 1000.; poll_cycles = 100. })
+       ~vkey:2 ~prot:Perm.rw
+   with
+  | () -> Alcotest.fail "the only key is pinned: the wait must time out"
+  | exception Libmpk.Key_exhausted -> ());
+  Alcotest.(check bool) "waiting burned simulated cycles" true
+    (Cpu.cycles (Task.core main) -. before >= 1000.);
+  audit_clean "after wait timeout" mpk;
+  write proc main ~addr:a1 'x';  (* the held domain still works *)
+  Libmpk.mpk_end mpk main ~vkey:1;
+  (* key released: the same begin now succeeds (evicting group 1) *)
+  Libmpk.mpk_begin mpk main
+    ~policy:(Libmpk.Wait_for_key { max_wait_cycles = 1000.; poll_cycles = 100. })
+    ~vkey:2 ~prot:Perm.rw;
+  Libmpk.mpk_end mpk main ~vkey:2;
+  audit_clean "after post-release begin" mpk
+
+let test_xonly_reserve_refusal () =
+  let mpk, _proc, main = make_env () in
+  ignore (Libmpk.mpk_mmap mpk main ~vkey:3 ~len:page ~prot:Perm.rw);
+  Mpk_faultinj.arm "key_cache.reserve" (Mpk_faultinj.Once 0);
+  (match Libmpk.mpk_mprotect mpk main ~vkey:3 ~prot:Perm.x_only with
+  | () -> Alcotest.fail "reserve refusal should surface"
+  | exception Libmpk.Key_exhausted -> ());
+  audit_clean "after refused execute-only reserve" mpk;
+  Alcotest.(check int) "no reserve leaked" 0 (Libmpk.xonly_group_count mpk);
+  Mpk_faultinj.reset ();
+  Libmpk.mpk_mprotect mpk main ~vkey:3 ~prot:Perm.x_only;
+  Alcotest.(check int) "retry reserves" 1 (Libmpk.xonly_group_count mpk);
+  audit_clean "after successful execute-only transition" mpk
+
+let test_forced_preemption_consistency () =
+  let mpk, proc, main = make_env () in
+  let addr = Libmpk.mpk_mmap mpk main ~vkey:1 ~len:page ~prot:Perm.rw in
+  Mpk_faultinj.arm "sched.preempt" (Mpk_faultinj.Every 5);
+  for i = 0 to 19 do
+    Libmpk.mpk_begin mpk main ~vkey:1 ~prot:Perm.rw;
+    write proc main ~addr (Char.chr (Char.code 'a' + (i mod 26)));
+    Libmpk.mpk_end mpk main ~vkey:1;
+    Libmpk.mpk_mprotect mpk main ~vkey:1 ~prot:(if i mod 2 = 0 then Perm.r else Perm.rw);
+    audit_clean (Printf.sprintf "forced preemption, iteration %d" i) mpk
+  done;
+  (match Mpk_faultinj.stats_of "sched.preempt" with
+  | Some s -> Alcotest.(check bool) "preemptions actually fired" true (s.Mpk_faultinj.fired > 0)
+  | None -> Alcotest.fail "sched.preempt not registered");
+  Mpk_faultinj.reset ()
+
+let () =
+  Alcotest.run "signal"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "SEGV_PKUERR classification" `Quick test_pkuerr_classification;
+          Alcotest.test_case "SEGV_ACCERR classification" `Quick test_accerr_classification;
+          Alcotest.test_case "SEGV_MAPERR classification" `Quick test_maperr_classification;
+          Alcotest.test_case "SIGBUS on frame exhaustion" `Quick test_sigbus_on_frame_exhaustion;
+          Alcotest.test_case "default disposition kills" `Quick test_default_disposition_kills;
+          Alcotest.test_case "returning handler still kills" `Quick
+            test_handler_returning_still_kills;
+          Alcotest.test_case "handler install/restore scoping" `Quick test_handler_scoping;
+          Alcotest.test_case "fault inside an mpk_begin domain" `Quick test_fault_inside_domain;
+        ] );
+      ( "exception_safety",
+        [
+          Alcotest.test_case "OOM during mpk_mmap rolls back" `Quick
+            test_oom_during_mpk_mmap_rolls_back;
+          Alcotest.test_case "pkey_alloc ENOSPC is typed" `Quick test_pkey_alloc_enospc;
+          Alcotest.test_case "key-cache Full: Fail_fast and Retry" `Quick
+            test_key_cache_full_retry_policy;
+          Alcotest.test_case "Wait_for_key burns cycles then raises" `Quick
+            test_wait_for_key_policy;
+          Alcotest.test_case "execute-only reserve refusal" `Quick test_xonly_reserve_refusal;
+          Alcotest.test_case "forced preemption keeps invariants" `Quick
+            test_forced_preemption_consistency;
+        ] );
+    ]
