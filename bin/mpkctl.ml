@@ -8,7 +8,14 @@
      mpkctl faults [OPTIONS]     the same stress run with deterministic
                                  fault injection armed (--spec), checking
                                  that every injected failure leaves the
-                                 stack consistent *)
+                                 stack consistent
+     mpkctl lint [OPTIONS]       static domain-safety analysis of the
+                                 case-study apps' libmpk protocols, with
+                                 optional witness replay (--confirm)
+
+   Every subcommand returns an explicit exit code through [Cmd.eval']:
+   0 success, 1 a check failed (invariant violation, ERROR finding),
+   2 usage error (unknown id, bad --spec, bad --plant). *)
 
 open Cmdliner
 
@@ -18,7 +25,8 @@ let list_cmd =
     List.iter
       (fun e ->
         Printf.printf "%-8s %s\n" e.Mpk_experiments.Report.id e.Mpk_experiments.Report.title)
-      Mpk_experiments.Report.all
+      Mpk_experiments.Report.all;
+    0
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -31,7 +39,7 @@ let run_cmd =
     match ids with
     | [] ->
         Mpk_experiments.Report.run_all ();
-        `Ok ()
+        0
     | ids ->
         let ok =
           List.for_all
@@ -41,9 +49,9 @@ let run_cmd =
               found)
             ids
         in
-        if ok then `Ok () else `Error (false, "unknown experiment id")
+        if ok then 0 else 2
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ ids))
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
 
 let strategy_conv =
   let parse = function
@@ -66,10 +74,11 @@ let attack_cmd =
           ~doc:"one of: none, mprotect, key-per-page, key-per-process, sdcg")
   in
   let run strategy =
-    match Mpk_jit.Attack.run ~strategy () with
+    (match Mpk_jit.Attack.run ~strategy () with
     | Mpk_jit.Attack.Injected v ->
         Printf.printf "VULNERABLE: attacker shellcode executed (0x%x)\n" v
-    | Mpk_jit.Attack.Blocked reason -> Printf.printf "blocked: %s\n" reason
+    | Mpk_jit.Attack.Blocked reason -> Printf.printf "blocked: %s\n" reason);
+    0
   in
   Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ strategy)
 
@@ -90,7 +99,8 @@ let maps_cmd =
     Mpk_hw.Mmu.write_byte (Mpk_kernel.Proc.mmu proc) (Mpk_kernel.Task.core task) ~addr:a 'x';
     Libmpk.mpk_end mpk task ~vkey:1;
     print_string (Mpk_kernel.Mm.show_maps (Mpk_kernel.Proc.mm proc));
-    Format.printf "\nlibmpk stats: %a\n" Libmpk.pp_stats (Libmpk.stats mpk)
+    Format.printf "\nlibmpk stats: %a\n" Libmpk.pp_stats (Libmpk.stats mpk);
+    0
   in
   Cmd.v (Cmd.info "maps" ~doc) Term.(const run $ const ())
 
@@ -130,14 +140,15 @@ let audit_cmd =
           "audit OK: %d ops (seed %Ld, %d hw keys, %d tasks), %d benign API errors, \
            all invariants held after every operation\n"
           applied seed hw_keys tasks benign_errors;
-        `Ok ()
+        0
     | Mpk_check.Stress.Failed failure ->
         let minimized = Mpk_check.Stress.minimize cfg op_list in
         print_string (Mpk_check.Stress.report cfg ~ops_total:ops failure minimized);
-        `Error (false, "invariant violation")
+        Printf.eprintf "mpkctl: audit: invariant violation\n";
+        1
   in
   Cmd.v (Cmd.info "audit" ~doc)
-    Term.(ret (const run $ ops $ seed $ hw_keys $ tasks $ evict_rate))
+    Term.(const run $ ops $ seed $ hw_keys $ tasks $ evict_rate)
 
 let faults_cmd =
   let doc =
@@ -181,8 +192,12 @@ let faults_cmd =
           Ok (List.map (fun p -> [ p, Mpk_faultinj.Once 0 ]) (Mpk_faultinj.points ()))
     in
     match schedules with
-    | Error e -> `Error (false, e)
-    | Ok [] -> `Error (false, "no failure points registered")
+    | Error e ->
+        Printf.eprintf "mpkctl: faults: %s\n" e;
+        2
+    | Ok [] ->
+        Printf.eprintf "mpkctl: faults: no failure points registered\n";
+        2
     | Ok schedules ->
         let failures = ref 0 in
         List.iter
@@ -212,14 +227,123 @@ let faults_cmd =
                 let minimized = Mpk_check.Stress.minimize cfg op_list in
                 print_string (Mpk_check.Stress.report cfg ~ops_total:ops failure minimized))
           schedules;
-        if !failures = 0 then `Ok ()
-        else `Error (false, Printf.sprintf "%d fault schedule(s) violated invariants" !failures)
+        if !failures = 0 then 0
+        else begin
+          Printf.eprintf "mpkctl: faults: %d fault schedule(s) violated invariants\n"
+            !failures;
+          1
+        end
   in
   Cmd.v (Cmd.info "faults" ~doc)
-    Term.(ret (const run $ ops $ seed $ hw_keys $ tasks $ evict_rate $ spec))
+    Term.(const run $ ops $ seed $ hw_keys $ tasks $ evict_rate $ spec)
+
+(* --- lint: the static domain-safety analyzer --- *)
+
+type app = Jit | Secstore | Kvstore
+
+let app_name = function Jit -> "jit" | Secstore -> "secstore" | Kvstore -> "kvstore"
+
+(* Each app accepts its own planted-violation kinds; anything else is a
+   usage error naming the valid plants. *)
+let program_for app plant =
+  match app, plant with
+  | Jit, None -> Ok (Mpk_jit.Jit_model.program ())
+  | Jit, Some "wx" -> Ok (Mpk_jit.Jit_model.program ~plant:`Wx ())
+  | Jit, Some "gadget" -> Ok (Mpk_jit.Jit_model.program ~plant:`Gadget ())
+  | Secstore, None -> Ok (Mpk_secstore.Secstore_model.program ())
+  | Secstore, Some "uaf" ->
+      Ok (Mpk_secstore.Secstore_model.program ~plant:`Use_after_free ())
+  | Secstore, Some "double-free" ->
+      Ok (Mpk_secstore.Secstore_model.program ~plant:`Double_free ())
+  | Secstore, Some "leak" -> Ok (Mpk_secstore.Secstore_model.program ~plant:`Leak ())
+  | Kvstore, None -> Ok (Mpk_kvstore.Kvstore_model.program ())
+  | Kvstore, Some "unbalanced" ->
+      Ok (Mpk_kvstore.Kvstore_model.program ~plant:`Unbalanced ())
+  | Kvstore, Some "toctou" -> Ok (Mpk_kvstore.Kvstore_model.program ~plant:`Toctou ())
+  | app, Some k ->
+      Error
+        (Printf.sprintf
+           "plant %S does not apply to app %s (jit: wx, gadget; secstore: uaf, \
+            double-free, leak; kvstore: unbalanced, toctou)"
+           k (app_name app))
+
+let lint_cmd =
+  let doc =
+    "Statically analyze the case-study apps' libmpk protocols: key-lifecycle \
+     typestate, begin/end balance on all paths, W^X, ERIM-style WRPKRU gadget scan, \
+     and the lazy do_pkey_sync TOCTOU hazard. Exits nonzero on any ERROR finding. \
+     With --confirm, each finding's path witness is replayed on the simulator with \
+     the invariant auditor as oracle and classified CONFIRMED or UNREPRODUCED."
+  in
+  let app_conv =
+    Arg.enum [ "jit", Jit; "secstore", Secstore; "kvstore", Kvstore ]
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt (some app_conv) None
+      & info [ "app" ] ~docv:"APP" ~doc:"analyze one app: jit, secstore, kvstore (default: all)")
+  in
+  let plant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plant" ] ~docv:"KIND"
+          ~doc:
+            "plant a known violation in the model (requires --app): jit: wx, gadget; \
+             secstore: uaf, double-free, leak; kvstore: unbalanced, toctou")
+  in
+  let confirm =
+    Arg.(
+      value & flag
+      & info [ "confirm" ]
+          ~doc:"replay each finding's witness on the simulator and classify it")
+  in
+  let run app plant confirm =
+    if plant <> None && app = None then begin
+      Printf.eprintf "mpkctl: lint: --plant requires --app\n";
+      2
+    end
+    else begin
+      let apps = match app with Some a -> [ a ] | None -> [ Jit; Secstore; Kvstore ] in
+      let programs =
+        List.map (fun a -> Result.map (fun p -> (a, p)) (program_for a plant)) apps
+      in
+      match List.filter_map (function Error e -> Some e | Ok _ -> None) programs with
+      | e :: _ ->
+          Printf.eprintf "mpkctl: lint: %s\n" e;
+          2
+      | [] ->
+          let any_error = ref false in
+          List.iter
+            (fun (a, p) ->
+              let findings = Mpk_analysis.Lint.analyze p in
+              Printf.printf "== lint %s: %d node(s), %d finding(s) ==\n" (app_name a)
+                (Array.length p.Mpk_analysis.Ir.nodes)
+                (List.length findings);
+              List.iter
+                (fun f ->
+                  Format.printf "%a@." Mpk_analysis.Lint.pp_finding f;
+                  Format.printf "  witness:@.%a" Mpk_analysis.Lint.pp_witness f;
+                  if confirm then
+                    Format.printf "  replay: %a@." Mpk_check.Replay.pp_outcome
+                      (Mpk_check.Replay.confirm f))
+                findings;
+              if Mpk_analysis.Lint.has_errors findings then any_error := true)
+            (List.map Result.get_ok programs);
+          if !any_error then begin
+            Printf.eprintf "mpkctl: lint: ERROR finding(s) present\n";
+            1
+          end
+          else 0
+    end
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ app_arg $ plant $ confirm)
 
 let () =
   let doc = "libmpk (USENIX ATC'19) reproduction on a simulated MPK machine" in
   let info = Cmd.info "mpkctl" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; attack_cmd; maps_cmd; audit_cmd; faults_cmd ]))
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; attack_cmd; maps_cmd; audit_cmd; faults_cmd; lint_cmd ]))

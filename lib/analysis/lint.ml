@@ -1,0 +1,715 @@
+(* Static domain-safety lints over libmpk client IR programs.
+
+   Five passes, each a forward abstract interpretation (Dataflow.forward)
+   over every thread CFG:
+
+   - typestate   key lifecycle: use-after-free, double-free, mmap of a
+                 live vkey, leak-on-exit (libmpk §4.1 lifecycle)
+   - balance     mpk_begin/mpk_end pairing on *all* paths, including
+                 early returns and signal-escape edges (§4.2; a leaked
+                 begin pins its hardware key forever)
+   - wx          W^X: no abstract state in which a page group is both
+                 writable and executable, and no instruction fetch while
+                 the group is writable (§6.1 JIT case study)
+   - gadget      ERIM-style unsafe-WRPKRU scan over the instruction
+                 streams the JIT emits (ERIM §3.1: every WRPKRU must be
+                 followed by a check of the loaded value)
+   - toctou      lazy do_pkey_sync hazard: a global revocation
+                 (mpk_mprotect) races a concurrently live thread whose
+                 access is not covered by its own mpk_begin — until the
+                 victim's deferred task_work runs, its PKRU still grants
+                 the revoked right (§4.2, Fig 7)
+
+   Findings carry a severity and a concrete path witness; Mpk_check.Replay
+   executes witnesses on the simulator with the PR 2 auditor as oracle. *)
+
+open Mpk_hw
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "ERROR"
+  | Warning -> "WARNING"
+  | Info -> "INFO"
+
+type access = A_read | A_write
+
+let access_to_string = function A_read -> "read" | A_write -> "write"
+
+type detail =
+  | Use_after_free of { vkey : int }
+  | Use_unmapped of { vkey : int }
+  | Double_free of { vkey : int }
+  | Free_unmapped of { vkey : int }
+  | Mmap_live of { vkey : int }
+  | Leak_on_exit of { vkey : int }
+  | Unbalanced of { vkey : int; definite : bool }
+  | End_underflow of { vkey : int }
+  | Free_inside_begin of { vkey : int }
+  | Wx_mapping of { vkey : int }
+  | Wx_exec_writable of { vkey : int; window : bool }
+  | Unsafe_wrpkru of { vkey : int; offset : int }
+  | Toctou of { vkey : int; victim : int; access : access }
+  | Maybe of string  (* imprecision-only findings (joined states) *)
+
+type step = { stid : int; sop : Ir.op }
+
+type finding = {
+  pass : string;
+  severity : severity;
+  detail : detail;
+  tid : int;  (* thread of the violating node *)
+  node : int;
+  message : string;
+  witness : step list;  (* program-start-to-violation path *)
+}
+
+let pp_finding fmt f =
+  Format.fprintf fmt "[%s] %s (t%d, node %d): %s" (severity_to_string f.severity)
+    f.pass f.tid f.node f.message
+
+let pp_witness fmt f =
+  List.iter
+    (fun s ->
+      match s.sop with
+      | Ir.Label _ -> ()
+      | o -> Format.fprintf fmt "    t%d: %s@." s.stid (Ir.op_to_string o))
+    f.witness
+
+let has_errors findings = List.exists (fun f -> f.severity = Error) findings
+
+(* --- shared per-thread analysis driver --- *)
+
+(* Run one pass over every thread. The main thread starts from
+   [init_main]; a spawned thread starts from [derive_init] applied to the
+   main state at its (first reached) Spawn node, and its witnesses are
+   prefixed with the main path to that spawn. Threads never spawned are
+   dead code and are skipped. *)
+let thread_runs (p : Ir.program) ~init_main ~derive_init ~equal ~join ~transfer =
+  let main = Ir.main_thread p in
+  let rmain =
+    Dataflow.forward p ~entry:main.Ir.entry ~init:init_main ~equal ~join ~transfer
+  in
+  let steps_of tid ids =
+    List.map (fun id -> { stid = tid; sop = (Ir.node p id).Ir.op }) ids
+  in
+  let spawn_node tid =
+    Dataflow.reached p rmain 0
+    |> List.find_opt (fun n ->
+           match n.Ir.op with Ir.Spawn { tid = t } -> t = tid | _ -> false)
+  in
+  let others =
+    List.filter_map
+      (fun (t : Ir.thread) ->
+        if t.Ir.tid = 0 then None
+        else
+          match spawn_node t.Ir.tid with
+          | None -> None
+          | Some sn -> (
+              match Dataflow.state rmain sn.Ir.id with
+              | None -> None
+              | Some st ->
+                  let r =
+                    Dataflow.forward p ~entry:t.Ir.entry ~init:(derive_init st)
+                      ~equal ~join ~transfer
+                  in
+                  Some (t.Ir.tid, r, steps_of 0 (Dataflow.path_to rmain sn.Ir.id))))
+      p.Ir.threads
+  in
+  (0, rmain, []) :: others
+
+(* Evaluate [check] on the final abstract state of every reached node. *)
+let collect p runs ~check =
+  List.concat_map
+    (fun (tid, r, prefix) ->
+      Dataflow.reached p r tid
+      |> List.concat_map (fun n ->
+             match Dataflow.state r n.Ir.id with
+             | None -> []
+             | Some st ->
+                 let witness path_tid =
+                   prefix
+                   @ List.map
+                       (fun id -> { stid = path_tid; sop = (Ir.node p id).Ir.op })
+                       (Dataflow.path_to r n.Ir.id)
+                 in
+                 check ~tid ~node:n ~state:st ~witness:(fun () -> witness tid)))
+    runs
+
+let mk ~pass ~severity ~detail ~tid ~node ~message ~witness =
+  { pass; severity; detail; tid; node = node.Ir.id; message; witness = witness () }
+
+(* --- pass 1: key-lifecycle typestate --- *)
+
+module Typestate = struct
+  type ts = Unmapped | Mapped | Freed | Top
+
+  let ts_to_string = function
+    | Unmapped -> "unmapped"
+    | Mapped -> "mapped"
+    | Freed -> "freed"
+    | Top -> "unknown"
+
+  let join_ts a b = if a = b then a else Top
+
+  let default = Unmapped
+  let equal = Dataflow.VMap.equal_d ~default ( = )
+  let join = Dataflow.VMap.join_d ~default join_ts
+
+  let transfer (n : Ir.node) st =
+    match n.Ir.op with
+    | Ir.Mmap { vkey; _ } -> Dataflow.VMap.add vkey Mapped st
+    | Ir.Free { vkey } -> Dataflow.VMap.add vkey Freed st
+    | _ -> st
+
+  let run p =
+    let runs =
+      thread_runs p ~init_main:Dataflow.VMap.empty ~derive_init:Fun.id ~equal ~join
+        ~transfer
+    in
+    let pass = "typestate" in
+    let check ~tid ~node ~state ~witness =
+      let ts v = Dataflow.VMap.find_d ~default v state in
+      let use v what =
+        match ts v with
+        | Freed ->
+            [
+              mk ~pass ~severity:Error ~detail:(Use_after_free { vkey = v }) ~tid ~node
+                ~message:(Printf.sprintf "%s of freed vkey %d (use-after-free)" what v)
+                ~witness;
+            ]
+        | Unmapped ->
+            [
+              mk ~pass ~severity:Error ~detail:(Use_unmapped { vkey = v }) ~tid ~node
+                ~message:(Printf.sprintf "%s of vkey %d before mpk_mmap" what v)
+                ~witness;
+            ]
+        | Top ->
+            [
+              mk ~pass ~severity:Warning ~detail:(Maybe "use of possibly-freed vkey")
+                ~tid ~node
+                ~message:
+                  (Printf.sprintf "%s of vkey %d whose lifecycle state depends on the path"
+                     what v)
+                ~witness;
+            ]
+        | Mapped -> []
+      in
+      match node.Ir.op with
+      | Ir.Mmap { vkey; _ } -> (
+          match ts vkey with
+          | Mapped ->
+              [
+                mk ~pass ~severity:Error ~detail:(Mmap_live { vkey }) ~tid ~node
+                  ~message:
+                    (Printf.sprintf "mpk_mmap of vkey %d which already has a page group"
+                       vkey)
+                  ~witness;
+              ]
+          | Top ->
+              [
+                mk ~pass ~severity:Warning ~detail:(Maybe "mmap of possibly-live vkey")
+                  ~tid ~node
+                  ~message:(Printf.sprintf "mpk_mmap of vkey %d may already be mapped" vkey)
+                  ~witness;
+              ]
+          | Unmapped | Freed -> [])
+      | Ir.Free { vkey } -> (
+          match ts vkey with
+          | Freed ->
+              [
+                mk ~pass ~severity:Error ~detail:(Double_free { vkey }) ~tid ~node
+                  ~message:(Printf.sprintf "double free of vkey %d" vkey) ~witness;
+              ]
+          | Unmapped ->
+              [
+                mk ~pass ~severity:Error ~detail:(Free_unmapped { vkey }) ~tid ~node
+                  ~message:(Printf.sprintf "free of vkey %d which was never mapped" vkey)
+                  ~witness;
+              ]
+          | Top ->
+              [
+                mk ~pass ~severity:Warning ~detail:(Maybe "free of possibly-freed vkey")
+                  ~tid ~node
+                  ~message:
+                    (Printf.sprintf "free of vkey %d in %s state" vkey
+                       (ts_to_string Top))
+                  ~witness;
+              ]
+          | Mapped -> [])
+      | Ir.Begin { vkey; _ } -> use vkey "mpk_begin"
+      | Ir.End { vkey } -> use vkey "mpk_end"
+      | Ir.Mprotect { vkey; _ } -> use vkey "mpk_mprotect"
+      | Ir.Read { vkey } -> use vkey "read"
+      | Ir.Write { vkey } -> use vkey "write"
+      | Ir.Exec { vkey } -> use vkey "exec"
+      | Ir.Emit { vkey; _ } -> use vkey "emit"
+      | Ir.Label _ when node.Ir.succs = [] && tid = 0 ->
+          (* main exit: everything still mapped leaks its group (and,
+             transitively, a hardware key's worth of cache pressure) *)
+          Dataflow.VMap.fold
+            (fun v ts acc ->
+              match ts with
+              | Mapped | Top ->
+                  mk ~pass ~severity:Warning ~detail:(Leak_on_exit { vkey = v }) ~tid
+                    ~node
+                    ~message:
+                      (Printf.sprintf "vkey %d still mapped at program exit (leak)" v)
+                    ~witness
+                  :: acc
+              | Unmapped | Freed -> acc)
+            state []
+      | _ -> []
+    in
+    collect p runs ~check
+end
+
+(* --- pass 2: begin/end balance --- *)
+
+module Balance = struct
+  let default = Dataflow.Interval.zero
+  let equal = Dataflow.VMap.equal_d ~default Dataflow.Interval.equal
+  let join = Dataflow.VMap.join_d ~default Dataflow.Interval.join
+
+  let transfer (n : Ir.node) st =
+    match n.Ir.op with
+    | Ir.Begin { vkey; _ } ->
+        Dataflow.VMap.add vkey
+          (Dataflow.Interval.incr (Dataflow.VMap.find_d ~default vkey st))
+          st
+    | Ir.End { vkey } ->
+        Dataflow.VMap.add vkey
+          (Dataflow.Interval.decr (Dataflow.VMap.find_d ~default vkey st))
+          st
+    | _ -> st
+
+  (* Spawned threads hold no begins at birth: pins are per-thread. *)
+  let run p =
+    let runs =
+      thread_runs p ~init_main:Dataflow.VMap.empty
+        ~derive_init:(fun _ -> Dataflow.VMap.empty)
+        ~equal ~join ~transfer
+    in
+    let pass = "balance" in
+    let check ~tid ~node ~state ~witness =
+      let depth v = Dataflow.VMap.find_d ~default v state in
+      match node.Ir.op with
+      | Ir.End { vkey } -> (
+          match depth vkey with
+          | 0, 0 ->
+              [
+                mk ~pass ~severity:Error ~detail:(End_underflow { vkey }) ~tid ~node
+                  ~message:
+                    (Printf.sprintf "mpk_end of vkey %d without a matching mpk_begin" vkey)
+                  ~witness;
+              ]
+          | 0, _ ->
+              [
+                mk ~pass ~severity:Warning ~detail:(Maybe "possible end underflow") ~tid
+                  ~node
+                  ~message:
+                    (Printf.sprintf "mpk_end of vkey %d may lack a matching begin on \
+                                     some path"
+                       vkey)
+                  ~witness;
+              ]
+          | _ -> [])
+      | Ir.Free { vkey } -> (
+          match depth vkey with
+          | lo, _ when lo > 0 ->
+              [
+                mk ~pass ~severity:Error ~detail:(Free_inside_begin { vkey }) ~tid ~node
+                  ~message:
+                    (Printf.sprintf "mpk_free of vkey %d while inside mpk_begin" vkey)
+                  ~witness;
+              ]
+          | 0, hi when hi > 0 ->
+              [
+                mk ~pass ~severity:Warning ~detail:(Maybe "free possibly inside begin")
+                  ~tid ~node
+                  ~message:
+                    (Printf.sprintf "mpk_free of vkey %d may still be inside mpk_begin"
+                       vkey)
+                  ~witness;
+              ]
+          | _ -> [])
+      | Ir.Begin { vkey; _ } when snd (depth vkey) >= Dataflow.Interval.cap ->
+          [
+            mk ~pass ~severity:Warning ~detail:(Maybe "unbounded begin nesting") ~tid
+              ~node
+              ~message:
+                (Printf.sprintf
+                   "mpk_begin of vkey %d nests without bound (begin inside a loop \
+                    with no end?)"
+                   vkey)
+              ~witness;
+          ]
+      | Ir.Label _ when node.Ir.succs = [] ->
+          (* thread exit: every vkey must be back to depth 0 on every
+             path — a leaked begin pins its hardware key forever *)
+          Dataflow.VMap.fold
+            (fun v iv acc ->
+              match iv with
+              | lo, _ when lo > 0 ->
+                  mk ~pass ~severity:Error ~detail:(Unbalanced { vkey = v; definite = true })
+                    ~tid ~node
+                    ~message:
+                      (Printf.sprintf
+                         "thread exits with mpk_begin of vkey %d unmatched on every path \
+                          (depth %s)"
+                         v
+                         (Dataflow.Interval.to_string iv))
+                    ~witness
+                  :: acc
+              | 0, hi when hi > 0 ->
+                  mk ~pass ~severity:Error
+                    ~detail:(Unbalanced { vkey = v; definite = false }) ~tid ~node
+                    ~message:
+                      (Printf.sprintf
+                         "thread exits with mpk_begin of vkey %d unmatched on some path \
+                          (early return or signal escape skips mpk_end)"
+                         v)
+                    ~witness
+                  :: acc
+              | _ -> acc)
+            state []
+      | _ -> []
+    in
+    collect p runs ~check
+end
+
+(* --- pass 3: W^X --- *)
+
+module Wx = struct
+  type vstate = {
+    xp_must : bool;  (* page-level exec bit definitely set *)
+    xp_may : bool;
+    gw_must : bool;  (* global (synchronized) write rights definitely granted *)
+    gw_may : bool;
+    win : Dataflow.Interval.t;  (* this thread's open write-window depth *)
+  }
+
+  let default =
+    { xp_must = false; xp_may = false; gw_must = false; gw_may = false;
+      win = Dataflow.Interval.zero }
+
+  let equal_v a b =
+    a.xp_must = b.xp_must && a.xp_may = b.xp_may && a.gw_must = b.gw_must
+    && a.gw_may = b.gw_may
+    && Dataflow.Interval.equal a.win b.win
+
+  let join_v a b =
+    {
+      xp_must = a.xp_must && b.xp_must;
+      xp_may = a.xp_may || b.xp_may;
+      gw_must = a.gw_must && b.gw_must;
+      gw_may = a.gw_may || b.gw_may;
+      win = Dataflow.Interval.join a.win b.win;
+    }
+
+  let equal = Dataflow.VMap.equal_d ~default equal_v
+  let join = Dataflow.VMap.join_d ~default join_v
+
+  let transfer (n : Ir.node) st =
+    let get v = Dataflow.VMap.find_d ~default v st in
+    match n.Ir.op with
+    | Ir.Mmap { vkey; prot; _ } ->
+        (* declared prot is max_prot: the group starts with no data
+           access granted (PKRU defaults to no-access), only the
+           page-level exec bit is live *)
+        Dataflow.VMap.add vkey
+          { default with xp_must = prot.Perm.exec; xp_may = prot.Perm.exec }
+          st
+    | Ir.Mprotect { vkey; prot } ->
+        let v = get vkey in
+        Dataflow.VMap.add vkey
+          {
+            v with
+            xp_must = prot.Perm.exec;
+            xp_may = prot.Perm.exec;
+            gw_must = prot.Perm.write;
+            gw_may = prot.Perm.write;
+          }
+          st
+    | Ir.Begin { vkey; prot } when prot.Perm.write ->
+        let v = get vkey in
+        Dataflow.VMap.add vkey { v with win = Dataflow.Interval.incr v.win } st
+    | Ir.End { vkey } ->
+        let v = get vkey in
+        Dataflow.VMap.add vkey { v with win = Dataflow.Interval.decr v.win } st
+    | Ir.Free { vkey } -> Dataflow.VMap.add vkey default st
+    | _ -> st
+
+  let run p =
+    let runs =
+      thread_runs p ~init_main:Dataflow.VMap.empty
+        ~derive_init:
+          (Dataflow.VMap.map (fun v -> { v with win = Dataflow.Interval.zero }))
+        ~equal ~join ~transfer
+    in
+    let pass = "wx" in
+    let check ~tid ~node ~state ~witness =
+      let get v = Dataflow.VMap.find_d ~default v state in
+      match node.Ir.op with
+      | Ir.Mprotect { vkey; prot } when prot.Perm.write && prot.Perm.exec ->
+          [
+            mk ~pass ~severity:Error ~detail:(Wx_mapping { vkey }) ~tid ~node
+              ~message:
+                (Printf.sprintf
+                   "mpk_mprotect makes vkey %d globally writable AND executable (W^X \
+                    violated for every thread)"
+                   vkey)
+              ~witness;
+          ]
+      | Ir.Exec { vkey } -> (
+          let v = get vkey in
+          if v.gw_must then
+            [
+              mk ~pass ~severity:Error
+                ~detail:(Wx_exec_writable { vkey; window = false }) ~tid ~node
+                ~message:
+                  (Printf.sprintf
+                     "instruction fetch from vkey %d while it is globally writable" vkey)
+                ~witness;
+            ]
+          else if fst v.win > 0 then
+            [
+              mk ~pass ~severity:Error ~detail:(Wx_exec_writable { vkey; window = true })
+                ~tid ~node
+                ~message:
+                  (Printf.sprintf
+                     "instruction fetch from vkey %d inside this thread's own write \
+                      window (mpk_begin rw not yet ended)"
+                     vkey)
+                ~witness;
+            ]
+          else if v.gw_may || snd v.win > 0 then
+            [
+              mk ~pass ~severity:Warning ~detail:(Maybe "exec of possibly-writable region")
+                ~tid ~node
+                ~message:
+                  (Printf.sprintf
+                     "instruction fetch from vkey %d which may be writable on some path"
+                     vkey)
+                ~witness;
+            ]
+          else [])
+      | _ -> []
+    in
+    collect p runs ~check
+end
+
+(* --- pass 4: ERIM-style WRPKRU gadget scan --- *)
+
+module Gadget = struct
+  (* An occurrence of WRPKRU in an emitted stream is safe only when the
+     next two instructions validate the loaded value and divert to the
+     trusted path on mismatch; anything else is a gadget an attacker can
+     jump to with a chosen eax (ERIM §3.1, which libmpk §6 relies on). *)
+  let unsafe_offsets code =
+    let arr = Array.of_list code in
+    let n = Array.length arr in
+    let bad = ref [] in
+    Array.iteri
+      (fun i insn ->
+        match insn with
+        | Ir.I_wrpkru ->
+            let checked =
+              i + 2 < n && arr.(i + 1) = Ir.I_cmp_pkru && arr.(i + 2) = Ir.I_br_trusted
+            in
+            if not checked then bad := i :: !bad
+        | _ -> ())
+      arr;
+    List.rev !bad
+
+  let run p =
+    let runs =
+      thread_runs p ~init_main:() ~derive_init:Fun.id ~equal:( = ) ~join:(fun _ _ -> ())
+        ~transfer:(fun _ st -> st)
+    in
+    let pass = "gadget" in
+    let check ~tid ~node ~state:_ ~witness =
+      match node.Ir.op with
+      | Ir.Emit { vkey; code } ->
+          List.map
+            (fun offset ->
+              mk ~pass ~severity:Error ~detail:(Unsafe_wrpkru { vkey; offset }) ~tid
+                ~node
+                ~message:
+                  (Printf.sprintf
+                     "emitted stream for vkey %d contains an unchecked WRPKRU at \
+                      offset %d (exploitable gadget: a jump here with chosen eax \
+                      rewrites PKRU)"
+                     vkey offset)
+                ~witness)
+            (unsafe_offsets code)
+      | _ -> []
+    in
+    collect p runs ~check
+end
+
+(* --- pass 5: lazy do_pkey_sync TOCTOU across spawned threads --- *)
+
+module Toctou = struct
+  module ISet = Set.Make (Int)
+
+  type granted = { gr_must : bool; gw_must : bool }
+
+  let g_default = { gr_must = false; gw_must = false }
+
+  type state = {
+    live_must : ISet.t;
+    live_may : ISet.t;
+    rights : granted Dataflow.VMap.t;  (* per-vkey global rights from mpk_mprotect *)
+  }
+
+  let init = { live_must = ISet.empty; live_may = ISet.empty; rights = Dataflow.VMap.empty }
+
+  let equal a b =
+    ISet.equal a.live_must b.live_must
+    && ISet.equal a.live_may b.live_may
+    && Dataflow.VMap.equal_d ~default:g_default ( = ) a.rights b.rights
+
+  let join a b =
+    {
+      live_must = ISet.inter a.live_must b.live_must;
+      live_may = ISet.union a.live_may b.live_may;
+      rights =
+        Dataflow.VMap.join_d ~default:g_default
+          (fun x y -> { gr_must = x.gr_must && y.gr_must; gw_must = x.gw_must && y.gw_must })
+          a.rights b.rights;
+    }
+
+  let transfer (n : Ir.node) st =
+    match n.Ir.op with
+    | Ir.Spawn { tid } ->
+        { st with live_must = ISet.add tid st.live_must; live_may = ISet.add tid st.live_may }
+    | Ir.Join { tid } ->
+        { st with live_must = ISet.remove tid st.live_must; live_may = ISet.remove tid st.live_may }
+    | Ir.Mmap { vkey; _ } | Ir.Free { vkey } ->
+        (* a fresh group starts with no global rights; a freed one has none *)
+        { st with rights = Dataflow.VMap.add vkey g_default st.rights }
+    | Ir.Mprotect { vkey; prot } ->
+        {
+          st with
+          rights =
+            Dataflow.VMap.add vkey
+              { gr_must = prot.Perm.read; gw_must = prot.Perm.write }
+              st.rights;
+        }
+    | _ -> st
+
+  (* Accesses a thread performs while *not* inside its own mpk_begin for
+     that vkey ("bare" accesses: they rely entirely on the global rights
+     and therefore race a revocation's lazy sync). Computed with the
+     balance domain per thread. *)
+  type bare = { rd_def : bool; rd_may : bool; wr_def : bool; wr_may : bool }
+
+  let bare_default = { rd_def = false; rd_may = false; wr_def = false; wr_may = false }
+
+  let bare_accesses p (t : Ir.thread) =
+    let r =
+      Dataflow.forward p ~entry:t.Ir.entry ~init:Dataflow.VMap.empty
+        ~equal:Balance.equal ~join:Balance.join ~transfer:Balance.transfer
+    in
+    List.fold_left
+      (fun acc (n : Ir.node) ->
+        let upd vkey kind =
+          match Dataflow.state r n.Ir.id with
+          | None -> acc
+          | Some st ->
+              let lo, hi =
+                Dataflow.VMap.find_d ~default:Dataflow.Interval.zero vkey st
+              in
+              let b = Dataflow.VMap.find_d ~default:bare_default vkey acc in
+              let b =
+                match kind with
+                | A_read ->
+                    { b with rd_def = b.rd_def || hi = 0; rd_may = b.rd_may || lo = 0 }
+                | A_write ->
+                    { b with wr_def = b.wr_def || hi = 0; wr_may = b.wr_may || lo = 0 }
+              in
+              Dataflow.VMap.add vkey b acc
+        in
+        match n.Ir.op with
+        | Ir.Read { vkey } -> upd vkey A_read
+        | Ir.Write { vkey } | Ir.Emit { vkey; _ } -> upd vkey A_write
+        | _ -> acc)
+      Dataflow.VMap.empty (Ir.thread_nodes p t.Ir.tid)
+
+  let run p =
+    let main = Ir.main_thread p in
+    let bare =
+      List.filter_map
+        (fun (t : Ir.thread) ->
+          if t.Ir.tid = 0 then None else Some (t.Ir.tid, bare_accesses p t))
+        p.Ir.threads
+    in
+    let r = Dataflow.forward p ~entry:main.Ir.entry ~init ~equal ~join ~transfer in
+    let pass = "toctou" in
+    List.concat_map
+      (fun (n : Ir.node) ->
+        match n.Ir.op, Dataflow.state r n.Ir.id with
+        | Ir.Mprotect { vkey; prot }, Some st ->
+            let prev = Dataflow.VMap.find_d ~default:g_default vkey st.rights in
+            let revoked =
+              (if prev.gr_must && not prot.Perm.read then [ A_read ] else [])
+              @ if prev.gw_must && not prot.Perm.write then [ A_write ] else []
+            in
+            List.concat_map
+              (fun (victim, accesses) ->
+                let b = Dataflow.VMap.find_d ~default:bare_default vkey accesses in
+                List.filter_map
+                  (fun acc_kind ->
+                    let def, may =
+                      match acc_kind with
+                      | A_read -> b.rd_def, b.rd_may
+                      | A_write -> b.wr_def, b.wr_may
+                    in
+                    let witness () =
+                      List.map
+                        (fun id -> { stid = 0; sop = (Ir.node p id).Ir.op })
+                        (Dataflow.path_to r n.Ir.id)
+                    in
+                    if ISet.mem victim st.live_must && def then
+                      Some
+                        (mk ~pass ~severity:Error
+                           ~detail:(Toctou { vkey; victim; access = acc_kind })
+                           ~tid:0 ~node:n
+                           ~message:
+                             (Printf.sprintf
+                                "mpk_mprotect revokes %s on vkey %d while thread %d is \
+                                 live and %ss it outside mpk_begin — until the \
+                                 victim's lazy do_pkey_sync task_work runs, its PKRU \
+                                 still grants the revoked right (TOCTOU)"
+                                (access_to_string acc_kind) vkey victim
+                                (access_to_string acc_kind))
+                           ~witness)
+                    else if ISet.mem victim st.live_may && may then
+                      Some
+                        (mk ~pass ~severity:Warning
+                           ~detail:(Toctou { vkey; victim; access = acc_kind })
+                           ~tid:0 ~node:n
+                           ~message:
+                             (Printf.sprintf
+                                "mpk_mprotect may revoke %s on vkey %d while thread %d \
+                                 can access it outside mpk_begin on some path"
+                                (access_to_string acc_kind) vkey victim)
+                           ~witness)
+                    else None)
+                  revoked)
+              bare
+        | _ -> [])
+      (Dataflow.reached p r 0)
+end
+
+(* --- driver --- *)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let analyze p =
+  Typestate.run p @ Balance.run p @ Wx.run p @ Gadget.run p @ Toctou.run p
+  |> List.sort (fun a b ->
+         compare
+           (severity_rank a.severity, a.pass, a.node)
+           (severity_rank b.severity, b.pass, b.node))

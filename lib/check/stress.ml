@@ -84,6 +84,26 @@ let gen_ops cfg n =
         Free { vkey = vkey (); task = task (); index = Mpk_util.Prng.int prng 8 }
       else Touch { vkey = vkey (); task = task () })
 
+(* Each random op has a static-analyzer counterpart: a minimized failing
+   trace re-emits as an Mpk_analysis.Ir program, so a dynamic failure can
+   be cross-examined with the same vocabulary (and passes) the lints use.
+   Heap ops have no IR-level meaning and become labels. *)
+let ir_of_op op =
+  let open Mpk_analysis in
+  match op with
+  | Mmap { vkey; task; pages; prot_sel } ->
+      (task, Ir.Mmap { vkey; pages; prot = mmap_prot prot_sel })
+  | Munmap { vkey; task } -> (task, Ir.Free { vkey })
+  | Begin { vkey; task; prot_sel } ->
+      (task, Ir.Begin { vkey; prot = begin_prot prot_sel })
+  | End { vkey; task } -> (task, Ir.End { vkey })
+  | Mprotect { vkey; task; prot_sel } ->
+      (task, Ir.Mprotect { vkey; prot = mprotect_prot prot_sel })
+  | Touch { vkey; task } -> (task, Ir.Read { vkey })
+  | Malloc { task; _ } | Free { task; _ } -> (task, Ir.Label (show_op op))
+
+let ir_of_trace ~name ops = Mpk_analysis.Ir.of_trace ~name (List.map ir_of_op ops)
+
 let last_fault_stats_ref : Mpk_faultinj.stats list ref = ref []
 let last_fault_stats () = !last_fault_stats_ref
 
@@ -243,4 +263,8 @@ let report cfg ~ops_total failure minimized =
   List.iteri
     (fun i op -> Buffer.add_string buf (Printf.sprintf "  %3d: %s\n" i (show_op op)))
     minimized;
+  Buffer.add_string buf "as analyzer IR (mpkctl lint vocabulary):\n";
+  Buffer.add_string buf
+    (Format.asprintf "%a" Mpk_analysis.Ir.pp_program
+       (ir_of_trace ~name:"minimized-stress-trace" minimized));
   Buffer.contents buf

@@ -44,6 +44,17 @@ type op =
 
 val show_op : op -> string
 
+(** The static analyzer's view of one random op, as [(tid, ir_op)]:
+    mmap/munmap/begin/end/mprotect/touch map to their IR counterparts,
+    heap ops (no IR-level meaning) to labels. *)
+val ir_of_op : op -> int * Mpk_analysis.Ir.op
+
+(** [ir_of_trace ~name ops] — the straight-line IR program of a (usually
+    minimized) trace, via [Mpk_analysis.Ir.of_trace]: per-thread chains,
+    main spawning/joining the others. Re-emitted in failure reports so
+    dynamic failures and static lints share one vocabulary. *)
+val ir_of_trace : name:string -> op list -> Mpk_analysis.Ir.program
+
 (** [gen_ops cfg n] — the deterministic op sequence for [cfg.seed]. *)
 val gen_ops : config -> int -> op list
 

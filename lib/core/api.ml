@@ -62,6 +62,9 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  cache_invalidations : int;
+  cache_full : int;
+  cache_hit_rate : float;
   cache_reserved : int;
 }
 
@@ -136,14 +139,19 @@ let stats t =
     cache_hits = Key_cache.hits t.cache;
     cache_misses = Key_cache.misses t.cache;
     cache_evictions = Key_cache.evictions t.cache;
+    cache_invalidations = Key_cache.invalidations t.cache;
+    cache_full = Key_cache.full_misses t.cache;
+    cache_hit_rate = Key_cache.hit_rate t.cache;
     cache_reserved = Key_cache.reserved_count t.cache;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "mmap:%d munmap:%d begin:%d end:%d mprotect:%d malloc:%d free:%d | cache hit:%d miss:%d evict:%d reserved:%d"
+    "mmap:%d munmap:%d begin:%d end:%d mprotect:%d malloc:%d free:%d | cache hit:%d \
+     miss:%d evict:%d invalidate:%d full:%d hit-rate:%.2f reserved:%d"
     s.mmap_calls s.munmap_calls s.begin_calls s.end_calls s.mprotect_calls s.malloc_calls
-    s.free_calls s.cache_hits s.cache_misses s.cache_evictions s.cache_reserved
+    s.free_calls s.cache_hits s.cache_misses s.cache_evictions s.cache_invalidations
+    s.cache_full s.cache_hit_rate s.cache_reserved
 
 let check_vkey t vkey =
   match t.registry with

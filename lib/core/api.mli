@@ -139,6 +139,9 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  cache_invalidations : int;  (** evictions triggered by mpk_free/munmap *)
+  cache_full : int;  (** misses that found no usable key *)
+  cache_hit_rate : float;  (** hits / (hits + misses), 0 before any lookup *)
   cache_reserved : int;  (** keys withdrawn for the execute-only reserve *)
 }
 

@@ -19,6 +19,8 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable invalidations : int;  (* mappings removed by [release] (mpk_free path) *)
+  mutable full : int;  (* misses that returned [Full] (no mapping created) *)
 }
 
 (* Fault injection: force the miss path to find no usable key ("cache
@@ -43,6 +45,8 @@ let create ?(policy = Lru) ?(seed = 0x5EEDL) ~keys () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    invalidations = 0;
+    full = 0;
   }
 
 let policy t = t.policy
@@ -87,7 +91,11 @@ let acquire t ?(may_evict = true) vkey =
       Hit e.pkey
   | None -> (
       t.misses <- t.misses + 1;
-      if Mpk_faultinj.fire fp_full then Full
+      let full () =
+        t.full <- t.full + 1;
+        Full
+      in
+      if Mpk_faultinj.fire fp_full then full ()
       else
       match t.free with
       | pkey :: rest ->
@@ -96,10 +104,10 @@ let acquire t ?(may_evict = true) vkey =
           Hashtbl.replace t.map vkey { pkey; stamp = now; inserted = now; pins = 0 };
           Fresh pkey
       | [] ->
-          if not may_evict then Full
+          if not may_evict then full ()
           else (
             match lru_victim t with
-            | None -> Full
+            | None -> full ()
             | Some (victim, e) ->
                 Hashtbl.remove t.map victim;
                 let now = tick t in
@@ -157,6 +165,7 @@ let release t vkey =
       invalid_arg (Printf.sprintf "Key_cache.release: vkey %d is pinned" vkey)
   | Some e ->
       Hashtbl.remove t.map vkey;
+      t.invalidations <- t.invalidations + 1;
       t.free <- e.pkey :: t.free
   | None -> ()
 
@@ -175,11 +184,19 @@ let mappings t =
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+let invalidations t = t.invalidations
+let full_misses t = t.full
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
 
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
-  t.evictions <- 0
+  t.evictions <- 0;
+  t.invalidations <- 0;
+  t.full <- 0
 
 let dump t =
   Hashtbl.fold (fun vkey e acc -> (vkey, e.pkey, e.pins > 0, e.stamp) :: acc) t.map []

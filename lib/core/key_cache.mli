@@ -80,6 +80,21 @@ val mappings : t -> (Vkey.t * Pkey.t * int) list
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+(** Mappings removed by [release] — the invalidation an [mpk_free] /
+    [mpk_munmap] triggers, as opposed to a capacity eviction. *)
+val invalidations : t -> int
+
+(** Misses that returned [Full] (no mapping was created). Together with
+    the other counters this closes the conservation identity
+    [misses = in_use + evictions + invalidations + full_misses]: every
+    miss either inserted a mapping (still present, later evicted, or
+    later invalidated) or returned [Full]. *)
+val full_misses : t -> int
+
+(** hits / (hits + misses); 0 before any lookup. *)
+val hit_rate : t -> float
+
 val reset_stats : t -> unit
 
 (** Mappings as (vkey, pkey, pinned) triples, LRU first. *)

@@ -9,7 +9,7 @@ type node =
   | Inner of node option array
   | Leaf of int64 array
 
-type t = { mutable root : node option array; mutable mapped : int }
+type t = { root : node option array; mutable mapped : int }
 
 let create () = { root = Array.make fanout None; mapped = 0 }
 

@@ -26,7 +26,7 @@ type t = {
   cache_pages : int;
   mutable committed : page_info list;  (* newest first *)
   entries : (string, entry) Hashtbl.t;
-  mutable group_base : int;  (* key/process: the single group's base *)
+  group_base : int;  (* key/process: the single group's base *)
   mutable group_used : int;
   mutable next_page_vkey : int;
   mutable switch_cycles : float;

@@ -10,6 +10,11 @@ open Mpk_kernel
 
 type t
 
+(** vkey namespaces: pages of key/page caches start here; the key/process
+    cache group uses the base key. Exposed so the static-analysis model
+    of the JIT lints the same key the engine really uses. *)
+val vkey_base : Libmpk.Vkey.t
+
 type entry = { name : string; addr : int; len : int; page_vkey : Libmpk.Vkey.t option }
 
 (** [create strategy proc task ?mpk ()] — [mpk] required for the libmpk

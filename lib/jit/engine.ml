@@ -10,7 +10,7 @@ let profile_name = function
 let switch_ratio = function Spidermonkey -> 0.3 | Chakracore -> 1.0 | V8 -> 1.0
 
 type func_state = {
-  mutable entry : Codecache.entry;
+  entry : Codecache.entry;
   func : Bytecode.func;
   expected : int;
 }

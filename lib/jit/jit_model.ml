@@ -1,0 +1,78 @@
+(* IR model of the JIT engine's libmpk protocol (paper §6.1, key/page).
+
+   The code cache is one page group, mmapped with max_prot rwx (pages
+   carry the exec bit; data rights stay PKRU-gated, so the group starts
+   inaccessible). The compile-and-run loop opens a per-thread write
+   window with mpk_begin(rw) to emit code, closes it, and only then
+   executes — W^X by protocol, not by trap.
+
+   The emitted instruction stream includes libmpk's own inlined domain
+   switch: a WRPKRU immediately followed by the ERIM-style check of the
+   loaded value. The gadget scan must accept it.
+
+   Planted violations (each behind a flag, for the analyzer's CI run):
+   - [`Wx]      a "fast-patch mode" that mpk_mprotects the whole cache
+                rwx and keeps executing — the classic W^X break
+   - [`Gadget]  an emitted stream whose WRPKRU has no check after it *)
+
+open Mpk_analysis
+open Mpk_hw
+
+let cache_vkey = Codecache.vkey_base
+
+(* What the engine normally emits: computation, one trusted domain
+   switch (checked WRPKRU), return. *)
+let trusted_stream =
+  Ir.
+    [
+      I_op "push rbp";
+      I_op "mov rax, pkru_begin";
+      I_wrpkru;
+      I_cmp_pkru;
+      I_br_trusted;
+      I_op "add rdx, rcx";
+      I_ret;
+    ]
+
+(* An unchecked WRPKRU in generated code: jumping here with a chosen eax
+   rewrites PKRU — exactly what ERIM's binary scan rejects. *)
+let gadget_stream =
+  Ir.[ I_op "mov rax, attacker"; I_wrpkru; I_op "jmp rbx"; I_ret ]
+
+let program ?plant () =
+  let open Ir in
+  let emit code = op (Emit { vkey = cache_vkey; code }) in
+  let serve_loop code =
+    Loop
+      ( "compile-and-run",
+        [
+          If
+            ( "function hot?",
+              [
+                op (Begin { vkey = cache_vkey; prot = Perm.rw });
+                emit code;
+                op (End { vkey = cache_vkey });
+              ],
+              [ label "interpret bytecode" ] );
+          op (Exec { vkey = cache_vkey });
+        ] )
+  in
+  let main =
+    [ op (Mmap { vkey = cache_vkey; pages = 4; prot = Perm.rwx }) ]
+    @ (match plant with
+      | Some `Gadget -> [ serve_loop gadget_stream ]
+      | Some `Wx | None -> [ serve_loop trusted_stream ])
+    @ (match plant with
+      | Some `Wx ->
+          (* "fast-patch mode": unlock the whole cache for in-place
+             patching and keep running out of it *)
+          [
+            label "enable fast patching";
+            op (Mprotect { vkey = cache_vkey; prot = Perm.rwx });
+            op (Write { vkey = cache_vkey });
+            op (Exec { vkey = cache_vkey });
+          ]
+      | Some `Gadget | None -> [])
+    @ [ op (Free { vkey = cache_vkey }) ]
+  in
+  Ir.build ~name:"jit" ~main ()

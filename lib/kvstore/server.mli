@@ -19,6 +19,12 @@ type mode = Baseline | Domain | Sync | Mprotect_sys
 
 val mode_name : mode -> string
 
+(** The two hardcoded virtual keys (slab arena, hash index). Exposed so
+    the static-analysis model lints the same keys the server uses. *)
+val slab_vkey : Libmpk.Vkey.t
+
+val hash_vkey : Libmpk.Vkey.t
+
 type t
 
 (** [create ~mode ~workers ~slab_mib ~buckets ()] — builds a machine,

@@ -12,7 +12,7 @@ type t = {
   mode : mode;
   proc : Proc.t;
   mpk : Libmpk.t option;
-  mutable region : int;  (* insecure heap base *)
+  region : int;  (* insecure heap base *)
   mutable bump : int;  (* next free offset in the insecure region *)
   mutable secret_addr : int;
   mutable secret_len : int;

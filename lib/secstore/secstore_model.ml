@@ -1,0 +1,52 @@
+(* IR model of the OpenSSL-style key store's libmpk protocol (§6.2).
+
+   One page group (the hardcoded vkey from Keystore) holds the serialized
+   RSA secret. The secret is written once inside an rw domain; every TLS
+   handshake opens a read-only domain around the signing read. A signal
+   guard models the per-request fault handler: a pkey fault during the
+   read escapes to a handler that closes the domain and drops the
+   session (so even the fault path stays begin/end balanced).
+
+   Planted violations (behind flags):
+   - [`Use_after_free]  a stale session drained after the key is
+                        scrubbed: begin/read on the freed vkey
+   - [`Double_free]     the shutdown path frees the group twice
+   - [`Leak]            shutdown forgets the free entirely (leak-on-exit) *)
+
+open Mpk_analysis
+open Mpk_hw
+
+let key_vkey = Keystore.vkey
+
+let program ?plant () =
+  let open Ir in
+  let sign_session =
+    [
+      op (Begin { vkey = key_vkey; prot = Perm.r });
+      Guard
+        ( [ label "derive signature"; op (Read { vkey = key_vkey }); op (End { vkey = key_vkey }) ],
+          [ op (End { vkey = key_vkey }); label "drop session" ] );
+    ]
+  in
+  let main =
+    [
+      op (Mmap { vkey = key_vkey; pages = 1; prot = Perm.rw });
+      label "store secret";
+      op (Begin { vkey = key_vkey; prot = Perm.rw });
+      op (Write { vkey = key_vkey });
+      op (End { vkey = key_vkey });
+      Loop
+        ( "serve TLS",
+          [ If ("handshake?", sign_session, [ label "static response" ]) ] );
+    ]
+    @ (match plant with
+      | Some `Leak -> [ label "shutdown (free forgotten)" ]
+      | Some `Double_free ->
+          [ op (Free { vkey = key_vkey }); op (Free { vkey = key_vkey }) ]
+      | Some `Use_after_free ->
+          op (Free { vkey = key_vkey })
+          :: label "drain stale session"
+          :: sign_session
+      | None -> [ op (Free { vkey = key_vkey }) ])
+  in
+  Ir.build ~name:"secstore" ~main ()

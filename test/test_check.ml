@@ -252,6 +252,151 @@ let test_percentile_rejects_nan () =
   Alcotest.(check (float 1e-9)) "median of mixed signs" (-1.0)
     (Mpk_util.Stats.percentile [| 3.0; -1.0; -5.0 |] 50.0)
 
+(* --- key-cache counter conservation ---
+
+   Every miss either inserts a mapping or returns Full; every inserted
+   mapping is still present, was capacity-evicted, or was invalidated by
+   a release. So at any instant:
+
+     misses = in_use + evictions + invalidations + full
+
+   Checked after every op of a seeded random API run, so any accounting
+   hole (a removal path that forgets its counter) surfaces at the exact
+   op that opened it. *)
+
+let test_cache_counter_conservation () =
+  let mpk, _proc, tasks = make_env ~threads:2 ~hw_keys:4 () in
+  let t0 = tasks.(0) and t1 = tasks.(1) in
+  let prng = Mpk_util.Prng.create ~seed:7L in
+  let check_identity step =
+    let c = Libmpk.cache mpk in
+    let misses = Libmpk.Key_cache.misses c in
+    let rhs =
+      Libmpk.Key_cache.in_use c + Libmpk.Key_cache.evictions c
+      + Libmpk.Key_cache.invalidations c
+      + Libmpk.Key_cache.full_misses c
+    in
+    if misses <> rhs then
+      Alcotest.fail
+        (Printf.sprintf
+           "conservation broken after op %d: misses=%d <> in_use+evictions+\
+            invalidations+full=%d"
+           step misses rhs);
+    let s = Libmpk.stats mpk in
+    if s.Libmpk.cache_hit_rate < 0.0 || s.Libmpk.cache_hit_rate > 1.0 then
+      Alcotest.fail "hit rate outside [0,1]"
+  in
+  let benign f =
+    try f ()
+    with Errno.Error _ | Libmpk.Key_exhausted | Libmpk.Unregistered_vkey _ -> ()
+  in
+  for step = 1 to 400 do
+    let v = 1 + Mpk_util.Prng.int prng 8 in
+    let t = if Mpk_util.Prng.int prng 2 = 0 then t0 else t1 in
+    (match Mpk_util.Prng.int prng 6 with
+    | 0 -> benign (fun () -> ignore (Libmpk.mpk_mmap mpk t ~vkey:v ~len:page ~prot:Perm.rw))
+    | 1 -> benign (fun () -> Libmpk.mpk_munmap mpk t ~vkey:v)
+    | 2 -> benign (fun () -> Libmpk.mpk_begin mpk t ~vkey:v ~prot:Perm.r)
+    | 3 -> benign (fun () -> Libmpk.mpk_end mpk t ~vkey:v)
+    | 4 -> benign (fun () -> Libmpk.mpk_mprotect mpk t ~vkey:v ~prot:Perm.rw)
+    | _ -> benign (fun () -> Libmpk.mpk_mprotect mpk t ~vkey:v ~prot:Perm.x_only));
+    check_identity step
+  done;
+  let s = Libmpk.stats mpk in
+  Alcotest.(check bool) "run exercised hits, misses and invalidations" true
+    (s.Libmpk.cache_hits > 0 && s.Libmpk.cache_misses > 0
+    && s.Libmpk.cache_invalidations > 0);
+  Alcotest.(check (float 1e-9)) "hit rate = hits / lookups"
+    (float_of_int s.Libmpk.cache_hits
+    /. float_of_int (s.Libmpk.cache_hits + s.Libmpk.cache_misses))
+    s.Libmpk.cache_hit_rate;
+  check_clean "end of counter stress" mpk
+
+(* --- mpk_heap through the API: exhaustion, reuse, protected metadata --- *)
+
+let test_heap_exhaustion_and_reuse () =
+  let mpk, _proc, tasks = make_env () in
+  let t0 = tasks.(0) in
+  (* default heap is 1 MiB; 64 KiB blocks carve it exactly *)
+  let block = 64 * 1024 in
+  let addrs = ref [] in
+  let rec fill () =
+    match Libmpk.mpk_malloc mpk t0 ~vkey:5 ~size:block with
+    | addr ->
+        addrs := addr :: !addrs;
+        fill ()
+    | exception Errno.Error (Errno.ENOMEM, _) -> ()
+  in
+  fill ();
+  Alcotest.(check int) "heap filled completely" 16 (List.length !addrs);
+  check_clean "heap exhausted" mpk;
+  (* free-then-realloc reuse: first-fit hands the hole back *)
+  let victim = List.nth !addrs 7 in
+  Libmpk.mpk_free mpk t0 ~vkey:5 ~addr:victim;
+  check_clean "after free" mpk;
+  let again = Libmpk.mpk_malloc mpk t0 ~vkey:5 ~size:block in
+  Alcotest.(check int) "freed hole is reused" victim again;
+  (* still full: the next alloc must fail again *)
+  (match Libmpk.mpk_malloc mpk t0 ~vkey:5 ~size:block with
+  | (_ : int) -> Alcotest.fail "heap should still be exhausted"
+  | exception Errno.Error (Errno.ENOMEM, _) -> ());
+  check_clean "after realloc" mpk
+
+let test_heap_first_use_under_key_pressure () =
+  (* One hardware key, pinned by an active domain: the group mpk_malloc
+     creates on first use cannot attach a key (held at PROT_NONE), but
+     allocation must still succeed and the auditor must stay silent. *)
+  let mpk, _proc, tasks = make_env ~hw_keys:1 () in
+  let t0 = tasks.(0) in
+  ignore (Libmpk.mpk_mmap mpk t0 ~vkey:1 ~len:page ~prot:Perm.rw);
+  Libmpk.mpk_begin mpk t0 ~vkey:1 ~prot:Perm.rw;
+  let a = Libmpk.mpk_malloc mpk t0 ~vkey:2 ~size:256 in
+  check_clean "first-use malloc with all keys pinned" mpk;
+  Libmpk.mpk_free mpk t0 ~vkey:2 ~addr:a;
+  Libmpk.mpk_end mpk t0 ~vkey:1;
+  check_clean "after teardown" mpk
+
+let test_heap_metadata_stays_protected () =
+  (* Group (and heap) metadata lives in pages guarded by the reserved
+     metadata pkey: a stray application write must fault, and the
+     auditor must agree the fault left nothing inconsistent. *)
+  let mpk, proc, tasks = make_env () in
+  let t0 = tasks.(0) in
+  let a = Libmpk.mpk_malloc mpk t0 ~vkey:3 ~size:512 in
+  let md_base = Libmpk.Metadata.base (Libmpk.metadata mpk) in
+  (match Mmu.write_byte (Proc.mmu proc) (Task.core t0) ~addr:md_base 'X' with
+  | () -> Alcotest.fail "application write to libmpk metadata must fault"
+  | exception Mmu.Fault _ -> ()
+  | exception Signal.Killed _ -> ());
+  check_clean "after blocked metadata write" mpk;
+  (* the metadata the write aimed at still round-trips *)
+  Libmpk.mpk_free mpk t0 ~vkey:3 ~addr:a;
+  check_clean "after free" mpk
+
+(* --- mpk_heap direct: free-list invariants under churn --- *)
+
+let test_heap_unit_churn () =
+  let h = Libmpk.Mpk_heap.create ~base:0x1000 ~len:256 in
+  let a = Option.get (Libmpk.Mpk_heap.alloc h ~size:64) in
+  let b = Option.get (Libmpk.Mpk_heap.alloc h ~size:64) in
+  let c = Option.get (Libmpk.Mpk_heap.alloc h ~size:64) in
+  let d = Option.get (Libmpk.Mpk_heap.alloc h ~size:64) in
+  Alcotest.(check bool) "exhausted" true (Libmpk.Mpk_heap.alloc h ~size:16 = None);
+  Alcotest.(check bool) "invariant at full" true (Libmpk.Mpk_heap.invariant h);
+  (* free non-adjacent then the middle: coalescing must merge all three *)
+  Libmpk.Mpk_heap.free h ~addr:b;
+  Libmpk.Mpk_heap.free h ~addr:d;
+  Alcotest.(check bool) "invariant after holes" true (Libmpk.Mpk_heap.invariant h);
+  Libmpk.Mpk_heap.free h ~addr:c;
+  Alcotest.(check bool) "invariant after coalesce" true (Libmpk.Mpk_heap.invariant h);
+  (* b..d coalesced into one 192-byte run: a 192-byte alloc fits at b *)
+  Alcotest.(check (option int)) "coalesced run reused" (Some b)
+    (Libmpk.Mpk_heap.alloc h ~size:192);
+  Libmpk.Mpk_heap.free h ~addr:a;
+  Libmpk.Mpk_heap.free h ~addr:b;
+  Alcotest.(check int) "all bytes back" 256 (Libmpk.Mpk_heap.free_bytes h);
+  Alcotest.(check bool) "final invariant" true (Libmpk.Mpk_heap.invariant h)
+
 (* --- randomized stress: short deterministic runs across key regimes --- *)
 
 let test_stress_passes () =
@@ -303,6 +448,22 @@ let () =
           Alcotest.test_case "reserve conserves capacity" `Quick
             test_reserve_conserves_capacity;
           Alcotest.test_case "percentile rejects NaN" `Quick test_percentile_rejects_nan;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "key-cache counter conservation" `Quick
+            test_cache_counter_conservation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "exhaustion and free-then-realloc reuse" `Quick
+            test_heap_exhaustion_and_reuse;
+          Alcotest.test_case "first-use malloc under key pressure" `Quick
+            test_heap_first_use_under_key_pressure;
+          Alcotest.test_case "metadata stays behind the metadata pkey" `Quick
+            test_heap_metadata_stays_protected;
+          Alcotest.test_case "free-list churn keeps invariants" `Quick
+            test_heap_unit_churn;
         ] );
       ( "stress",
         [
