@@ -237,6 +237,226 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(const run $ ops $ seed $ hw_keys $ tasks $ evict_rate $ spec)
 
+(* --- trace / profile: the observability layer --- *)
+
+(* A short deterministic libmpk workout (the [maps] demo plus a heap op
+   and an access denial) used as the `trace demo` scenario. *)
+let trace_demo_scenario () =
+  let machine = Mpk_hw.Machine.create ~cores:2 ~mem_mib:64 () in
+  let proc = Mpk_kernel.Proc.create machine in
+  let task = Mpk_kernel.Proc.spawn proc ~core_id:0 () in
+  let mpk = Libmpk.init ~evict_rate:1.0 proc task in
+  let a = Libmpk.mpk_mmap mpk task ~vkey:1 ~len:16384 ~prot:Mpk_hw.Perm.rw in
+  ignore (Libmpk.mpk_mmap mpk task ~vkey:2 ~len:4096 ~prot:Mpk_hw.Perm.rwx);
+  Libmpk.mpk_mprotect mpk task ~vkey:2 ~prot:Mpk_hw.Perm.x_only;
+  Libmpk.mpk_begin mpk task ~vkey:1 ~prot:Mpk_hw.Perm.rw;
+  Mpk_hw.Mmu.write_byte (Mpk_kernel.Proc.mmu proc) (Mpk_kernel.Task.core task) ~addr:a 'x';
+  Libmpk.mpk_end mpk task ~vkey:1;
+  ignore (Libmpk.mpk_malloc mpk task ~vkey:1 ~size:256);
+  (* a denied read, so the trace shows fault + signal delivery *)
+  (match
+     Mpk_hw.Mmu.read_byte (Mpk_kernel.Proc.mmu proc) (Mpk_kernel.Task.core task) ~addr:a
+   with
+  | (_ : char) -> ()
+  | exception Mpk_kernel.Signal.Killed _ -> ())
+
+let trace_stress_scenario () =
+  let cfg = Mpk_check.Stress.default_config in
+  let ops = Mpk_check.Stress.gen_ops cfg 300 in
+  ignore (Mpk_check.Stress.run cfg ops)
+
+(* Write [content] to [path], then prove the file round-trips through the
+   strict JSON parser and holds a non-empty traceEvents array. *)
+let write_validated_perfetto path events =
+  let content = Mpk_trace.Export.perfetto_string ~indent:1 events in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  match Mpk_trace.Json.parse content with
+  | Error e ->
+      Printf.eprintf "mpkctl: %s: perfetto export does not re-parse: %s\n" path e;
+      false
+  | Ok j -> (
+      match Option.bind (Mpk_trace.Json.member "traceEvents" j) Mpk_trace.Json.to_list with
+      | Some (_ :: _) ->
+          Printf.printf "wrote %s (%d trace events)\n" path (List.length events);
+          true
+      | Some [] | None ->
+          Printf.eprintf "mpkctl: %s: perfetto export has no traceEvents\n" path;
+          false)
+
+let trace_cmd =
+  let doc =
+    "Record a cross-layer event trace of a scenario (demo: a short libmpk workout; \
+     stress: a randomized stress run) and export it as Perfetto/Chrome trace_event \
+     JSON. Prints an event summary and the tail of the ring. Exits 1 when the \
+     scenario emitted no events or the export fails validation."
+  in
+  let scenario =
+    Arg.(
+      value
+      & pos 0 (Arg.enum [ "demo", `Demo; "stress", `Stress ]) `Demo
+      & info [] ~docv:"SCENARIO" ~doc:"one of: demo, stress")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Perfetto JSON output (default TRACE_$(docv).json)")
+  in
+  let last =
+    Arg.(value & opt int 32 & info [ "last" ] ~docv:"N" ~doc:"tail events to print")
+  in
+  let run scenario out last =
+    let name = match scenario with `Demo -> "demo" | `Stress -> "stress" in
+    let path = match out with Some p -> p | None -> Printf.sprintf "TRACE_%s.json" name in
+    Mpk_trace.Metrics.reset ();
+    Mpk_trace.Tracer.clear ();
+    Mpk_trace.Tracer.enable ();
+    (match scenario with `Demo -> trace_demo_scenario () | `Stress -> trace_stress_scenario ());
+    let events = Mpk_trace.Tracer.events () in
+    let ok =
+      if events = [] then begin
+        Printf.eprintf "mpkctl: trace: scenario %s emitted no events\n" name;
+        false
+      end
+      else begin
+        Printf.printf "trace %s: %d events emitted, %d retained, cores %s\n" name
+          (Mpk_trace.Tracer.emitted ())
+          (Mpk_trace.Tracer.retained ())
+          (String.concat ","
+             (List.map string_of_int (Mpk_trace.Tracer.cores ())));
+        let by_kind = Hashtbl.create 16 in
+        List.iter
+          (fun (e : Mpk_trace.Event.t) ->
+            let k = Mpk_trace.Event.kind e.Mpk_trace.Event.ev in
+            Hashtbl.replace by_kind k (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind k)))
+          events;
+        Hashtbl.fold (fun k n acc -> (k, n) :: acc) by_kind []
+        |> List.sort (fun (_, a) (_, b) -> compare (b : int) a)
+        |> List.iter (fun (k, n) -> Printf.printf "  %-22s %d\n" k n);
+        Printf.printf "last %d events:\n" (min last (List.length events));
+        List.iter
+          (fun e -> print_endline ("  " ^ Mpk_trace.Event.to_line e))
+          (Mpk_trace.Tracer.recent last);
+        write_validated_perfetto path events
+      end
+    in
+    Mpk_trace.Tracer.disable ();
+    Mpk_trace.Tracer.clear ();
+    if ok then 0 else 1
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ scenario $ out $ last)
+
+let profile_cmd =
+  let doc =
+    "Run one experiment under the cycle-attribution profiler: every Cpu.charge is \
+     attributed to a labeled node under the enclosing spans. Prints the experiment \
+     output and the attribution tree, checks that the attributed total equals the \
+     machine's cycle counter exactly (bit-for-bit float equality), and writes \
+     per-figure metrics JSON. Exits 1 on attribution mismatch or invalid export."
+  in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"experiment id, e.g. fig8 or table1 (see `mpkctl list`)")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"metrics JSON output (default BENCH_$(docv).json)")
+  in
+  let perfetto_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:"also record an event trace and write Perfetto JSON to $(docv)")
+  in
+  let folded_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:"write folded stacks ($(b,flamegraph.pl) input) to $(docv)")
+  in
+  let run id json_out perfetto_out folded_out =
+    match Mpk_experiments.Report.find id with
+    | None ->
+        Printf.eprintf "mpkctl: profile: unknown experiment %S (try `mpkctl list`)\n" id;
+        2
+    | Some e ->
+        let json_path =
+          match json_out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" id
+        in
+        Mpk_trace.Metrics.reset ();
+        Mpk_trace.Tracer.clear ();
+        if perfetto_out <> None then Mpk_trace.Tracer.enable ();
+        Mpk_trace.Prof.reset ();
+        Mpk_trace.Prof.enable ();
+        Mpk_hw.Cpu.reset_total_charged ();
+        let rendered = e.Mpk_experiments.Report.run () in
+        Mpk_trace.Prof.disable ();
+        let attributed = Mpk_trace.Prof.total_recorded () in
+        let charged = Mpk_hw.Cpu.total_charged () in
+        print_string rendered;
+        print_newline ();
+        print_string (Mpk_trace.Prof.render ());
+        (* [charge] feeds both totals with the same additions from the
+           same reset point, so any difference at all means a charge
+           escaped attribution. *)
+        let exact = Float.equal attributed charged in
+        Printf.printf "attributed %.1f cycles, machine charged %.1f cycles: %s\n"
+          attributed charged
+          (if exact then "exact match" else "MISMATCH");
+        let snap = Mpk_trace.Prof.snapshot () in
+        let json =
+          Mpk_trace.Json.Obj
+            [
+              "experiment", Mpk_trace.Json.String id;
+              "cycles_charged", Mpk_trace.Json.Float charged;
+              "cycles_attributed", Mpk_trace.Json.Float attributed;
+              "attribution_exact", Mpk_trace.Json.Bool exact;
+              "profile", Mpk_trace.Prof.json_of_snapshot snap;
+              "metrics", Mpk_trace.Metrics.export_json ();
+            ]
+        in
+        let content = Mpk_trace.Json.to_string ~indent:1 json in
+        let json_ok =
+          match Mpk_trace.Json.parse content with
+          | Ok _ ->
+              let oc = open_out json_path in
+              output_string oc content;
+              close_out oc;
+              Printf.printf "wrote %s\n" json_path;
+              true
+          | Error err ->
+              Printf.eprintf "mpkctl: profile: metrics export does not re-parse: %s\n" err;
+              false
+        in
+        (match folded_out with
+        | None -> ()
+        | Some p ->
+            let oc = open_out p in
+            output_string oc (Mpk_trace.Prof.folded ());
+            close_out oc;
+            Printf.printf "wrote %s\n" p);
+        let perfetto_ok =
+          match perfetto_out with
+          | None -> true
+          | Some p ->
+              let ok = write_validated_perfetto p (Mpk_trace.Tracer.events ()) in
+              Mpk_trace.Tracer.disable ();
+              Mpk_trace.Tracer.clear ();
+              ok
+        in
+        if exact && json_ok && perfetto_ok then 0 else 1
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ id $ json_out $ perfetto_out $ folded_out)
+
 (* --- lint: the static domain-safety analyzer --- *)
 
 type app = Jit | Secstore | Kvstore
@@ -346,4 +566,14 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; attack_cmd; maps_cmd; audit_cmd; faults_cmd; lint_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            attack_cmd;
+            maps_cmd;
+            audit_cmd;
+            faults_cmd;
+            lint_cmd;
+            trace_cmd;
+            profile_cmd;
+          ]))

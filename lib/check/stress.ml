@@ -109,13 +109,21 @@ let last_fault_stats () = !last_fault_stats_ref
 
 type kind = Violations of Audit.violation list | Crash of string
 
-type failure = { index : int; op : op; kind : kind }
+type failure = { index : int; op : op; kind : kind; blackbox : string list }
 
 type result =
   | Passed of { applied : int; benign_errors : int }
   | Failed of failure
 
 exception Stop of failure
+
+(* How many trailing trace events a failure report carries. *)
+let blackbox_depth = 64
+
+(* The flight recorder's last words, rendered before [minimize] re-runs
+   clobber the ring. *)
+let blackbox () =
+  List.map Mpk_trace.Event.to_line (Mpk_trace.Tracer.recent blackbox_depth)
 
 let run cfg ops =
   let tasks = max 1 cfg.tasks in
@@ -124,6 +132,12 @@ let run cfg ops =
      (cfg, ops) pair is fully deterministic — which is what lets
      [minimize] replay candidate traces meaningfully. *)
   Mpk_faultinj.reset ();
+  (* Flight recorder: every run traces into a fresh ring so a failure can
+     dump the events leading up to it. Event emission charges no cycles,
+     so enabling it here cannot perturb the (deterministic) run itself. *)
+  let trace_was_on = Mpk_trace.Tracer.on () in
+  Mpk_trace.Tracer.clear ();
+  Mpk_trace.Tracer.enable ();
   let machine = Machine.create ~cores:tasks ~mem_mib:128 () in
   let proc = Proc.create machine in
   let threads = Array.init tasks (fun i -> Proc.spawn proc ~core_id:i ()) in
@@ -139,7 +153,8 @@ let run cfg ops =
   let audit index op =
     match Audit.run mpk with
     | [] -> ()
-    | violations -> raise (Stop { index; op; kind = Violations violations })
+    | violations ->
+        raise (Stop { index; op; kind = Violations violations; blackbox = blackbox () })
   in
   let apply op =
     match op with
@@ -188,7 +203,11 @@ let run cfg ops =
   in
   let finish () =
     last_fault_stats_ref := List.filter (fun s -> s.Mpk_faultinj.armed) (Mpk_faultinj.stats ());
-    Mpk_faultinj.reset ()
+    Mpk_faultinj.reset ();
+    if not trace_was_on then begin
+      Mpk_trace.Tracer.disable ();
+      Mpk_trace.Tracer.clear ()
+    end
   in
   Fun.protect ~finally:finish @@ fun () ->
   try
@@ -207,7 +226,14 @@ let run cfg ops =
         | exception Signal.Killed _ -> incr benign
         | exception Out_of_memory -> incr benign
         | exception exn ->
-            raise (Stop { index; op; kind = Crash (Printexc.to_string exn) }));
+            raise
+              (Stop
+                 {
+                   index;
+                   op;
+                   kind = Crash (Printexc.to_string exn);
+                   blackbox = blackbox ();
+                 }));
         audit index op)
       ops;
     Passed { applied = List.length ops; benign_errors = !benign }
@@ -267,4 +293,11 @@ let report cfg ~ops_total failure minimized =
   Buffer.add_string buf
     (Format.asprintf "%a" Mpk_analysis.Ir.pp_program
        (ir_of_trace ~name:"minimized-stress-trace" minimized));
+  (match failure.blackbox with
+  | [] -> ()
+  | lines ->
+      Buffer.add_string buf
+        (Printf.sprintf "black box (last %d trace events before the failure):\n"
+           (List.length lines));
+      List.iter (fun l -> Buffer.add_string buf ("  " ^ l ^ "\n")) lines);
   Buffer.contents buf

@@ -62,7 +62,16 @@ type kind =
   | Violations of Audit.violation list  (** the auditor flagged the state *)
   | Crash of string  (** an unexpected exception escaped the API *)
 
-type failure = { index : int; op : op; kind : kind }
+type failure = {
+  index : int;
+  op : op;
+  kind : kind;
+  blackbox : string list;
+      (** the last trace events before the failing op — every [run]
+          records into the {!Mpk_trace.Tracer} ring (a flight recorder),
+          and a failure dumps its tail, captured before any [minimize]
+          re-runs clobber the ring *)
+}
 
 type result =
   | Passed of { applied : int; benign_errors : int }

@@ -73,7 +73,29 @@ type stats = {
    near the paper's 12.2x-faster-than-mprotect point. *)
 let user_op_cycles = 60.0
 
-let charge_user task = Cpu.charge (Task.core task) user_op_cycles
+let charge_user task = Cpu.charge ~label:"libmpk_user" (Task.core task) user_op_cycles
+
+(* Tracing shims: every public API call runs inside a span named after
+   it, and key-cache traffic / heap ops emit typed events. All of it is
+   behind the tracer's one-branch disabled check. *)
+let span task name f = Cpu.span (Task.core task) name f
+
+let temit task ev = Cpu.emit (Task.core task) ev
+
+let emit_acquire task vkey result =
+  if Mpk_trace.Tracer.on () then
+    match result with
+    | Key_cache.Hit pkey ->
+        temit task (Mpk_trace.Event.Cache_hit { vkey; pkey = Pkey.to_int pkey })
+    | Key_cache.Fresh _ -> temit task (Mpk_trace.Event.Cache_miss { vkey })
+    | Key_cache.Evicted (pkey, victim) ->
+        temit task (Mpk_trace.Event.Cache_miss { vkey });
+        temit task
+          (Mpk_trace.Event.Cache_evict { vkey; victim; pkey = Pkey.to_int pkey })
+    | Key_cache.Full -> temit task (Mpk_trace.Event.Cache_full { vkey })
+
+let emit_group_op task op vkey =
+  if Mpk_trace.Tracer.on () then temit task (Mpk_trace.Event.Group_op { op; vkey })
 
 let init ?vkeys ?(default_heap_bytes = 1 lsl 20) ?(seed = 0xC0FFEEL)
     ?(policy = Key_cache.Lru) ?(hw_keys = 15) ?(begin_policy = Fail_fast) ~evict_rate
@@ -206,9 +228,11 @@ let attach_group t task group ~pkey ~page_prot =
   group.Group.state <- Group.Mapped pkey
 
 let mpk_mmap t task ~vkey ~len ~prot =
+  span task "mpk_mmap" @@ fun () ->
   check_vkey t vkey;
   charge_user task;
   count t c_mmap;
+  emit_group_op task "mmap" vkey;
   if Hashtbl.mem t.groups vkey then
     Errno.fail EINVAL "mpk_mmap: vkey %d already has a page group" vkey;
   let addr = Syscall.mmap t.proc task ~len ~prot () in
@@ -218,7 +242,9 @@ let mpk_mmap t task ~vkey ~len ~prot =
     (* Attach a hardware key when one is free so the group starts gated by
        PKRU (inaccessible: every thread's rights default to no-access).
        Without a free key, hold the pages at PROT_NONE instead. *)
-    (match Key_cache.acquire t.cache ~may_evict:false vkey with
+    (let result = Key_cache.acquire t.cache ~may_evict:false vkey in
+     emit_acquire task vkey result;
+     match result with
     | Key_cache.Fresh pkey ->
         attach_group t task group ~pkey ~page_prot:(mapped_page_perm prot)
     | Key_cache.Hit _ -> assert false  (* group did not exist *)
@@ -263,9 +289,11 @@ let scrub_rights t task pkey =
   if multi_threaded t then Syscall.pkey_sync t.proc task ~pkey Pkru.No_access
 
 let mpk_munmap t task ~vkey =
+  span task "mpk_munmap" @@ fun () ->
   check_vkey t vkey;
   charge_user task;
   count t c_munmap;
+  emit_group_op task "munmap" vkey;
   let group, slot = group_slot t vkey in
   if group.Group.begin_depth > 0 then
     Errno.fail EINVAL "mpk_munmap: vkey %d still inside mpk_begin" vkey;
@@ -295,7 +323,9 @@ let try_map_for_begin t task group =
   match group.Group.state with
   | Group.Mapped pkey -> Some pkey
   | Group.Unmapped -> (
-      match Key_cache.acquire t.cache ~may_evict:true group.Group.vkey with
+      let result = Key_cache.acquire t.cache ~may_evict:true group.Group.vkey in
+      emit_acquire task group.Group.vkey result;
+      match result with
       | Key_cache.Hit pkey | Key_cache.Fresh pkey ->
           attach_group t task group ~pkey ~page_prot:(mapped_page_perm group.Group.prot);
           restore_global_rights pkey;
@@ -328,7 +358,7 @@ let ensure_mapped_for_begin t task ~policy group =
           let rec go n =
             if n >= attempts then exhausted group
             else begin
-              Cpu.charge (Task.core task) backoff_cycles;
+              Cpu.charge ~label:"begin_backoff" (Task.core task) backoff_cycles;
               match try_map_for_begin t task group with
               | Some pkey ->
                   Log.debug (fun m ->
@@ -344,7 +374,7 @@ let ensure_mapped_for_begin t task ~policy group =
           let rec go () =
             if Cpu.cycles (Task.core task) >= deadline then exhausted group
             else begin
-              Cpu.charge (Task.core task) poll_cycles;
+              Cpu.charge ~label:"begin_poll" (Task.core task) poll_cycles;
               match try_map_for_begin t task group with
               | Some pkey -> pkey
               | None -> go ()
@@ -353,6 +383,7 @@ let ensure_mapped_for_begin t task ~policy group =
           go ())
 
 let mpk_begin ?policy t task ~vkey ~prot =
+  span task "mpk_begin" @@ fun () ->
   check_vkey t vkey;
   charge_user task;
   count t c_begin;
@@ -372,6 +403,7 @@ let mpk_begin ?policy t task ~vkey ~prot =
   in
   let pkey = ensure_mapped_for_begin t task ~policy group in
   Key_cache.pin t.cache vkey;
+  if Mpk_trace.Tracer.on () then temit task (Mpk_trace.Event.Cache_pin { vkey });
   group.Group.begin_depth <- group.Group.begin_depth + 1;
   let id = Task.id task in
   Hashtbl.replace group.Group.begin_holders id
@@ -382,6 +414,7 @@ let mpk_begin ?policy t task ~vkey ~prot =
   sync_slot t task vkey
 
 let mpk_end t task ~vkey =
+  span task "mpk_end" @@ fun () ->
   check_vkey t vkey;
   charge_user task;
   count t c_end;
@@ -403,7 +436,8 @@ let mpk_end t task ~vkey =
         set_own_rights task pkey base_rights
       end
       else Hashtbl.replace group.Group.begin_holders id (own_depth - 1);
-      Key_cache.unpin t.cache vkey
+      Key_cache.unpin t.cache vkey;
+      if Mpk_trace.Tracer.on () then temit task (Mpk_trace.Event.Cache_unpin { vkey })
   | Group.Mapped _ | Group.Unmapped ->
       Errno.fail EINVAL "mpk_end: calling thread is not inside mpk_begin for vkey %d" vkey);
   sync_slot t task vkey
@@ -461,9 +495,11 @@ let mprotect_xonly t task group =
   sync_rights t task pkey Pkru.No_access
 
 let mpk_mprotect t task ~vkey ~prot =
+  span task "mpk_mprotect" @@ fun () ->
   check_vkey t vkey;
   charge_user task;
   count t c_mprotect;
+  emit_group_op task "mprotect" vkey;
   let group, _ = group_slot t vkey in
   if group.Group.begin_depth > 0 then
     Errno.fail EINVAL "mpk_mprotect: vkey %d is inside mpk_begin" vkey;
@@ -475,7 +511,7 @@ let mpk_mprotect t task ~vkey ~prot =
      | Group.Mapped pkey ->
          (* Cache hit: flip the exec bit at page level only if it changed;
             data rights travel by PKRU. *)
-         ignore (Key_cache.acquire t.cache vkey);  (* LRU bump + stats *)
+         emit_acquire task vkey (Key_cache.acquire t.cache vkey);  (* LRU bump + stats *)
          if group.Group.prot.Perm.exec <> prot.Perm.exec then
            Syscall.mprotect t.proc task ~addr:group.Group.base
              ~len:(Group.len group) ~prot:(mapped_page_perm prot);
@@ -484,7 +520,9 @@ let mpk_mprotect t task ~vkey ~prot =
          sync_rights t task pkey rights
      | Group.Unmapped -> (
          let may_evict = Mpk_util.Prng.bool t.prng ~p:t.evict_rate in
-         match Key_cache.acquire t.cache ~may_evict vkey with
+         let result = Key_cache.acquire t.cache ~may_evict vkey in
+         emit_acquire task vkey result;
+         match result with
          | Key_cache.Hit pkey | Key_cache.Fresh pkey ->
              attach_group t task group ~pkey ~page_prot:(mapped_page_perm prot);
              group.Group.prot <- prot;
@@ -507,6 +545,7 @@ let mpk_mprotect t task ~vkey ~prot =
   sync_slot t task vkey
 
 let mpk_malloc t task ~vkey ~size =
+  span task "mpk_malloc" @@ fun () ->
   check_vkey t vkey;
   charge_user task;
   count t c_malloc;
@@ -527,13 +566,19 @@ let mpk_malloc t task ~vkey ~size =
         h
   in
   match Mpk_heap.alloc heap ~size with
-  | Some addr -> addr
+  | Some addr ->
+      if Mpk_trace.Tracer.on () then
+        temit task (Mpk_trace.Event.Heap_alloc { vkey; size; addr });
+      addr
   | None -> Errno.fail ENOMEM "mpk_malloc: group %d heap exhausted" vkey
 
 let mpk_free t task ~vkey ~addr =
+  span task "mpk_free" @@ fun () ->
   check_vkey t vkey;
   charge_user task;
   count t c_free;
   match Hashtbl.find_opt t.heaps vkey with
-  | Some heap -> Mpk_heap.free heap ~addr
+  | Some heap ->
+      Mpk_heap.free heap ~addr;
+      if Mpk_trace.Tracer.on () then temit task (Mpk_trace.Event.Heap_free { vkey; addr })
   | None -> Errno.fail EINVAL "mpk_free: vkey %d has no heap" vkey

@@ -15,6 +15,10 @@ let make ?(threads = 1) ?(mem_mib = 2048) () =
 
 let main t = t.tasks.(0)
 
+(* Attribution span on the task's core: groups everything [f] charges
+   under [name] in the cycle-attribution profile (and the event trace). *)
+let span task name f = Cpu.span (Task.core task) name f
+
 let mean_cycles ~reps task f =
   let core = Task.core task in
   let before = Cpu.cycles core in

@@ -17,6 +17,10 @@ val make : ?threads:int -> ?mem_mib:int -> unit -> t
 
 val main : t -> Task.t
 
+(** [span task name f] — run [f] inside a named tracing/profiling span on
+    [task]'s core ({!Mpk_hw.Cpu.span}). Free when observability is off. *)
+val span : Task.t -> string -> (unit -> 'a) -> 'a
+
 (** [mean_cycles ~reps task f] — mean cycles of [f] over [reps] calls
     measured on [task]'s core. *)
 val mean_cycles : reps:int -> Task.t -> (int -> unit) -> float

@@ -15,6 +15,7 @@ let rows () =
   let alloc_only =
     let ks = ref [] in
     let c =
+      Env.span task "table1_pkey_alloc" @@ fun () ->
       Env.mean_cycles ~reps:15 task (fun _ ->
           ks := Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write :: !ks)
     in
@@ -25,6 +26,7 @@ let rows () =
     let ks =
       List.init 15 (fun _ -> Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write)
     in
+    Env.span task "table1_pkey_free" @@ fun () ->
     let before = Cpu.cycles core in
     List.iter (fun k -> Syscall.pkey_free proc task k) ks;
     (Cpu.cycles core -. before) /. 15.0
@@ -34,14 +36,23 @@ let rows () =
   let k = Syscall.pkey_alloc proc task ~init_rights:Pkru.Read_write in
   let flip i = if i land 1 = 0 then Perm.r else Perm.rw in
   let pkey_mprotect =
+    Env.span task "table1_pkey_mprotect" @@ fun () ->
     measure (fun i -> Syscall.pkey_mprotect proc task ~addr ~len:4096 ~prot:(flip i) ~pkey:k)
   in
   let mprotect =
+    Env.span task "table1_mprotect" @@ fun () ->
     measure (fun i -> Syscall.mprotect proc task ~addr ~len:4096 ~prot:(flip i))
   in
-  let rdpkru = measure (fun _ -> ignore (Cpu.rdpkru core)) in
-  let wrpkru = measure (fun _ -> Cpu.wrpkru core (Cpu.pkru core)) in
-  let reg_move = measure (fun _ -> Cpu.exec_reg_move core) in
+  let rdpkru =
+    Env.span task "table1_rdpkru" @@ fun () -> measure (fun _ -> ignore (Cpu.rdpkru core))
+  in
+  let wrpkru =
+    Env.span task "table1_wrpkru" @@ fun () ->
+    measure (fun _ -> Cpu.wrpkru core (Cpu.pkru core))
+  in
+  let reg_move =
+    Env.span task "table1_reg_move" @@ fun () -> measure (fun _ -> Cpu.exec_reg_move core)
+  in
   [
     { name = "pkey_alloc()"; cycles = alloc_only; paper = 186.3; description = "Allocate a new pkey" };
     { name = "pkey_free()"; cycles = free_only; paper = 137.2; description = "Deallocate a pkey" };

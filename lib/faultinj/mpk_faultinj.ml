@@ -73,7 +73,14 @@ let fire name =
           | Every k -> (n + 1) mod k = 0
           | Prob pr -> Mpk_util.Prng.bool !prng ~p:pr
         in
-        if hit then p.fired <- p.fired + 1;
+        if hit then begin
+          p.fired <- p.fired + 1;
+          (* Fault firings have no core context of their own; the tracer
+             stamps them with the newest cycle time seen anywhere. *)
+          if Mpk_trace.Tracer.on () then
+            Mpk_trace.Tracer.emit_floating
+              (Mpk_trace.Event.Fault_point_fired { point = name })
+        end;
         hit
 
 let points () = List.rev !order

@@ -21,8 +21,19 @@ let cycles t = t.cycles
 let fp_preempt = "sched.preempt"
 let () = Mpk_faultinj.declare fp_preempt
 
-let charge t c =
+(* Cycles ever charged on any core, for the attribution exactness check:
+   this accumulator and [Prof.total_recorded] perform the same float
+   additions in the same order when both are reset together, so `mpkctl
+   profile` can require bit-identical totals. *)
+let total_ever = ref 0.0
+
+let total_charged () = !total_ever
+let reset_total_charged () = total_ever := 0.0
+
+let charge ?label t c =
   t.cycles <- t.cycles +. c;
+  total_ever := !total_ever +. c;
+  if Mpk_trace.Prof.on () then Mpk_trace.Prof.record ?label c;
   if Mpk_faultinj.fire fp_preempt then Mpk_faultinj.preempt t.id
 
 let measure t f =
@@ -30,24 +41,34 @@ let measure t f =
   let result = f () in
   result, t.cycles -. before
 
+(* Tracer shims: the core's cycle counter is the event clock. *)
+let emit t ev = Mpk_trace.Tracer.emit ~core:t.id ~ts:t.cycles ev
+
+let span t name f =
+  Mpk_trace.Tracer.with_span ~core:t.id ~clock:(fun () -> t.cycles) name f
+
 let pkru t = t.pkru
 let set_pkru_direct t v = t.pkru <- v
 
 let wrpkru t v =
   t.pkru <- v;
-  charge t t.costs.wrpkru;
-  t.refill_left <- t.costs.pipeline_refill_window
+  charge ~label:"wrpkru" t t.costs.wrpkru;
+  t.refill_left <- t.costs.pipeline_refill_window;
+  if Mpk_trace.Tracer.on () then
+    emit t (Mpk_trace.Event.Wrpkru { pkru = Pkru.to_int v })
 
 let rdpkru t =
-  charge t t.costs.rdpkru;
+  charge ~label:"rdpkru" t t.costs.rdpkru;
+  if Mpk_trace.Tracer.on () then
+    emit t (Mpk_trace.Event.Rdpkru { pkru = Pkru.to_int t.pkru });
   t.pkru
 
 let exec_adds t n =
   let serial = min n t.refill_left in
   t.refill_left <- t.refill_left - serial;
   let pipelined = n - serial in
-  charge t
+  charge ~label:"pipeline_refill" t
     ((float_of_int serial *. (t.costs.add_pipelined +. t.costs.wrpkru_drain))
     +. (float_of_int pipelined *. t.costs.add_pipelined))
 
-let exec_reg_move t = charge t t.costs.reg_move
+let exec_reg_move t = charge ~label:"reg_move" t t.costs.reg_move

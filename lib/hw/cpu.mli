@@ -12,11 +12,32 @@ val tlb : t -> Tlb.t
 (** Elapsed simulated cycles on this core. *)
 val cycles : t -> float
 
-(** [charge t c] advances the core's clock by [c] cycles. *)
-val charge : t -> float -> unit
+(** [charge ?label t c] advances the core's clock by [c] cycles. When
+    profiling is enabled ({!Mpk_trace.Prof}), the charge is attributed
+    to [label] under the currently-open spans; unlabelled charges show
+    up as [(unattributed)] rather than vanishing. *)
+val charge : ?label:string -> t -> float -> unit
+
+(** Cycles ever charged across {e all} cores since the last
+    {!reset_total_charged}. Advanced by the identical float-addition
+    sequence as [Prof.total_recorded] when both are reset together,
+    making the attribution exactness check bit-exact. *)
+val total_charged : unit -> float
+
+val reset_total_charged : unit -> unit
 
 (** [measure t f] is [f ()] together with the cycles it consumed. *)
 val measure : t -> (unit -> 'a) -> 'a * float
+
+(** [emit t ev] emits a trace event stamped with this core's id and
+    cycle clock. No-op (one branch) when tracing is disabled, but
+    callers on hot paths should still guard with [Mpk_trace.Tracer.on]
+    to avoid constructing the event payload. *)
+val emit : t -> Mpk_trace.Event.ev -> unit
+
+(** [span t name f] runs [f] inside a named tracing/attribution span
+    clocked by this core (see {!Mpk_trace.Tracer.with_span}). *)
+val span : t -> string -> (unit -> 'a) -> 'a
 
 (* PKRU access. *)
 

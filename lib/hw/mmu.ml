@@ -63,12 +63,18 @@ let translate t cpu ~addr =
   let costs = Cpu.costs cpu in
   match Tlb.lookup (Cpu.tlb cpu) ~vpn with
   | Some pte ->
-      Cpu.charge cpu costs.tlb_hit;
+      Cpu.charge ~label:"tlb_hit" cpu costs.tlb_hit;
       pte
   | None ->
-      Cpu.charge cpu costs.page_walk;
+      Cpu.charge ~label:"page_walk" cpu costs.page_walk;
+      if Mpk_trace.Tracer.on () then Cpu.emit cpu (Mpk_trace.Event.Tlb_miss { vpn });
       let pte = Page_table.get t.table ~vpn in
-      if Pte.is_present pte then Tlb.insert (Cpu.tlb cpu) ~vpn pte;
+      if Pte.is_present pte then begin
+        Tlb.insert (Cpu.tlb cpu) ~vpn pte;
+        if Mpk_trace.Tracer.on () then
+          Cpu.emit cpu
+            (Mpk_trace.Event.Tlb_fill { vpn; pkey = Pkey.to_int (Pte.pkey pte) })
+      end;
       pte
 
 let check t cpu ~addr ~access =
@@ -96,7 +102,7 @@ let check t cpu ~addr ~access =
       let rights = Pkru.rights (Cpu.pkru cpu) (Pte.pkey pte) in
       if not (Pkru.allows rights ~write:(access = Write)) then
         user_fault t (Some cpu) { addr; access; cause = Pkey_denied });
-  Cpu.charge cpu (Cpu.costs cpu).mem_access;
+  Cpu.charge ~label:"mem_access" cpu (Cpu.costs cpu).mem_access;
   pte
 
 let split_pages ~addr ~len f =

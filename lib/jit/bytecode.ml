@@ -142,7 +142,7 @@ let eval_host code = interp ~fuel:10_000_000 ~charge:ignore code (Bytes.length c
 
 let execute ?(fuel = 10_000_000) mmu cpu ~addr ~len =
   let code = Mmu.fetch mmu cpu ~addr ~len in
-  interp ~fuel ~charge:(fun () -> Cpu.charge cpu 1.0) code len
+  interp ~fuel ~charge:(fun () -> Cpu.charge ~label:"interp" cpu 1.0) code len
 
 let synth ~seed ~ops =
   let prng = Mpk_util.Prng.create ~seed:(Int64.of_int (seed * 2654435761 + 1)) in

@@ -170,7 +170,7 @@ let with_write_window t task ~(info : page_info) ?during f =
          pays the RPC round trip. The hook runs while the executor-side
          page is never writable. *)
       measure_switch t task (fun () ->
-          Cpu.charge (Task.core task) Wx.sdcg_rpc_cycles);
+          Cpu.charge ~label:"sdcg_rpc" (Task.core task) Wx.sdcg_rpc_cycles);
       run_hook ();
       f ()
 

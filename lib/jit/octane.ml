@@ -59,7 +59,7 @@ let measure profile strategy prog =
   let engine = Engine.create profile strategy proc task ?mpk ~cache_pages () in
   let core = Task.core task in
   let start = Cpu.cycles core in
-  Cpu.charge core prog.script_cycles;
+  Cpu.charge ~label:"script" core prog.script_cycles;
   let names =
     List.init prog.hot_functions (fun i ->
         Engine.compile engine task ~ops:prog.ops ~seed:i ~pad_to:3900 ())

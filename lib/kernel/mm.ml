@@ -20,7 +20,12 @@ let fault_handler t cpu (fault : Mmu.fault) =
   | None -> false
   | Some v ->
       (match cpu with
-      | Some cpu -> Cpu.charge cpu (Cpu.costs cpu).page_fault
+      | Some cpu ->
+          Cpu.charge ~label:"page_fault" cpu (Cpu.costs cpu).page_fault;
+          if Mpk_trace.Tracer.on () then
+            Cpu.emit cpu
+              (Mpk_trace.Event.Page_fault
+                 { addr = fault.Mmu.addr; cause = "demand_paging" })
       | None -> ());
       let frame =
         try Physmem.alloc_frame t.mem
@@ -71,7 +76,7 @@ let mmap t cpu ?at ~len ~prot () =
   | [] -> ()
   | _ -> Errno.fail ENOMEM "mmap: range overlaps an existing mapping");
   let costs = Cpu.costs cpu in
-  Cpu.charge cpu (costs.vma_find +. costs.vma_update);
+  Cpu.charge ~label:"vma" cpu (costs.vma_find +. costs.vma_update);
   (* Lazy: no frames or PTEs until first touch. *)
   Vma.add t.vmas ~start ~pages { prot; pkey = Pkey.default };
   Page_table.addr_of_vpn start
@@ -84,7 +89,7 @@ let free_present t cpu ~start ~pages =
     if Pte.is_present pte then begin
       Physmem.free_frame t.mem (Pte.frame pte);
       Page_table.set t.table ~vpn Pte.absent;
-      Cpu.charge cpu costs.pte_update;
+      Cpu.charge ~label:"pte_update" cpu costs.pte_update;
       incr freed
     end
   done;
@@ -93,16 +98,21 @@ let free_present t cpu ~start ~pages =
 let munmap t cpu ~addr ~len =
   let start, pages = vpn_range ~addr ~len in
   let costs = Cpu.costs cpu in
-  Cpu.charge cpu costs.vma_find;
+  Cpu.charge ~label:"vma" cpu costs.vma_find;
   let removed = Vma.remove_range t.vmas ~start ~pages in
   if removed = [] then Errno.fail EINVAL "munmap: nothing mapped at 0x%x" addr;
+  let freed = ref 0 in
   List.iter
     (fun (v : Vma.vma) ->
-      Cpu.charge cpu costs.vma_update;
-      ignore (free_present t cpu ~start:v.Vma.start ~pages:v.Vma.pages))
+      Cpu.charge ~label:"vma" cpu costs.vma_update;
+      freed := !freed + free_present t cpu ~start:v.Vma.start ~pages:v.Vma.pages)
     removed;
-  Cpu.charge cpu (Costs.tlb_invalidate costs ~pages);
-  Tlb.flush_all (Cpu.tlb cpu)
+  if Mpk_trace.Tracer.on () then
+    Cpu.emit cpu (Mpk_trace.Event.Pte_update { pages; present = !freed });
+  Cpu.charge ~label:"tlb_flush" cpu (Costs.tlb_invalidate costs ~pages);
+  Tlb.flush_all (Cpu.tlb cpu);
+  if Mpk_trace.Tracer.on () then
+    Cpu.emit cpu (Mpk_trace.Event.Tlb_flush { pages; all = true })
 
 type protect_result = {
   vmas_touched : int;
@@ -113,29 +123,38 @@ type protect_result = {
 
 let flush_local cpu ~start ~pages =
   let costs = Cpu.costs cpu in
-  Cpu.charge cpu (Costs.tlb_invalidate costs ~pages);
-  if pages <= costs.tlb_flush_ceiling then
+  Cpu.charge ~label:"tlb_flush" cpu (Costs.tlb_invalidate costs ~pages);
+  if pages <= costs.tlb_flush_ceiling then begin
     for vpn = start to start + pages - 1 do
       Tlb.flush_page (Cpu.tlb cpu) ~vpn
-    done
-  else Tlb.flush_all (Cpu.tlb cpu)
+    done;
+    if Mpk_trace.Tracer.on () then
+      Cpu.emit cpu (Mpk_trace.Event.Tlb_flush { pages; all = false })
+  end
+  else begin
+    Tlb.flush_all (Cpu.tlb cpu);
+    if Mpk_trace.Tracer.on () then
+      Cpu.emit cpu (Mpk_trace.Event.Tlb_flush { pages; all = true })
+  end
 
 let change_range t cpu ~addr ~len ~attr_f ~pte_f =
   let start, pages = vpn_range ~addr ~len in
   if not (Vma.covered t.vmas ~start ~pages) then
     Errno.fail ENOMEM "mprotect: range 0x%x+%d not fully mapped" addr len;
   let costs = Cpu.costs cpu in
-  Cpu.charge cpu costs.vma_find;
+  Cpu.charge ~label:"vma" cpu costs.vma_find;
   let vmas_touched, splits, merges = Vma.set_attrs t.vmas ~start ~pages attr_f in
-  Cpu.charge cpu
+  Cpu.charge ~label:"vma_split_merge" cpu
     ((float_of_int (splits + merges) *. costs.vma_split_merge)
     +. (float_of_int vmas_touched *. costs.vma_update));
   (* Rewrite present PTEs; absent slots cost only the scan and will
      materialize later from the updated VMA attributes. *)
   let ptes_touched = Page_table.update_range t.table ~vpn:start ~pages pte_f in
-  Cpu.charge cpu
+  Cpu.charge ~label:"pte_update" cpu
     ((float_of_int pages *. costs.pte_scan)
     +. (float_of_int ptes_touched *. costs.pte_update));
+  if Mpk_trace.Tracer.on () then
+    Cpu.emit cpu (Mpk_trace.Event.Pte_update { pages; present = ptes_touched });
   flush_local cpu ~start ~pages;
   { vmas_touched; splits; merges; ptes_touched }
 
@@ -213,14 +232,14 @@ let mmap_frames t cpu ?at ~frames ~prot () =
   | [] -> ()
   | _ -> Errno.fail ENOMEM "mmap_frames: range overlaps an existing mapping");
   let costs = Cpu.costs cpu in
-  Cpu.charge cpu (costs.vma_find +. costs.vma_update);
+  Cpu.charge ~label:"vma" cpu (costs.vma_find +. costs.vma_update);
   Vma.add t.vmas ~start ~pages { prot; pkey = Pkey.default };
   (* shared mappings are installed eagerly: the frames already exist *)
   Array.iteri
     (fun i frame ->
       Physmem.ref_frame t.mem frame;
       Page_table.set t.table ~vpn:(start + i) (Pte.make ~frame ~perm:prot ~pkey:Pkey.default);
-      Cpu.charge cpu costs.pte_update)
+      Cpu.charge ~label:"pte_update" cpu costs.pte_update)
     frames;
   Page_table.addr_of_vpn start
 

@@ -19,7 +19,7 @@ let create machine =
       match Sched.task_on sched ~core_id:(Cpu.id cpu) with
       | None -> ()
       | Some task ->
-          Cpu.charge cpu (Cpu.costs cpu).kernel_entry_exit;
+          Cpu.charge ~label:"kernel_entry" cpu (Cpu.costs cpu).kernel_entry_exit;
           let pkey =
             match fault.Mmu.cause with
             | Mmu.Pkey_denied ->

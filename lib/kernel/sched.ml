@@ -13,9 +13,14 @@ let schedule_in _t task =
   | Task.On_cpu -> ()
   | Task.Off_cpu ->
       let core = Task.core task in
-      Cpu.charge core (Cpu.costs core).context_switch;
+      Cpu.charge ~label:"context_switch" core (Cpu.costs core).context_switch;
       Cpu.set_pkru_direct core (Task.saved_pkru task);
       Task.set_state task On_cpu;
+      (* Keep the tracer's core→task registry current even while tracing
+         is off, so enabling mid-run stamps events correctly. *)
+      Mpk_trace.Tracer.set_task_on_core ~core:(Cpu.id core) ~task:(Task.id task);
+      if Mpk_trace.Tracer.on () then
+        Cpu.emit core (Mpk_trace.Event.Context_switch { task = Task.id task; onto = true });
       return_to_user task
 
 let schedule_out _t task =
@@ -23,9 +28,12 @@ let schedule_out _t task =
   | Task.Off_cpu -> ()
   | Task.On_cpu ->
       let core = Task.core task in
-      Cpu.charge core (Cpu.costs core).context_switch;
+      Cpu.charge ~label:"context_switch" core (Cpu.costs core).context_switch;
       Task.set_saved_pkru task (Cpu.pkru core);
-      Task.set_state task Off_cpu
+      Task.set_state task Off_cpu;
+      if Mpk_trace.Tracer.on () then
+        Cpu.emit core (Mpk_trace.Event.Context_switch { task = Task.id task; onto = false });
+      Mpk_trace.Tracer.set_task_on_core ~core:(Cpu.id core) ~task:(-1)
 
 let spawn t ~core_id =
   let core = Machine.core t.machine core_id in
@@ -62,12 +70,15 @@ let preempt t ~core_id =
 
 let kick _t ~from target =
   let sender = Task.core from in
-  Cpu.charge sender (Cpu.costs sender).ipi_send;
+  Cpu.charge ~label:"ipi_send" sender (Cpu.costs sender).ipi_send;
+  if Mpk_trace.Tracer.on () then
+    Cpu.emit sender
+      (Mpk_trace.Event.Ipi { kind = "resched_kick"; target_core = Cpu.id (Task.core target) });
   match Task.state target with
   | Task.Off_cpu -> ()  (* lazy: work runs when it is next scheduled *)
   | Task.On_cpu ->
       let core = Task.core target in
-      Cpu.charge core (Cpu.costs core).ipi_receive;
+      Cpu.charge ~label:"ipi_receive" core (Cpu.costs core).ipi_receive;
       return_to_user target
 
 let shootdown _t ~from target =
@@ -77,7 +88,12 @@ let shootdown _t ~from target =
       let sender = Task.core from in
       let costs = Cpu.costs sender in
       (* The initiator spin-waits for the acknowledgement. *)
-      Cpu.charge sender (costs.ipi_send +. costs.ipi_receive);
+      Cpu.charge ~label:"ipi_send" sender (costs.ipi_send +. costs.ipi_receive);
       let core = Task.core target in
-      Cpu.charge core (Cpu.costs core).ipi_receive;
-      Tlb.flush_all (Cpu.tlb core)
+      if Mpk_trace.Tracer.on () then
+        Cpu.emit sender
+          (Mpk_trace.Event.Ipi { kind = "tlb_shootdown"; target_core = Cpu.id core });
+      Cpu.charge ~label:"ipi_receive" core (Cpu.costs core).ipi_receive;
+      Tlb.flush_all (Cpu.tlb core);
+      if Mpk_trace.Tracer.on () then
+        Cpu.emit core (Mpk_trace.Event.Tlb_flush { pages = 0; all = true })

@@ -8,7 +8,28 @@ let reset_count () = syscalls := 0
 let enter task =
   incr syscalls;
   let core = Task.core task in
-  Cpu.charge core (Cpu.costs core).kernel_entry_exit
+  Cpu.charge ~label:"kernel_entry" core (Cpu.costs core).kernel_entry_exit
+
+(* Every syscall body runs inside [sys]: a per-syscall tracing span plus
+   Syscall_enter/Syscall_exit events, the exit carrying the errno when
+   the body failed. The charge sequence is unchanged from the untraced
+   code — [sys] itself charges nothing. *)
+let sys task name f =
+  let core = Task.core task in
+  Cpu.span core ("sys_" ^ name) (fun () ->
+      if Mpk_trace.Tracer.on () then
+        Cpu.emit core (Mpk_trace.Event.Syscall_enter { name });
+      enter task;
+      match f () with
+      | v ->
+          if Mpk_trace.Tracer.on () then
+            Cpu.emit core (Mpk_trace.Event.Syscall_exit { name; errno = None });
+          v
+      | exception (Errno.Error (e, _) as exn) ->
+          if Mpk_trace.Tracer.on () then
+            Cpu.emit core
+              (Mpk_trace.Event.Syscall_exit { name; errno = Some (Errno.to_string e) });
+          raise exn)
 
 (* Charged on top of the plain mprotect path by pkey_mprotect: the bitmap
    validity check (Table 1: 1104.9 vs 1094.0 cycles). *)
@@ -22,13 +43,13 @@ let shootdown_others proc task =
   List.iter (fun t -> Sched.shootdown sched ~from:task t) (other_tasks proc task)
 
 let mmap proc task ?at ~len ~prot () =
-  enter task;
-  Mm.mmap (Proc.mm proc) (Task.core task) ?at ~len ~prot ()
+  sys task "mmap" (fun () ->
+      Mm.mmap (Proc.mm proc) (Task.core task) ?at ~len ~prot ())
 
 let munmap proc task ~addr ~len =
-  enter task;
-  Mm.munmap (Proc.mm proc) (Task.core task) ~addr ~len;
-  shootdown_others proc task
+  sys task "munmap" (fun () ->
+      Mm.munmap (Proc.mm proc) (Task.core task) ~addr ~len;
+      shootdown_others proc task)
 
 (* Fault injection: a pkey_alloc that fails with ENOSPC even though the
    bitmap has free keys (e.g. another process raced us to them). *)
@@ -54,7 +75,7 @@ let mprotect_exec_only proc task ~addr ~len =
     match Proc.xonly_key proc with
     | Some k -> k
     | None ->
-        Cpu.charge core (Cpu.costs core).pkey_alloc_work;
+        Cpu.charge ~label:"pkey_alloc_work" core (Cpu.costs core).pkey_alloc_work;
         let k = alloc_key proc in
         Proc.set_xonly_key proc k;
         k
@@ -65,77 +86,89 @@ let mprotect_exec_only proc task ~addr ~len =
   shootdown_others proc task
 
 let mprotect proc task ~addr ~len ~prot =
-  enter task;
-  if is_exec_only prot then mprotect_exec_only proc task ~addr ~len
-  else begin
-    ignore (Mm.change_protection (Proc.mm proc) (Task.core task) ~addr ~len ~prot);
-    shootdown_others proc task
-  end
+  sys task "mprotect" (fun () ->
+      if is_exec_only prot then mprotect_exec_only proc task ~addr ~len
+      else begin
+        ignore (Mm.change_protection (Proc.mm proc) (Task.core task) ~addr ~len ~prot);
+        shootdown_others proc task
+      end)
 
 let pkey_alloc proc task ~init_rights =
-  enter task;
-  let core = Task.core task in
-  Cpu.charge core (Cpu.costs core).pkey_alloc_work;
-  let key = alloc_key proc in
-  Task.set_pkru task (Pkru.set_rights (Task.pkru task) key init_rights);
-  key
+  sys task "pkey_alloc" (fun () ->
+      let core = Task.core task in
+      Cpu.charge ~label:"pkey_alloc_work" core (Cpu.costs core).pkey_alloc_work;
+      let key = alloc_key proc in
+      Task.set_pkru task (Pkru.set_rights (Task.pkru task) key init_rights);
+      key)
 
 let pkey_free proc task key =
-  enter task;
-  let core = Task.core task in
-  Cpu.charge core (Cpu.costs core).pkey_free_work;
-  (* Only the bitmap is updated: PTEs keep the stale key and every
-     thread's PKRU keeps its stale rights — the paper's §3.1 hazard. *)
-  Pkey_bitmap.free (Proc.pkey_bitmap proc) key
+  sys task "pkey_free" (fun () ->
+      let core = Task.core task in
+      Cpu.charge ~label:"pkey_free_work" core (Cpu.costs core).pkey_free_work;
+      (* Only the bitmap is updated: PTEs keep the stale key and every
+         thread's PKRU keeps its stale rights — the paper's §3.1 hazard. *)
+      Pkey_bitmap.free (Proc.pkey_bitmap proc) key)
 
 let pkey_mprotect proc task ~addr ~len ~prot ~pkey =
-  enter task;
-  let core = Task.core task in
-  Cpu.charge core pkey_check_cost;
-  if Pkey.to_int pkey = 0 then
-    Errno.fail EINVAL "pkey_mprotect: userspace may not assign the default key";
-  if not (Pkey_bitmap.is_allocated (Proc.pkey_bitmap proc) pkey) then
-    Errno.fail EINVAL "pkey_mprotect: key %d not allocated" (Pkey.to_int pkey);
-  ignore (Mm.change_protection_pkey (Proc.mm proc) core ~addr ~len ~prot ~pkey);
-  shootdown_others proc task
+  sys task "pkey_mprotect" (fun () ->
+      let core = Task.core task in
+      Cpu.charge ~label:"pkey_bitmap_check" core pkey_check_cost;
+      if Pkey.to_int pkey = 0 then
+        Errno.fail EINVAL "pkey_mprotect: userspace may not assign the default key";
+      if not (Pkey_bitmap.is_allocated (Proc.pkey_bitmap proc) pkey) then
+        Errno.fail EINVAL "pkey_mprotect: key %d not allocated" (Pkey.to_int pkey);
+      ignore (Mm.change_protection_pkey (Proc.mm proc) core ~addr ~len ~prot ~pkey);
+      shootdown_others proc task)
+
+(* Deferred PKRU scrub/update, the paper's lazy do_pkey_sync: queueing the
+   task_work is the "deferred" trace event; the work closure running on
+   the target (at its next return to user) is the "executed" one. *)
+let queue_pkru_update ~core ~pkey_int target make_pkru =
+  Cpu.charge ~label:"task_work_add" core (Cpu.costs core).task_work_add;
+  if Mpk_trace.Tracer.on () then
+    Cpu.emit core
+      (Mpk_trace.Event.Pkey_sync_deferred { target = Task.id target; pkey = pkey_int });
+  Task.work_add target (fun t ->
+      Task.set_pkru t (make_pkru t);
+      if Mpk_trace.Tracer.on () then
+        Cpu.emit (Task.core t)
+          (Mpk_trace.Event.Pkey_sync_executed { target = Task.id t; pkey = pkey_int }))
 
 let pkey_unmap_group proc task ~addr ~len ~prot ~old_pkey =
-  enter task;
-  let core = Task.core task in
-  let costs = Cpu.costs core in
-  ignore
-    (Mm.change_protection_pkey (Proc.mm proc) core ~addr ~len ~prot ~pkey:Pkey.default);
-  (* Scrub stale rights for the recycled key everywhere, caller included. *)
-  Task.set_pkru task (Pkru.set_rights (Task.pkru task) old_pkey Pkru.No_access);
-  List.iter
-    (fun t ->
-      Cpu.charge core costs.task_work_add;
-      Task.work_add t (fun t ->
-          Task.set_pkru t (Pkru.set_rights (Task.pkru t) old_pkey Pkru.No_access));
-      Sched.kick (Proc.sched proc) ~from:task t)
-    (other_tasks proc task);
-  shootdown_others proc task
+  sys task "pkey_unmap_group" (fun () ->
+      let core = Task.core task in
+      ignore
+        (Mm.change_protection_pkey (Proc.mm proc) core ~addr ~len ~prot
+           ~pkey:Pkey.default);
+      (* Scrub stale rights for the recycled key everywhere, caller included. *)
+      Task.set_pkru task (Pkru.set_rights (Task.pkru task) old_pkey Pkru.No_access);
+      List.iter
+        (fun t ->
+          queue_pkru_update ~core ~pkey_int:(Pkey.to_int old_pkey) t (fun t ->
+              Pkru.set_rights (Task.pkru t) old_pkey Pkru.No_access);
+          Sched.kick (Proc.sched proc) ~from:task t)
+        (other_tasks proc task);
+      shootdown_others proc task)
 
 let pkey_sync proc task ?(eager = false) ~pkey rights =
-  enter task;
-  let core = Task.core task in
-  let costs = Cpu.costs core in
-  let sched = Proc.sched proc in
-  List.iter
-    (fun t ->
-      Cpu.charge core costs.task_work_add;
-      Task.work_add t (fun t ->
-          Task.set_pkru t (Pkru.set_rights (Task.pkru t) pkey rights));
-      if eager then begin
-        (* synchronous handshake: kick and spin until acknowledged *)
-        (match Task.state t with
-        | Task.On_cpu -> Cpu.charge core (costs.ipi_send +. costs.ipi_receive)
-        | Task.Off_cpu ->
-            (* must force a wakeup + context switch to get the ack *)
-            Cpu.charge core (costs.ipi_send +. costs.context_switch));
-        Sched.kick sched ~from:task t;
-        (* an off-CPU thread must be brought in to acknowledge *)
-        if Task.state t = Task.Off_cpu then Sched.schedule_in sched t
-      end
-      else Sched.kick sched ~from:task t)
-    (other_tasks proc task)
+  sys task "pkey_sync" (fun () ->
+      let core = Task.core task in
+      let costs = Cpu.costs core in
+      let sched = Proc.sched proc in
+      List.iter
+        (fun t ->
+          queue_pkru_update ~core ~pkey_int:(Pkey.to_int pkey) t (fun t ->
+              Pkru.set_rights (Task.pkru t) pkey rights);
+          if eager then begin
+            (* synchronous handshake: kick and spin until acknowledged *)
+            (match Task.state t with
+            | Task.On_cpu -> Cpu.charge ~label:"ipi" core (costs.ipi_send +. costs.ipi_receive)
+            | Task.Off_cpu ->
+                (* must force a wakeup + context switch to get the ack *)
+                Cpu.charge ~label:"ipi" core (costs.ipi_send +. costs.context_switch));
+            Sched.kick sched ~from:task t;
+            (* an off-CPU thread must be brought in to acknowledge *)
+            if Task.state t = Task.Off_cpu then Sched.schedule_in sched t
+          end
+          else Sched.kick sched ~from:task t)
+        (other_tasks proc task))

@@ -50,8 +50,12 @@ let with_signal_handler t h f =
   t.sig_handler <- Some h;
   Fun.protect ~finally:(fun () -> t.sig_handler <- prev) f
 
-let deliver_signal t si =
+let deliver_signal t (si : Signal.siginfo) =
   t.sig_delivered <- t.sig_delivered + 1;
+  if Mpk_trace.Tracer.on () then
+    Cpu.emit t.core
+      (Mpk_trace.Event.Signal_delivered
+         { task = t.id; signo = si.signo; code = Signal.code_to_string si.code });
   (match t.sig_handler with
   | Some handler -> handler si  (* escape by raising = siglongjmp idiom *)
   | None -> ());
@@ -67,6 +71,6 @@ let work_run t =
   let costs = Cpu.costs t.core in
   while not (Queue.is_empty t.work) do
     let f = Queue.pop t.work in
-    Cpu.charge t.core costs.task_work_run;
+    Cpu.charge ~label:"task_work_run" t.core costs.task_work_run;
     f t
   done

@@ -38,7 +38,7 @@ let run server ~conn_rate ?(duration_s = 1.0) ?(reqs_per_conn = 10) ?(value_size
     else begin
       (* idle worker waits for the connection to arrive *)
       if clock !w < arrival then
-        Cpu.charge (Task.core workers.(!w)) (arrival -. clock !w);
+        Cpu.charge ~label:"idle_wait" (Task.core workers.(!w)) (arrival -. clock !w);
       incr handled;
       for _ = 1 to reqs_per_conn do
         incr requests;

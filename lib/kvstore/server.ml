@@ -29,6 +29,7 @@ type t = {
   lru : string Queue.t;  (* key recency for item eviction (lazy) *)
   mutable evicted_items : int;
   mutable protocol_requests : int;
+  latency : Mpk_util.Stats.Histogram.h;  (* per-request cycles, all entry points *)
 }
 
 let create ~mode ?(workers = 4) ?(slab_mib = 1024) ?(buckets = 1 lsl 16) () =
@@ -72,6 +73,9 @@ let create ~mode ?(workers = 4) ?(slab_mib = 1024) ?(buckets = 1 lsl 16) () =
     lru = Queue.create ();
     evicted_items = 0;
     protocol_requests = 0;
+    (* Requests span ~10k cycles (Baseline) to ~10M (Mprotect_sys over a
+       populated gigabyte); log-spaced buckets cover the whole range. *)
+    latency = Mpk_util.Stats.Histogram.create ~lo:1024.0 ~growth:2.0 ~buckets:20 ();
   }
 
 let mode t = t.mode
@@ -126,20 +130,36 @@ let worker_task t i =
   if i < 0 || i >= Array.length t.workers then invalid_arg "Server: bad worker";
   t.workers.(i)
 
-let charge_request task = Cpu.charge (Task.core task) request_overhead_cycles
+let charge_request task =
+  Cpu.charge ~label:"request_overhead" (Task.core task) request_overhead_cycles
+
+let latency t = t.latency
+
+(* Every request records its end-to-end cycle cost (protection discipline
+   included) into the latency histogram. Recorded even when the request
+   escapes with a signal: the cycles were spent either way. *)
+let timed t task f =
+  let start = Cpu.cycles (Task.core task) in
+  Fun.protect
+    ~finally:(fun () ->
+      Mpk_util.Stats.Histogram.add t.latency (Cpu.cycles (Task.core task) -. start))
+    f
 
 let set t ~worker ~key ~value =
   let task = worker_task t worker in
+  timed t task @@ fun () ->
   charge_request task;
   with_store t task (fun () -> Shash.set t.table task ~key ~value)
 
 let get t ~worker ~key =
   let task = worker_task t worker in
+  timed t task @@ fun () ->
   charge_request task;
   with_store t task (fun () -> Shash.get t.table task ~key)
 
 let delete t ~worker ~key =
   let task = worker_task t worker in
+  timed t task @@ fun () ->
   charge_request task;
   with_store t task (fun () -> Shash.delete t.table task ~key)
 
@@ -234,8 +254,21 @@ let guard_request task f =
   with Request_fault si ->
     Protocol.Server_error (Printf.sprintf "protection fault (%s)" (Signal.to_string si))
 
+let latency_stats t =
+  let h = t.latency in
+  if Mpk_util.Stats.Histogram.count h = 0 then []
+  else
+    let cy p = Printf.sprintf "%.0f" (Mpk_util.Stats.Histogram.percentile h p) in
+    [
+      "latency_samples", string_of_int (Mpk_util.Stats.Histogram.count h);
+      "latency_p50_cycles", cy 50.0;
+      "latency_p95_cycles", cy 95.0;
+      "latency_p99_cycles", cy 99.0;
+    ]
+
 let dispatch t ~worker ~now wire =
   let task = worker_task t worker in
+  timed t task @@ fun () ->
   charge_request task;
   t.protocol_requests <- t.protocol_requests + 1;
   let response =
@@ -257,12 +290,13 @@ let dispatch t ~worker ~now wire =
             if Shash.delete t.table task ~key then Protocol.Deleted else Protocol.Not_found)
     | Ok Protocol.Stats ->
         Protocol.Stats_reply
-          [
-            "curr_items", string_of_int (Shash.entry_count t.table);
-            "evictions", string_of_int t.evicted_items;
-            "cmd_total", string_of_int t.protocol_requests;
-            "mode", mode_name t.mode;
-          ]
+          ([
+             "curr_items", string_of_int (Shash.entry_count t.table);
+             "evictions", string_of_int t.evicted_items;
+             "cmd_total", string_of_int t.protocol_requests;
+             "mode", mode_name t.mode;
+           ]
+          @ latency_stats t)
   in
   Protocol.render_response response
 
@@ -273,6 +307,7 @@ let dispatch t ~worker ~now wire =
    Under [Baseline] the read silently succeeds and leaks the byte. *)
 let buggy_peek t ~worker ~addr =
   let task = worker_task t worker in
+  timed t task @@ fun () ->
   charge_request task;
   t.protocol_requests <- t.protocol_requests + 1;
   let response =

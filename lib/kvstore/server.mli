@@ -73,6 +73,12 @@ val dispatch : t -> worker:int -> now:float -> string -> string
 (** Items evicted by the LRU reclaimer so far. *)
 val items_evicted : t -> int
 
+(** End-to-end per-request latency in simulated cycles, across all entry
+    points ([set]/[get]/[delete]/[dispatch]/[buggy_peek]), protection
+    discipline included. [stats] requests report p50/p95/p99 from this
+    histogram once at least one request has completed. *)
+val latency : t -> Mpk_util.Stats.Histogram.h
+
 (** [buggy_peek t ~worker ~addr] — a request path with a planted bug: it
     reads [addr] without opening the store. In the protected modes the
     per-request signal guard turns the resulting pkey fault into a

@@ -34,7 +34,7 @@ let accept t task blob =
      simulated memory, and the heavy modexp is charged to the core. *)
   let premaster =
     Keystore.with_secret t.ks task (fun secret ->
-        Cpu.charge (Task.core task) rsa_decrypt_cycles;
+        Cpu.charge ~label:"rsa_decrypt" (Task.core task) rsa_decrypt_cycles;
         Rsa.decrypt_bytes_padded secret blob ~len:premaster_len)
   in
   {
@@ -48,7 +48,7 @@ let accept_authenticated t task ~client_random blob =
   let session = accept t task blob in
   let signature =
     Keystore.with_secret t.ks task (fun secret ->
-        Cpu.charge (Task.core task) rsa_decrypt_cycles;
+        Cpu.charge ~label:"rsa_decrypt" (Task.core task) rsa_decrypt_cycles;
         Rsa.sign secret (transcript ~client_random ~blob))
   in
   session, signature
@@ -72,7 +72,7 @@ let handle_heartbeat t task ~payload ~claimed_len =
   let mmu = Proc.mmu t.proc in
   let buf = Keystore.alloc_request_buffer t.ks task ~len:(Bytes.length payload) in
   Mmu.write_bytes mmu core ~addr:buf payload;
-  Cpu.charge core (float_of_int (max 1 claimed_len) *. per_byte_cycles);
+  Cpu.charge ~label:"record_copy" core (float_of_int (max 1 claimed_len) *. per_byte_cycles);
   try
     Task.with_signal_handler task
       (fun si -> raise (Heartbeat_fault si))
@@ -83,8 +83,8 @@ let serve t task session ~size =
   ignore t.proc;
   let core = Task.core task in
   (* Request decrypt (small) + response build/encrypt (size-dependent). *)
-  Cpu.charge core (64.0 *. per_byte_cycles);
-  Cpu.charge core (float_of_int size *. per_byte_cycles);
+  Cpu.charge ~label:"record_copy" core (64.0 *. per_byte_cycles);
+  Cpu.charge ~label:"record_copy" core (float_of_int size *. per_byte_cycles);
   (* Produce a real (sampled) ciphertext so correctness is testable
      without streaming megabytes through the simulator. *)
   let sample = min size 4096 in

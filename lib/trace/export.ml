@@ -1,0 +1,85 @@
+(* Chrome/Perfetto trace_event JSON writer.
+
+   Spans become "B"/"E" duration events, everything else an "i" instant,
+   on one track (tid) per core; floating faultinj events (core = -1) get
+   their own track. Perfetto requires per-track timestamps to be
+   non-decreasing, but experiment drivers recreate machines (core ids
+   reused, cycle clocks restarting at zero), so each track's ts is
+   clamped to a running maximum before emission. *)
+
+let faultinj_tid = 1000
+
+let tid_of core = if core >= 0 then core else faultinj_tid
+
+let thread_name_meta tid name =
+  Json.Obj
+    [
+      "name", Json.String "thread_name";
+      "ph", Json.String "M";
+      "pid", Json.Int 0;
+      "tid", Json.Int tid;
+      "args", Json.Obj [ "name", Json.String name ];
+    ]
+
+let event_json ~ts (e : Event.t) =
+  let ph, name =
+    match e.ev with
+    | Event.Span_begin { name } -> "B", name
+    | Event.Span_end { name } -> "E", name
+    | ev -> "i", Event.kind ev
+  in
+  let args =
+    Event.args e.ev
+    |> List.map (fun (k, v) -> k, Json.String v)
+    |> fun base ->
+    ("task", Json.Int e.task) :: ("span", Json.Int e.span)
+    :: ("seq", Json.Int e.seq) :: base
+  in
+  let scope = if ph = "i" then [ "s", Json.String "t" ] else [] in
+  Json.Obj
+    ([
+       "name", Json.String name;
+       "ph", Json.String ph;
+       "pid", Json.Int 0;
+       "tid", Json.Int (tid_of e.core);
+       "ts", Json.Float ts;
+     ]
+    @ scope
+    @ [ "args", Json.Obj args ])
+
+let perfetto events =
+  let events = List.sort (fun (a : Event.t) b -> compare a.seq b.seq) events in
+  let floor_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let clamp (e : Event.t) =
+    let tid = tid_of e.core in
+    let lo = Option.value ~default:0.0 (Hashtbl.find_opt floor_ts tid) in
+    let ts = Float.max lo e.ts in
+    Hashtbl.replace floor_ts tid ts;
+    ts
+  in
+  let body = List.map (fun e -> event_json ~ts:(clamp e) e) events in
+  let tids =
+    List.sort_uniq compare (List.map (fun (e : Event.t) -> tid_of e.core) events)
+  in
+  let meta =
+    Json.Obj
+      [
+        "name", Json.String "process_name";
+        "ph", Json.String "M";
+        "pid", Json.Int 0;
+        "args", Json.Obj [ "name", Json.String "mpk-sim" ];
+      ]
+    :: List.map
+         (fun tid ->
+           thread_name_meta tid
+             (if tid = faultinj_tid then "faultinj" else Printf.sprintf "core %d" tid))
+         tids
+  in
+  Json.Obj
+    [
+      "traceEvents", Json.List (meta @ body);
+      "displayTimeUnit", Json.String "ns";
+      "otherData", Json.Obj [ "clock", Json.String "simulated cycles" ];
+    ]
+
+let perfetto_string ?(indent = 0) events = Json.to_string ~indent (perfetto events)

@@ -1,0 +1,43 @@
+(** Minimal JSON tree, printer, and strict parser.
+
+    No third-party JSON library is available in the build image, so the
+    exporters carry their own: the printer backs the Perfetto and
+    [BENCH_*.json] writers, and the strict parser exists so round-trip
+    tests (and `mpkctl`'s export validation) can reject malformed output
+    rather than trusting the printer. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Serialize. [indent = 0] (default) is compact single-line output;
+    positive values pretty-print. Raises [Invalid_argument] on NaN or
+    infinite floats — JSON has no spelling for them, and emitting [null]
+    silently would corrupt metric exports. *)
+
+exception Parse_error of int * string
+(** Byte offset and description. *)
+
+val parse_exn : string -> t
+(** Strict RFC 8259 parsing: rejects trailing garbage, raw control
+    characters in strings, lone surrogates, leading zeros, and bare
+    values like [nan]. Numbers without fraction/exponent parse as [Int]
+    (falling back to [Float] on overflow); all others as [Float].
+    Raises {!Parse_error}. *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else or a missing key. *)
+
+val to_list : t -> t list option
+val to_number : t -> float option
+(** [Int] and [Float] both read as numbers. *)
+
+val to_string_opt : t -> string option

@@ -1,0 +1,136 @@
+(* Hierarchical cycle attribution.
+
+   Every [Cpu.charge] carries an optional label; while profiling is
+   enabled, each charge is recorded as "self" cycles on a node whose
+   path is (open span names ++ label). The tree answers "where did this
+   run's cycles go" — e.g. mpk_begin/wrpkru vs mprotect/tlb_flush — and
+   exports as an indented table or folded stacks for flamegraph tools.
+
+   Exactness contract (checked by `mpkctl profile`): [total] is advanced
+   by the same float additions, in the same order, as [Cpu.total_charged],
+   both starting from 0.0 at [reset] — so their final values are
+   bit-identical, with no FP-reassociation slack. *)
+
+type node = {
+  mutable self : float;  (* cycles charged directly at this path *)
+  mutable calls : int;  (* span entries, or charge events on leaves *)
+  children : (string, node) Hashtbl.t;
+  order : string list ref;  (* child insertion order, for stable output *)
+}
+
+let fresh () = { self = 0.0; calls = 0; children = Hashtbl.create 8; order = ref [] }
+
+let root = ref (fresh ())
+let cursor : node list ref = ref []  (* innermost first; [] = root *)
+let enabled = ref false
+let grand_total = ref 0.0
+
+let unattributed = "(unattributed)"
+
+let on () = !enabled
+
+let reset () =
+  root := fresh ();
+  cursor := [];
+  grand_total := 0.0
+
+let enable () = enabled := true
+let disable () = enabled := false
+
+let current () = match !cursor with n :: _ -> n | [] -> !root
+
+let child n label =
+  match Hashtbl.find_opt n.children label with
+  | Some c -> c
+  | None ->
+      let c = fresh () in
+      Hashtbl.replace n.children label c;
+      n.order := label :: !(n.order);
+      c
+
+let enter label =
+  if !enabled then begin
+    let c = child (current ()) label in
+    c.calls <- c.calls + 1;
+    cursor := c :: !cursor
+  end
+
+let exit_ () =
+  if !enabled then
+    match !cursor with _ :: tl -> cursor := tl | [] -> ()
+
+let record ?label cycles =
+  if !enabled then begin
+    grand_total := !grand_total +. cycles;
+    let label = match label with Some l -> l | None -> unattributed in
+    let n = child (current ()) label in
+    n.self <- n.self +. cycles;
+    n.calls <- n.calls + 1
+  end
+
+let total_recorded () = !grand_total
+
+(* ---------- queries / export ---------- *)
+
+type snapshot = {
+  label : string;
+  self : float;
+  calls : int;
+  total : float;  (* self + all descendants *)
+  children : snapshot list;
+}
+
+let rec snap label (n : node) =
+  let children =
+    List.rev_map (fun l -> snap l (Hashtbl.find n.children l)) !(n.order)
+  in
+  (* Largest subtrees first makes the rendered tree scannable. *)
+  let children =
+    List.stable_sort (fun a b -> Float.compare b.total a.total) children
+  in
+  let total = List.fold_left (fun acc c -> acc +. c.total) n.self children in
+  { label; self = n.self; calls = n.calls; total; children }
+
+let snapshot () = snap "root" !root
+
+let rec sum_self s = List.fold_left (fun acc c -> acc +. sum_self c) s.self s.children
+
+let leaf_sum () = sum_self (snapshot ())
+
+let folded () =
+  let buf = Buffer.create 1024 in
+  let rec walk path s =
+    let path = if s.label = "root" then path else path @ [ s.label ] in
+    if s.self > 0.0 && path <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "%s %.1f\n" (String.concat ";" path) s.self);
+    List.iter (walk path) s.children
+  in
+  walk [] (snapshot ());
+  Buffer.contents buf
+
+let render () =
+  let buf = Buffer.create 1024 in
+  let s = snapshot () in
+  let rec walk depth s =
+    Buffer.add_string buf
+      (Printf.sprintf "%-44s %14.1f %14.1f %10d\n"
+         (String.make (2 * depth) ' ' ^ s.label)
+         s.total s.self s.calls);
+    List.iter (walk (depth + 1)) s.children
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-44s %14s %14s %10s\n" "span/label" "total cy" "self cy" "calls");
+  if s.children = [] then Buffer.add_string buf "(no cycles attributed)\n"
+  else List.iter (walk 0) s.children;
+  Buffer.contents buf
+
+let rec json_of_snapshot s =
+  Json.Obj
+    [
+      "label", Json.String s.label;
+      "self_cycles", Json.Float s.self;
+      "total_cycles", Json.Float s.total;
+      "calls", Json.Int s.calls;
+      "children", Json.List (List.map json_of_snapshot s.children);
+    ]

@@ -1,0 +1,59 @@
+(** Hierarchical cycle attribution.
+
+    While enabled, every labelled [Cpu.charge] accrues "self" cycles on
+    the tree node addressed by the currently-open span names plus the
+    charge label (e.g. [mpk_begin/wrpkru]); unlabelled charges land on
+    an [(unattributed)] child so nothing is silently dropped.
+
+    Exactness contract: {!total_recorded} performs the same float
+    additions in the same order as [Cpu.total_charged] (both reset to
+    0.0 together), so after any run with profiling enabled throughout,
+    the two are bit-identical — `mpkctl profile` checks this with exact
+    float equality, not a tolerance. *)
+
+val unattributed : string
+(** The label unlabelled charges land on: ["(unattributed)"]. *)
+
+val on : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Clear the tree, the span cursor, and the running total. *)
+
+val enter : string -> unit
+(** Open a span (pushes a tree node). No-op when disabled — callers
+    should keep enable state fixed for the duration of a span, or the
+    cursor can unbalance. {!Tracer.with_span} guarantees this. *)
+
+val exit_ : unit -> unit
+
+val record : ?label:string -> float -> unit
+(** Attribute cycles at the current position. Called by [Cpu.charge]. *)
+
+val total_recorded : unit -> float
+
+(** Immutable view of the tree; children sorted by descending total. *)
+type snapshot = {
+  label : string;
+  self : float;
+  calls : int;
+  total : float;  (** self + all descendants *)
+  children : snapshot list;
+}
+
+val snapshot : unit -> snapshot
+(** Root snapshot (label ["root"], self 0). *)
+
+val leaf_sum : unit -> float
+(** Sum of every node's self cycles — equals {!total_recorded} up to FP
+    reassociation (the fold order differs). *)
+
+val folded : unit -> string
+(** Folded-stack export, one ["a;b;c 123.4"] line per node with
+    positive self cycles — feed to [flamegraph.pl] or speedscope. *)
+
+val render : unit -> string
+(** Indented text table: total / self / calls per node. *)
+
+val json_of_snapshot : snapshot -> Json.t

@@ -1,0 +1,48 @@
+(* Bounded ring buffer that keeps the newest [capacity] pushes.
+
+   Backing store is an option array rather than a dummy-element array so
+   the structure is usable with any element type without requiring a
+   witness value at creation. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable pushed : int;  (* total pushes ever; write cursor = pushed mod capacity *)
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; pushed = 0 }
+
+let capacity t = Array.length t.slots
+
+let length t = Stdlib.min t.pushed (capacity t)
+
+let pushed t = t.pushed
+
+let push t x =
+  t.slots.(t.pushed mod capacity t) <- Some x;
+  t.pushed <- t.pushed + 1
+
+let clear t =
+  Array.fill t.slots 0 (capacity t) None;
+  t.pushed <- 0
+
+(* Oldest retained element first. *)
+let to_list t =
+  let cap = capacity t in
+  let len = length t in
+  let start = t.pushed - len in
+  List.init len (fun i ->
+      match t.slots.((start + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let iter t f = List.iter f (to_list t)
+
+(* Newest [n] elements, oldest of those first. *)
+let recent t n =
+  let len = length t in
+  let n = Stdlib.min (Stdlib.max n 0) len in
+  let all = to_list t in
+  let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+  drop (len - n) all

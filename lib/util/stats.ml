@@ -25,8 +25,12 @@ let mean t = t.mean
 let stddev t =
   if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
 
-let min t = t.min
-let max t = t.max
+(* Named [minimum]/[maximum] rather than [min]/[max]: an [open]ed or
+   locally-bound Stats would otherwise shadow [Stdlib.min]/[Stdlib.max]
+   with single-argument functions, turning `min a b` into a type error
+   (or worse, a partial application) far from the open. *)
+let minimum t = t.min
+let maximum t = t.max
 let total t = t.total
 
 let percentile xs p =
@@ -58,3 +62,110 @@ let stddev_of xs =
   let t = create () in
   Array.iter (add t) xs;
   stddev t
+
+module Histogram = struct
+  type h = {
+    lo : float;
+    growth : float;
+    bounds : float array;  (* bounds.(i) = lo * growth^i, ascending *)
+    counts : int array;  (* length bounds + 1; last slot is the overflow bucket *)
+    mutable n : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+  }
+
+  let create ?(lo = 1.0) ?(growth = 2.0) ?(buckets = 32) () =
+    if not (lo > 0.0) then invalid_arg "Stats.Histogram.create: lo must be positive";
+    if not (growth > 1.0) then invalid_arg "Stats.Histogram.create: growth must exceed 1";
+    if buckets < 1 then invalid_arg "Stats.Histogram.create: need at least one bucket";
+    {
+      lo;
+      growth;
+      bounds = Array.init buckets (fun i -> lo *. (growth ** float_of_int i));
+      counts = Array.make (buckets + 1) 0;
+      n = 0;
+      sum = 0.0;
+      vmin = infinity;
+      vmax = neg_infinity;
+    }
+
+  (* Smallest i with x <= bounds.(i); the overflow bucket past the last
+     bound. Samples at or below [lo] all land in bucket 0 — the buckets
+     are fixed at creation, underflow is not tracked separately. *)
+  let bucket_index t x =
+    let nb = Array.length t.bounds in
+    if x <= t.bounds.(0) then 0
+    else if x > t.bounds.(nb - 1) then nb
+    else begin
+      let lo = ref 0 and hi = ref (nb - 1) in
+      (* invariant: bounds.(lo) < x <= bounds.(hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if x <= t.bounds.(mid) then hi := mid else lo := mid
+      done;
+      !hi
+    end
+
+  let add t x =
+    if Float.is_nan x then invalid_arg "Stats.Histogram.add: NaN sample";
+    t.counts.(bucket_index t x) <- t.counts.(bucket_index t x) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    if x < t.vmin then t.vmin <- x;
+    if x > t.vmax then t.vmax <- x
+
+  let count t = t.n
+  let total t = t.sum
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+  let minimum t = t.vmin
+  let maximum t = t.vmax
+
+  let same_shape a b =
+    a.lo = b.lo && a.growth = b.growth
+    && Array.length a.bounds = Array.length b.bounds
+
+  let merge_into ~into src =
+    if not (same_shape into src) then
+      invalid_arg "Stats.Histogram.merge_into: bucket layouts differ";
+    Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+    into.n <- into.n + src.n;
+    into.sum <- into.sum +. src.sum;
+    if src.vmin < into.vmin then into.vmin <- src.vmin;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
+
+  (* Rank interpolation inside the bucket holding the target rank. The
+     result is clamped to the observed extrema, so tiny histograms do not
+     report values outside what was ever added. *)
+  let percentile t p =
+    if t.n = 0 then invalid_arg "Stats.Histogram.percentile: empty histogram";
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank = p /. 100.0 *. float_of_int t.n in
+    let nb = Array.length t.bounds in
+    let rec find b cum =
+      if b > nb then nb, cum  (* unreachable: total count = n >= rank *)
+      else
+        let cum' = cum + t.counts.(b) in
+        if float_of_int cum' >= rank && t.counts.(b) > 0 then b, cum else find (b + 1) cum'
+    in
+    let b, cum_before = find 0 0 in
+    let lb = if b = 0 then 0.0 else t.bounds.(b - 1) in
+    let ub = if b >= nb then t.vmax else t.bounds.(b) in
+    let frac =
+      if t.counts.(b) = 0 then 1.0
+      else (rank -. float_of_int cum_before) /. float_of_int t.counts.(b)
+    in
+    let v = lb +. ((ub -. lb) *. (if frac < 0.0 then 0.0 else Float.min frac 1.0)) in
+    Float.max t.vmin (Float.min t.vmax v)
+
+  let p50 t = percentile t 50.0
+  let p95 t = percentile t 95.0
+  let p99 t = percentile t 99.0
+
+  let buckets t =
+    Array.init
+      (Array.length t.counts)
+      (fun i ->
+        let ub = if i < Array.length t.bounds then t.bounds.(i) else infinity in
+        ub, t.counts.(i))
+end

@@ -1,24 +1,94 @@
-(** Small descriptive-statistics helpers used by experiments and benches. *)
+(** Streaming statistics.
 
-(** Online accumulator (Welford) for mean / variance / extrema. *)
+    A Welford online accumulator plus a fixed-bucket log-spaced histogram.
+    Both are cheap enough to live inside hot simulator paths (kvstore
+    request handling, experiment inner loops). *)
+
 type t
+(** Welford online accumulator: O(1) per sample, numerically stable mean
+    and variance without retaining samples.
+
+    NaN behaviour: feeding a NaN sample {e poisons} the accumulator —
+    [mean], [stddev] and [total] become (and stay) NaN, because NaN
+    propagates through the running sums. [minimum]/[maximum] are {e not}
+    updated by NaN samples (IEEE comparisons with NaN are false), so
+    after a NaN they describe only the non-NaN prefix. [count] keeps
+    counting. If NaN is a possible input, reject it before [add]; this
+    module deliberately does not hide it. *)
 
 val create : unit -> t
+
 val add : t -> float -> unit
 val count : t -> int
 val mean : t -> float
 
-(** Sample standard deviation; 0 when fewer than two samples. *)
 val stddev : t -> float
+(** Sample standard deviation (Bessel-corrected); [0.0] when [count < 2]. *)
 
-val min : t -> float
-val max : t -> float
+val minimum : t -> float
+(** Smallest non-NaN sample; [infinity] when empty. Named [minimum]
+    rather than [min] so an [open Stats] cannot shadow [Stdlib.min]. *)
+
+val maximum : t -> float
+(** Largest non-NaN sample; [neg_infinity] when empty. See {!minimum}
+    for why this is not called [max]. *)
+
 val total : t -> float
 
-(** [percentile xs p] for [p] in [\[0, 100\]] using linear interpolation.
-    Raises [Invalid_argument] on an empty array or when any sample is
-    NaN (NaN has no rank; sorting it would silently skew the result). *)
 val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0..100] (clamped), with linear
+    interpolation between order statistics. Raises [Invalid_argument] on
+    an empty array or any NaN sample (NaN has no rank; sorting it would
+    silently skew the result). *)
 
 val mean_of : float array -> float
 val stddev_of : float array -> float
+
+(** Fixed-bucket histogram with log-spaced bounds.
+
+    Bucket [i] covers [(lo·growth^(i-1), lo·growth^i]] (bucket 0 also
+    absorbs everything [<= lo]); one extra overflow bucket catches
+    samples above the last bound. The layout is fixed at [create] time,
+    which is what makes {!Histogram.merge_into} and bucket-level export
+    (Prometheus [le] bounds) well-defined. *)
+module Histogram : sig
+  type h
+
+  val create : ?lo:float -> ?growth:float -> ?buckets:int -> unit -> h
+  (** Defaults: [lo = 1.0], [growth = 2.0], [buckets = 32] (plus the
+      implicit overflow bucket). Raises [Invalid_argument] unless
+      [lo > 0.], [growth > 1.] and [buckets >= 1]. *)
+
+  val add : h -> float -> unit
+  (** Raises [Invalid_argument] on NaN — a silently mis-bucketed NaN
+      would corrupt every percentile read from the buckets. *)
+
+  val count : h -> int
+  val total : h -> float
+  val mean : h -> float
+
+  val minimum : h -> float
+  (** Exact observed minimum (not bucket-quantized); [infinity] when empty. *)
+
+  val maximum : h -> float
+  (** Exact observed maximum; [neg_infinity] when empty. *)
+
+  val merge_into : into:h -> h -> unit
+  (** Add [src]'s buckets into [into]. Raises [Invalid_argument] if the
+      two histograms were created with different [lo]/[growth]/[buckets]. *)
+
+  val percentile : h -> float -> float
+  (** Percentile estimated from bucket counts with linear interpolation
+      inside the target bucket, clamped to the observed [minimum]/[maximum].
+      Quantization error is bounded by the bucket width (a factor of
+      [growth]). Raises [Invalid_argument] when empty. *)
+
+  val p50 : h -> float
+  val p95 : h -> float
+  val p99 : h -> float
+
+  val buckets : h -> (float * int) array
+  (** [(upper_bound, count)] per bucket, ascending; the final overflow
+      bucket reports [infinity] as its bound. Counts are per-bucket, not
+      cumulative. *)
+end

@@ -1,0 +1,436 @@
+(* The observability layer: ring buffer, strict JSON, tracer semantics
+   (including the zero-perturbation guarantee), cycle attribution, the
+   Perfetto exporter and the metrics registry. *)
+
+open Mpk_trace
+open Mpk_hw
+open Mpk_kernel
+
+let reset_observability () =
+  Tracer.disable ();
+  Tracer.clear ();
+  Tracer.clear_sinks ();
+  Prof.disable ();
+  Prof.reset ();
+  Metrics.reset ()
+
+(* --- ring buffer --- *)
+
+let test_ring_basic () =
+  let r = Ring.create 4 in
+  Alcotest.(check int) "capacity" 4 (Ring.capacity r);
+  Alcotest.(check int) "empty" 0 (Ring.length r);
+  Ring.push r 1;
+  Ring.push r 2;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2 ] (Ring.to_list r)
+
+let test_ring_wraparound_keeps_newest () =
+  let r = Ring.create 3 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5; 6; 7 ];
+  Alcotest.(check int) "length saturates" 3 (Ring.length r);
+  Alcotest.(check int) "pushed counts all" 7 (Ring.pushed r);
+  Alcotest.(check (list int)) "newest survive, oldest first" [ 5; 6; 7 ] (Ring.to_list r);
+  Alcotest.(check (list int)) "recent 2" [ 6; 7 ] (Ring.recent r 2);
+  Alcotest.(check (list int)) "recent beyond length" [ 5; 6; 7 ] (Ring.recent r 10)
+
+(* --- strict JSON --- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        "s", Json.String "a\"b\\c\n\t\x01";
+        "i", Json.Int (-42);
+        "f", Json.Float 1.5;
+        "big", Json.Float 1e300;
+        "null", Json.Null;
+        "t", Json.Bool true;
+        "l", Json.List [ Json.Int 1; Json.String "x"; Json.Obj [] ];
+      ]
+  in
+  let s = Json.to_string j in
+  Alcotest.(check bool) "compact round-trips" true (Json.parse_exn s = j);
+  let s2 = Json.to_string ~indent:2 j in
+  Alcotest.(check bool) "indented round-trips" true (Json.parse_exn s2 = j)
+
+let test_json_rejects_malformed () =
+  let rejects s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "parser accepted %S" s)
+    | Error _ -> ()
+  in
+  List.iter rejects
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\":1,}";
+      "{\"a\" 1}";
+      "[1] trailing";
+      "01";
+      "1.";
+      "+1";
+      "nul";
+      "\"unterminated";
+      "\"bad \\q escape\"";
+      "\"raw \x01 control\"";
+      "\"lone \\ud800 surrogate\"";
+      "{\"a\":}";
+      "[,]";
+      "nan";
+    ];
+  (* things the strict parser must still accept *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "parser rejected %S: %s" s e))
+    [ "0"; "-0.5"; "1e3"; "1.25E-2"; "\"\\ud83d\\ude00\""; "[]"; "{}"; " [ 1 , 2 ] " ]
+
+let test_json_non_finite_rejected () =
+  Alcotest.check_raises "nan unprintable"
+    (Invalid_argument "Json: non-finite float") (fun () ->
+      ignore (Json.to_string (Json.Float Float.nan)))
+
+(* --- a small traced workload --- *)
+
+let demo_workload () =
+  let machine = Machine.create ~cores:2 ~mem_mib:64 () in
+  let proc = Proc.create machine in
+  let task = Proc.spawn proc ~core_id:0 () in
+  let mpk = Libmpk.init ~evict_rate:1.0 proc task in
+  let a = Libmpk.mpk_mmap mpk task ~vkey:1 ~len:8192 ~prot:Perm.rw in
+  Libmpk.mpk_begin mpk task ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_byte (Proc.mmu proc) (Task.core task) ~addr:a 'x';
+  Libmpk.mpk_end mpk task ~vkey:1;
+  Libmpk.mpk_mprotect mpk task ~vkey:1 ~prot:Perm.none;
+  Cpu.cycles (Task.core task)
+
+let test_tracer_captures_cross_layer_events () =
+  reset_observability ();
+  Tracer.enable ();
+  ignore (demo_workload ());
+  let kinds =
+    List.sort_uniq compare (List.map (fun (e : Event.t) -> Event.kind e.Event.ev) (Tracer.events ()))
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (List.mem k kinds))
+    [
+      "wrpkru";
+      "syscall_enter";
+      "syscall_exit";
+      "tlb_miss";
+      "tlb_fill";
+      "page_fault";
+      "context_switch";
+      "cache_miss";
+      "cache_pin";
+      "span_begin";
+      "span_end";
+      "group_op";
+    ];
+  reset_observability ()
+
+let test_tracer_disabled_is_cycle_identical () =
+  (* The whole point of runtime-off: enabling tracing must not move the
+     simulated clock by even one bit. *)
+  reset_observability ();
+  let off = demo_workload () in
+  Tracer.enable ();
+  let on_ = demo_workload () in
+  Alcotest.(check bool) "events were recorded" true (Tracer.emitted () > 0);
+  reset_observability ();
+  Alcotest.(check bool) "bit-identical cycles" true (Float.equal off on_)
+
+let test_tracer_profiling_is_cycle_identical () =
+  reset_observability ();
+  let off = demo_workload () in
+  Prof.enable ();
+  let on_ = demo_workload () in
+  Alcotest.(check bool) "profile non-empty" true (Prof.total_recorded () > 0.0);
+  reset_observability ();
+  Alcotest.(check bool) "bit-identical cycles" true (Float.equal off on_)
+
+let test_tracer_ring_bounded () =
+  reset_observability ();
+  Tracer.enable ~capacity:16 ();
+  ignore (demo_workload ());
+  Alcotest.(check bool) "many events emitted" true (Tracer.emitted () > 16);
+  Alcotest.(check bool) "retention bounded by capacity per core" true
+    (Tracer.retained () <= 16 * List.length (Tracer.cores ()));
+  (* the black box keeps the newest events *)
+  let tail = Tracer.recent 4 in
+  let all = Tracer.events () in
+  let last4 =
+    List.filteri (fun i _ -> i >= List.length all - 4) all
+  in
+  Alcotest.(check bool) "recent = tail of retained" true (tail = last4);
+  (* [~capacity] is sticky: restore the default for later tests *)
+  Tracer.enable ~capacity:8192 ();
+  reset_observability ()
+
+let test_tracer_task_stamping () =
+  reset_observability ();
+  Tracer.enable ();
+  ignore (demo_workload ());
+  let stamped =
+    List.exists (fun (e : Event.t) -> e.Event.task >= 0) (Tracer.events ())
+  in
+  Alcotest.(check bool) "events carry task ids" true stamped;
+  reset_observability ()
+
+(* --- cycle attribution --- *)
+
+let test_attribution_exact () =
+  reset_observability ();
+  Prof.enable ();
+  Cpu.reset_total_charged ();
+  ignore (demo_workload ());
+  let attributed = Prof.total_recorded () in
+  let charged = Cpu.total_charged () in
+  Alcotest.(check bool) "something was charged" true (charged > 0.0);
+  Alcotest.(check bool) "attribution is exact (bit-for-bit)" true
+    (Float.equal attributed charged);
+  (* the tree's leaves sum back to the total (same additions, reordered:
+     allow one ulp of slack per node) *)
+  let leaf = Prof.leaf_sum () in
+  Alcotest.(check bool) "leaves cover the total" true
+    (Float.abs (leaf -. attributed) <= 1e-6 *. Float.max 1.0 attributed);
+  reset_observability ()
+
+let test_attribution_tree_nests_spans () =
+  reset_observability ();
+  Prof.enable ();
+  ignore (demo_workload ());
+  let folded = Prof.folded () in
+  Alcotest.(check bool) "folded output non-empty" true (String.length folded > 0);
+  (* kernel work attributed under the API span that caused it *)
+  let has_nested =
+    List.exists
+      (fun line ->
+        match String.index_opt line ' ' with
+        | None -> false
+        | Some i ->
+            let path = String.sub line 0 i in
+            String.length path > String.length "mpk_mmap;sys_"
+            && String.sub path 0 9 = "mpk_mmap;")
+      (String.split_on_char '\n' folded)
+  in
+  Alcotest.(check bool) "mpk_mmap;sys_... path present" true has_nested;
+  reset_observability ()
+
+let test_unattributed_label () =
+  reset_observability ();
+  Prof.enable ();
+  let machine = Machine.create ~cores:1 ~mem_mib:16 () in
+  let core = Machine.core machine 0 in
+  Cpu.charge core 10.0;  (* no label, no span *)
+  let snap = Prof.snapshot () in
+  let has_unattributed =
+    List.exists (fun (c : Prof.snapshot) -> c.Prof.label = Prof.unattributed) snap.Prof.children
+  in
+  Alcotest.(check bool) "unlabeled charge lands in (unattributed)" true has_unattributed;
+  reset_observability ()
+
+(* --- Perfetto export --- *)
+
+let test_perfetto_roundtrip_and_monotone () =
+  reset_observability ();
+  Tracer.enable ();
+  ignore (demo_workload ());
+  ignore (demo_workload ());  (* second machine restarts its clock at 0 *)
+  let events = Tracer.events () in
+  let s = Export.perfetto_string events in
+  reset_observability ();
+  let j = Json.parse_exn s in
+  let tes =
+    match Option.bind (Json.member "traceEvents" j) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "events present" true (List.length tes > List.length events);
+  (* every track's timestamps must be monotone or Perfetto draws garbage *)
+  let last_ts : (float * float, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun te ->
+      let num name = Option.bind (Json.member name te) Json.to_number in
+      let str name = Option.bind (Json.member name te) Json.to_string_opt in
+      match str "ph" with
+      | Some "M" -> ()  (* metadata records carry no ts *)
+      | _ -> (
+          match num "pid", num "tid", num "ts" with
+          | Some pid, Some tid, Some ts ->
+              let key = (pid, tid) in
+              let prev =
+                Option.value ~default:Float.neg_infinity (Hashtbl.find_opt last_ts key)
+              in
+              if ts < prev then
+                Alcotest.fail
+                  (Printf.sprintf "track (%g,%g): ts %g after %g" pid tid ts prev);
+              Hashtbl.replace last_ts key ts
+          | _ -> Alcotest.fail "event missing pid/tid/ts"))
+    tes;
+  Alcotest.(check bool) "at least one track seen" true (Hashtbl.length last_ts > 0)
+
+let test_perfetto_span_phases_balance () =
+  reset_observability ();
+  Tracer.enable ();
+  ignore (demo_workload ());
+  let events = Tracer.events () in
+  let s = Export.perfetto_string events in
+  reset_observability ();
+  let j = Json.parse_exn s in
+  let tes = Option.get (Option.bind (Json.member "traceEvents" j) Json.to_list) in
+  let count ph =
+    List.length
+      (List.filter
+         (fun te -> Option.bind (Json.member "ph" te) Json.to_string_opt = Some ph)
+         tes)
+  in
+  Alcotest.(check bool) "has B spans" true (count "B" > 0);
+  Alcotest.(check int) "B/E balanced" (count "B") (count "E");
+  Alcotest.(check bool) "has instants" true (count "i" > 0)
+
+(* --- metrics registry --- *)
+
+let test_metrics_counter_gauge () =
+  reset_observability ();
+  let c = Metrics.counter ~help:"test counter" "test_total" in
+  Metrics.inc c;
+  Metrics.inc ~by:4.0 c;
+  let g = Metrics.gauge "test_gauge" in
+  Metrics.set g 2.5;
+  let prom = Metrics.export_prometheus () in
+  let has needle =
+    let nl = String.length needle and hl = String.length prom in
+    let rec go i = i + nl <= hl && (String.sub prom i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true (has "test_total 5");
+  Alcotest.(check bool) "gauge line" true (has "test_gauge 2.5");
+  Alcotest.(check bool) "help line" true (has "# HELP test_total test counter");
+  Alcotest.(check bool) "type line" true (has "# TYPE test_total counter");
+  reset_observability ()
+
+let test_metrics_histogram_export () =
+  reset_observability ();
+  let h = Metrics.histogram ~lo:1.0 ~growth:2.0 ~buckets:4 "lat_cycles" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+  let prom = Metrics.export_prometheus () in
+  let has needle =
+    let nl = String.length needle and hl = String.length prom in
+    let rec go i = i + nl <= hl && (String.sub prom i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "le=1 bucket" true (has "lat_cycles_bucket{le=\"1\"} 1");
+  Alcotest.(check bool) "le=+Inf cumulative" true (has "lat_cycles_bucket{le=\"+Inf\"} 4");
+  Alcotest.(check bool) "count" true (has "lat_cycles_count 4");
+  (* the JSON export is strict-parser clean *)
+  let j = Json.to_string (Metrics.export_json ()) in
+  Alcotest.(check bool) "json export parses" true
+    (match Json.parse j with Ok _ -> true | Error _ -> false);
+  reset_observability ()
+
+let test_metrics_event_counters () =
+  reset_observability ();
+  Tracer.enable ();
+  ignore (demo_workload ());
+  Tracer.disable ();
+  let j = Metrics.export_json () in
+  let wrpkru =
+    Option.value ~default:[] (Json.to_list j)
+    |> List.find_opt (fun m ->
+           Option.bind (Json.member "name" m) Json.to_string_opt
+           = Some "trace_events_total{kind=\"wrpkru\"}")
+  in
+  (match Option.bind wrpkru (fun m -> Option.bind (Json.member "value" m) Json.to_number) with
+  | Some n -> Alcotest.(check bool) "wrpkru counter positive" true (n > 0.0)
+  | None -> Alcotest.fail "no trace_events_total{kind=\"wrpkru\"} counter");
+  reset_observability ()
+
+(* --- the stress harness's black box --- *)
+
+let test_stress_failure_carries_blackbox () =
+  (* An invariant violation needs a real bug to trigger, so plant a
+     synthetic failure record and check the report renders its black
+     box. *)
+  let failure =
+    {
+      Mpk_check.Stress.index = 3;
+      op = Mpk_check.Stress.Touch { vkey = 1; task = 0 };
+      kind = Mpk_check.Stress.Crash "Boom";
+      blackbox = [ "#1 fake event"; "#2 fake event" ];
+    }
+  in
+  let report =
+    Mpk_check.Stress.report Mpk_check.Stress.default_config ~ops_total:10 failure
+      [ Mpk_check.Stress.Touch { vkey = 1; task = 0 } ]
+  in
+  let has needle =
+    let nl = String.length needle and hl = String.length report in
+    let rec go i = i + nl <= hl && (String.sub report i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report names the black box" true (has "black box (last 2");
+  Alcotest.(check bool) "report carries the events" true (has "#2 fake event")
+
+let test_stress_run_leaves_tracer_off () =
+  reset_observability ();
+  let cfg = Mpk_check.Stress.default_config in
+  (match Mpk_check.Stress.run cfg (Mpk_check.Stress.gen_ops cfg 50) with
+  | Mpk_check.Stress.Passed _ -> ()
+  | Mpk_check.Stress.Failed _ -> Alcotest.fail "stress run unexpectedly failed");
+  Alcotest.(check bool) "tracer restored to off" false (Tracer.on ());
+  Alcotest.(check int) "ring cleared" 0 (Tracer.retained ());
+  reset_observability ()
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wraparound keeps newest" `Quick test_ring_wraparound_keeps_newest;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed;
+          Alcotest.test_case "non-finite rejected" `Quick test_json_non_finite_rejected;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "cross-layer events" `Quick test_tracer_captures_cross_layer_events;
+          Alcotest.test_case "disabled is cycle-identical" `Quick
+            test_tracer_disabled_is_cycle_identical;
+          Alcotest.test_case "profiling is cycle-identical" `Quick
+            test_tracer_profiling_is_cycle_identical;
+          Alcotest.test_case "ring bounded" `Quick test_tracer_ring_bounded;
+          Alcotest.test_case "task stamping" `Quick test_tracer_task_stamping;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "exact vs machine counter" `Quick test_attribution_exact;
+          Alcotest.test_case "spans nest" `Quick test_attribution_tree_nests_spans;
+          Alcotest.test_case "unattributed label" `Quick test_unattributed_label;
+        ] );
+      ( "perfetto",
+        [
+          Alcotest.test_case "roundtrip + monotone ts" `Quick
+            test_perfetto_roundtrip_and_monotone;
+          Alcotest.test_case "span phases balance" `Quick test_perfetto_span_phases_balance;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter + gauge" `Quick test_metrics_counter_gauge;
+          Alcotest.test_case "histogram export" `Quick test_metrics_histogram_export;
+          Alcotest.test_case "event counters" `Quick test_metrics_event_counters;
+        ] );
+      ( "blackbox",
+        [
+          Alcotest.test_case "failure carries blackbox" `Quick
+            test_stress_failure_carries_blackbox;
+          Alcotest.test_case "stress restores tracer" `Quick test_stress_run_leaves_tracer_off;
+        ] );
+    ]

@@ -98,8 +98,8 @@ let test_stats_basic () =
   List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
   check_float "mean" 5.0 (Stats.mean s);
   Alcotest.(check bool) "stddev (sample)" true (Float.abs (Stats.stddev s -. 2.13809) < 1e-4);
-  check_float "min" 2.0 (Stats.min s);
-  check_float "max" 9.0 (Stats.max s);
+  check_float "min" 2.0 (Stats.minimum s);
+  check_float "max" 9.0 (Stats.maximum s);
   check_float "total" 40.0 (Stats.total s)
 
 let test_stats_single () =
@@ -127,6 +127,68 @@ let test_percentile_empty () =
 let test_mean_of () =
   check_float "mean_of" 2.0 (Stats.mean_of [| 1.0; 2.0; 3.0 |]);
   check_float "stddev_of" 1.0 (Stats.stddev_of [| 1.0; 2.0; 3.0 |])
+
+(* --- Stats.Histogram --- *)
+
+let test_hist_buckets () =
+  let h = Stats.Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:4 () in
+  (* bounds: 1 2 4 8, plus overflow *)
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.0; 1.5; 3.0; 8.0; 100.0 ];
+  let bs = Stats.Histogram.buckets h in
+  Alcotest.(check int) "bucket count incl overflow" 5 (Array.length bs);
+  let counts = Array.map snd bs in
+  Alcotest.(check (array int)) "per-bucket counts" [| 2; 1; 1; 1; 1 |] counts;
+  check_float "first bound" 1.0 (fst bs.(0));
+  check_float "last bound is +inf" infinity (fst bs.(4));
+  Alcotest.(check int) "count" 6 (Stats.Histogram.count h);
+  check_float "total" 114.0 (Stats.Histogram.total h);
+  check_float "min exact" 0.5 (Stats.Histogram.minimum h);
+  check_float "max exact" 100.0 (Stats.Histogram.maximum h)
+
+let test_hist_nan_rejected () =
+  let h = Stats.Histogram.create () in
+  Alcotest.check_raises "NaN raises" (Invalid_argument "Stats.Histogram.add: NaN sample")
+    (fun () -> Stats.Histogram.add h Float.nan)
+
+let test_hist_percentiles () =
+  let h = Stats.Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:12 () in
+  for i = 1 to 1000 do
+    Stats.Histogram.add h (float_of_int i)
+  done;
+  (* Bucketed percentiles are approximate; the error is bounded by one
+     bucket width, i.e. a factor of growth=2. *)
+  let within name expected v =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %g within 2x of %g" name v expected)
+      true
+      (v >= expected /. 2.0 && v <= expected *. 2.0)
+  in
+  within "p50" 500.0 (Stats.Histogram.p50 h);
+  within "p95" 950.0 (Stats.Histogram.p95 h);
+  within "p99" 990.0 (Stats.Histogram.p99 h);
+  let p100 = Stats.Histogram.percentile h 100.0 in
+  Alcotest.(check bool) "p100 clamped to max" true (p100 <= 1000.0)
+
+let test_hist_percentile_empty () =
+  let h = Stats.Histogram.create () in
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.Histogram.percentile: empty histogram")
+    (fun () -> ignore (Stats.Histogram.p50 h))
+
+let test_hist_merge () =
+  let a = Stats.Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:8 () in
+  let b = Stats.Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:8 () in
+  List.iter (Stats.Histogram.add a) [ 1.0; 4.0 ];
+  List.iter (Stats.Histogram.add b) [ 2.0; 300.0 ];
+  Stats.Histogram.merge_into ~into:a b;
+  Alcotest.(check int) "merged count" 4 (Stats.Histogram.count a);
+  check_float "merged total" 307.0 (Stats.Histogram.total a);
+  check_float "merged min" 1.0 (Stats.Histogram.minimum a);
+  check_float "merged max" 300.0 (Stats.Histogram.maximum a);
+  let c = Stats.Histogram.create ~lo:1.0 ~growth:4.0 ~buckets:8 () in
+  Alcotest.check_raises "shape mismatch raises"
+    (Invalid_argument "Stats.Histogram.merge_into: bucket layouts differ")
+    (fun () -> Stats.Histogram.merge_into ~into:a c)
 
 (* --- Table --- *)
 
@@ -182,6 +244,14 @@ let () =
           tc "percentile unsorted" `Quick test_percentile_unsorted;
           tc "percentile empty" `Quick test_percentile_empty;
           tc "mean_of/stddev_of" `Quick test_mean_of;
+        ] );
+      ( "histogram",
+        [
+          tc "buckets" `Quick test_hist_buckets;
+          tc "nan rejected" `Quick test_hist_nan_rejected;
+          tc "percentiles" `Quick test_hist_percentiles;
+          tc "percentile empty" `Quick test_hist_percentile_empty;
+          tc "merge" `Quick test_hist_merge;
         ] );
       ( "table",
         [
