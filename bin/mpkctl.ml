@@ -560,6 +560,225 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ app_arg $ plant $ confirm)
 
+(* -------- coredump: crash forensics for protected memory -------- *)
+
+let default_sentinel = "SENTINEL-TLS-PRIVATE-KEY-0xDEADBEEF"
+
+type crash_kind = Crash_none | Crash_pkey | Crash_oom
+
+(* The demo crash scenario every coredump subcommand shares: a Protected
+   keystore holding a known sentinel secret in a pkey-tagged page, one
+   ordinary page with a clear marker, and an optional injected fault
+   that kills the task through the default-disposition path. *)
+let coredump_scenario ~crash ~sentinel =
+  let machine = Mpk_hw.Machine.create ~cores:2 ~mem_mib:64 () in
+  let proc = Mpk_kernel.Proc.create machine in
+  let task = Mpk_kernel.Proc.spawn proc ~core_id:0 () in
+  Mpk_trace.Tracer.enable ();
+  let mpk = Libmpk.init ~evict_rate:1.0 proc task in
+  let ks =
+    Mpk_secstore.Keystore.create ~mode:Mpk_secstore.Keystore.Protected proc task ~mpk ()
+  in
+  let secret_addr = Mpk_secstore.Keystore.store_opaque ks task (Bytes.of_string sentinel) in
+  let clear_addr = Mpk_kernel.Syscall.mmap proc task ~len:4096 ~prot:Mpk_hw.Perm.rw () in
+  Mpk_hw.Mmu.write_bytes (Mpk_kernel.Proc.mmu proc) (Mpk_kernel.Task.core task)
+    ~addr:clear_addr (Bytes.of_string "mpkctl-coredump-clear-page");
+  Mpk_kernel.Signal.clear_last_crash ();
+  (match crash with
+  | Crash_none -> ()
+  | Crash_pkey -> (
+      (* The keystore's write window is closed, so PKRU denies the
+         domain: an unwrapped read faults SEGV_PKUERR and the task dies. *)
+      try
+        ignore
+          (Mpk_hw.Mmu.read_byte (Mpk_kernel.Proc.mmu proc) (Mpk_kernel.Task.core task)
+             ~addr:secret_addr)
+      with Mpk_kernel.Signal.Killed _ -> ())
+  | Crash_oom ->
+      Mpk_faultinj.arm "physmem.alloc_frame" (Mpk_faultinj.Once 0);
+      let a = Mpk_kernel.Syscall.mmap proc task ~len:4096 ~prot:Mpk_hw.Perm.rw () in
+      (try
+         Mpk_hw.Mmu.write_byte (Mpk_kernel.Proc.mmu proc) (Mpk_kernel.Task.core task)
+           ~addr:a 'x'
+       with Mpk_kernel.Signal.Killed _ -> ());
+      Mpk_faultinj.disarm "physmem.alloc_frame");
+  (proc, task, mpk)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let key_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "key" ] ~docv:"HEX" ~doc:"dump key (64 hex chars; default: derived from the seed)")
+
+let decode_key = function
+  | None -> Ok None
+  | Some h -> (
+      match Mpk_util.Hex.decode h with
+      | Error e -> Error (Printf.sprintf "--key: %s" e)
+      | Ok k when Bytes.length k <> Mpk_crypto.Aead.key_bytes ->
+          Error
+            (Printf.sprintf "--key: expected %d bytes, got %d" Mpk_crypto.Aead.key_bytes
+               (Bytes.length k))
+      | Ok k -> Ok (Some k))
+
+let coredump_capture_cmd =
+  let doc =
+    "Run the demo crash scenario (a protected keystore holding a sentinel secret), \
+     optionally kill the task with an injected fault, and capture a sealed core dump."
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt string "redact"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "what happens to protected pages: redact (drop, leave a marker), encrypt \
+             (AEAD under the dump key), or none (leak in the clear — only for proving \
+             the scanner notices)")
+  in
+  let seed_arg =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"run seed (in the dump id)")
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt (enum [ "pkey", Crash_pkey; "oom", Crash_oom; "none", Crash_none ]) Crash_pkey
+      & info [ "crash" ] ~docv:"KIND"
+          ~doc:"how the task dies: pkey (PKRU-denied read), oom (frame exhaustion), none")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"output path (default CORE_<task>_<seed>.json)")
+  in
+  let sentinel_arg =
+    Arg.(
+      value
+      & opt string default_sentinel
+      & info [ "sentinel" ] ~docv:"STR" ~doc:"the secret planted in the protected page")
+  in
+  let run policy_s seed crash key_hex out sentinel =
+    match Mpk_coredump.Dump.policy_of_string policy_s with
+    | Error e ->
+        Printf.eprintf "mpkctl: coredump: %s\n" e;
+        2
+    | Ok policy -> (
+        match decode_key key_hex with
+        | Error e ->
+            Printf.eprintf "mpkctl: coredump: %s\n" e;
+            2
+        | Ok key_opt -> (
+            let key =
+              match key_opt with
+              | Some k -> k
+              | None -> Mpk_coredump.Capture.default_key ~seed
+            in
+            let proc, task, mpk = coredump_scenario ~crash ~sentinel in
+            match Mpk_coredump.Capture.capture ~proc ~task ~mpk ~key ~seed ~policy () with
+            | Error e ->
+                Printf.eprintf "mpkctl: coredump: %s\n" e;
+                1
+            | Ok dump ->
+                let path =
+                  match out with Some p -> p | None -> Mpk_coredump.Dump.filename dump
+                in
+                let oc = open_out path in
+                output_string oc (Mpk_coredump.Dump.to_string dump);
+                close_out oc;
+                Printf.printf "wrote %s (%d sections, policy %s)\n" path
+                  (List.length dump.Mpk_coredump.Dump.sections)
+                  (Mpk_coredump.Dump.policy_to_string policy);
+                if key_opt = None then
+                  Printf.printf "key: %s (derived from seed %Ld)\n"
+                    (Mpk_util.Hex.encode key) seed;
+                0))
+  in
+  Cmd.v (Cmd.info "capture" ~doc)
+    Term.(const run $ policy_arg $ seed_arg $ crash_arg $ key_arg $ out_arg $ sentinel_arg)
+
+let coredump_inspect_cmd =
+  let doc =
+    "Parse a dump, verify every HMAC, and print the fault report without exposing \
+     protected plaintext. With --key, also decrypt encrypted sections and check the \
+     plaintext digests. Exits 1 on any integrity/decrypt failure, 2 if the file does \
+     not parse."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"the dump file")
+  in
+  let run file key_hex =
+    match decode_key key_hex with
+    | Error e ->
+        Printf.eprintf "mpkctl: coredump: %s\n" e;
+        2
+    | Ok key -> (
+        match read_file file with
+        | exception Sys_error e ->
+            Printf.eprintf "mpkctl: coredump: %s\n" e;
+            2
+        | raw -> (
+            match Mpk_coredump.Inspect.run ?key raw with
+            | Error e ->
+                Printf.eprintf "mpkctl: coredump: %s: %s\n" file e;
+                2
+            | Ok o ->
+                print_string o.Mpk_coredump.Inspect.report;
+                if o.Mpk_coredump.Inspect.failures = [] then 0
+                else begin
+                  List.iter
+                    (fun f -> Printf.eprintf "mpkctl: coredump: %s\n" f)
+                    o.Mpk_coredump.Inspect.failures;
+                  1
+                end))
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ file_arg $ key_arg)
+
+let coredump_scan_cmd =
+  let doc =
+    "Search a dump for secret bytes: the raw document text plus every base64 payload \
+     decoded. Exits 1 when the sentinel is found (the dump leaks), 0 when clean."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"the dump file")
+  in
+  let sentinel_arg =
+    Arg.(
+      value
+      & opt string default_sentinel
+      & info [ "sentinel" ] ~docv:"STR" ~doc:"the secret to look for")
+  in
+  let run file sentinel =
+    match read_file file with
+    | exception Sys_error e ->
+        Printf.eprintf "mpkctl: coredump: %s\n" e;
+        2
+    | raw -> (
+        match Mpk_coredump.Dump.scan ~sentinel raw with
+        | [] ->
+            Printf.printf "%s: clean (sentinel not present, encoded or raw)\n" file;
+            0
+        | hits ->
+            List.iter (fun h -> Printf.printf "%s: LEAK: %s\n" file h) hits;
+            1)
+  in
+  Cmd.v (Cmd.info "scan" ~doc) Term.(const run $ file_arg $ sentinel_arg)
+
+let coredump_cmd =
+  let doc =
+    "Crash forensics for protected memory: capture redacted/encrypted core dumps of \
+     the demo crash scenario and inspect them offline."
+  in
+  Cmd.group (Cmd.info "coredump" ~doc)
+    [ coredump_capture_cmd; coredump_inspect_cmd; coredump_scan_cmd ]
+
 let () =
   let doc = "libmpk (USENIX ATC'19) reproduction on a simulated MPK machine" in
   let info = Cmd.info "mpkctl" ~version:"1.0.0" ~doc in
@@ -576,4 +795,5 @@ let () =
             lint_cmd;
             trace_cmd;
             profile_cmd;
+            coredump_cmd;
           ]))

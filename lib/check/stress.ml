@@ -117,8 +117,10 @@ type result =
 
 exception Stop of failure
 
-(* How many trailing trace events a failure report carries. *)
-let blackbox_depth = 64
+(* How many trailing trace events a failure report carries — the same
+   depth the kernel's default-kill crash record uses, so a stress report
+   and a core dump show identically-sized black boxes. *)
+let blackbox_depth = Signal.blackbox_depth
 
 (* The flight recorder's last words, rendered before [minimize] re-runs
    clobber the ring. *)

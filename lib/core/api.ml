@@ -149,6 +149,28 @@ let groups t =
   Hashtbl.fold (fun vkey (g, slot) acc -> (vkey, g, slot) :: acc) t.groups []
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
+let vkey_of_pkey t pkey =
+  Hashtbl.fold
+    (fun vkey (g, _) acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match g.Group.state with
+          | Group.Mapped k when k = pkey -> Some vkey
+          | Group.Mapped _ | Group.Unmapped -> None))
+    t.groups None
+
+let group_of_addr t addr =
+  Hashtbl.fold
+    (fun vkey (g, _) acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if addr >= g.Group.base && addr < g.Group.base + Group.len g then
+            Some (vkey, g)
+          else None)
+    t.groups None
+
 let stats t =
   {
     mmap_calls = t.counters.(c_mmap);

@@ -123,6 +123,17 @@ val xonly_group_count : t -> int
     ascending vkey. Read-only view for auditing. *)
 val groups : t -> (Vkey.t * Group.t * int) list
 
+(** The virtual key whose group currently holds hardware key [pkey], if
+    any — how the core-dump classifier labels a protected page with the
+    owning domain. *)
+val vkey_of_pkey : t -> Pkey.t -> Vkey.t option
+
+(** The live group containing [addr], if any. Group membership is the
+    authoritative "is this protected memory" test: an evicted isolated
+    group's pages carry pkey 0 and PROT_NONE, yet still belong to a
+    protection domain and must never appear in a dump in the clear. *)
+val group_of_addr : t -> int -> (Vkey.t * Group.t) option
+
 (** Cycles charged per API call for libmpk's userspace bookkeeping
     (hashmap lookup, internal data structures). *)
 val user_op_cycles : float

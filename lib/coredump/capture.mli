@@ -1,0 +1,50 @@
+(** Snapshot a crashed (or live) task into a sealed {!Dump.t}.
+
+    Capture walks the process's VMA tree through the page table, reads
+    the bytes of every present page straight from simulated physical
+    memory (the dying task cannot be trusted to run loads), classifies
+    each page by its PTE protection key {e and} libmpk group metadata,
+    coalesces runs of uniform classification, and hands the result to
+    {!Dump.seal}.
+
+    Classification: a page is {e protected} when its pkey is nonzero,
+    or when it belongs to a live libmpk group — the latter catches
+    isolated groups whose hardware key was evicted (their pages drop to
+    [PROT_NONE] with pkey 0, yet still hold domain secrets). *)
+
+open Mpk_kernel
+
+(** The failure point ("coredump.capture") consulted at the start of a
+    capture, so graceful degradation under mid-crash failure is testable
+    with {!Mpk_faultinj}. *)
+val fault_point : string
+
+(** [default_key ~seed] — the dump key used when the operator supplies
+    none: derived from the run seed, so a deterministic run can be
+    inspected offline without a key exchange. A production port would
+    read an operator-provisioned key instead. *)
+val default_key : seed:int64 -> bytes
+
+val report_of_siginfo : Signal.siginfo -> Dump.sig_report
+
+(** [capture ~proc ~task ?mpk ?siginfo ~key ~seed ~policy ()].
+
+    [siginfo] defaults to the pending {!Signal.last_crash} record when
+    its task id matches [task] — in that case the crash record's black
+    box (snapshotted at kill time) is used; otherwise the live tracer
+    tail. [mpk] enables group-aware classification and should be passed
+    whenever the process runs libmpk. The cycle-attribution profile is
+    embedded when {!Mpk_trace.Prof} is enabled.
+
+    Errors (never raises): the ["coredump.capture"] failure point fired,
+    or the memory walk failed. *)
+val capture :
+  proc:Proc.t ->
+  task:Task.t ->
+  ?mpk:Libmpk.t ->
+  ?siginfo:Signal.siginfo ->
+  key:bytes ->
+  seed:int64 ->
+  policy:Dump.policy ->
+  unit ->
+  (Dump.t, string) result

@@ -1,0 +1,533 @@
+open Mpk_trace
+open Mpk_crypto
+
+type policy = Redact | Encrypt | Clear_debug
+
+let policy_of_string = function
+  | "redact" -> Ok Redact
+  | "encrypt" -> Ok Encrypt
+  | "none" -> Ok Clear_debug
+  | s -> Error (Printf.sprintf "unknown policy %S (expected redact, encrypt, or none)" s)
+
+let policy_to_string = function
+  | Redact -> "redact"
+  | Encrypt -> "encrypt"
+  | Clear_debug -> "none"
+
+let redaction_marker ~pkey = Printf.sprintf "REDACTED:%d" pkey
+
+type sig_report = { signo : int; code : string; addr : int; access : string; pkey : int }
+
+type core_regs = { core : int; pkru : int; cycles : float }
+
+type vma_entry = { start : int; pages : int; prot : string; pkey : int }
+
+type sealed =
+  | Clear
+  | Leaked
+  | Redacted of string
+  | Encrypted of { nonce : bytes; tag : bytes; ptx_hmac : bytes }
+
+type section = {
+  index : int;
+  base : int;
+  pages : int;
+  pkey : int;
+  vkey : int option;
+  sealed : sealed;
+  payload : bytes;
+  mac : bytes;
+}
+
+type t = {
+  version : int;
+  dump_id : string;
+  task : int;
+  seed : int64;
+  policy : policy;
+  siginfo : sig_report option;
+  regs : core_regs list;
+  task_pkru : int;
+  vmas : vma_entry list;
+  blackbox : string list;
+  profile : Json.t option;
+  sections : section list;
+  mac : bytes;
+}
+
+type raw_section = {
+  raw_base : int;
+  raw_pages : int;
+  raw_pkey : int;
+  raw_vkey : int option;
+  raw_protected : bool;
+  raw_data : bytes;
+}
+
+let current_version = 1
+
+(* ---------- key derivation and associated data ---------- *)
+
+(* The integrity key is derived from the (public) dump id: these HMACs
+   are tamper evidence anyone can check, not forgery resistance — that
+   is what the AEAD tags under the secret dump key provide. *)
+let integrity_key dump_id =
+  Hmac.derive ~secret:(Bytes.of_string dump_id) ~label:"mpk-core-integrity"
+    ~len:Aead.key_bytes
+
+let nonce_key key = Hmac.derive ~secret:key ~label:"mpk-core-nonce" ~len:Aead.key_bytes
+let ptx_key key = Hmac.derive ~secret:key ~label:"mpk-core-ptx" ~len:Aead.key_bytes
+
+let class_string = function
+  | Clear -> "clear"
+  | Leaked -> "leaked"
+  | Redacted _ -> "redacted"
+  | Encrypted _ -> "encrypted"
+
+let sig_string = function
+  | None -> "-"
+  | Some s -> Printf.sprintf "%d,%s,0x%x,%s,%d" s.signo s.code s.addr s.access s.pkey
+
+(* Everything that identifies the dump: a section sealed under one
+   header cannot verify under another. *)
+let header_aad ~version ~dump_id ~task ~siginfo ~policy =
+  Printf.sprintf "mpk-core|v%d|%s|task=%d|sig=%s|policy=%s" version dump_id task
+    (sig_string siginfo) (policy_to_string policy)
+
+let section_aad ~header ~index ~base ~pages ~pkey ~vkey ~cls =
+  Printf.sprintf "%s|sect=%d|base=0x%x|pages=%d|pkey=%d|vkey=%s|cls=%s" header index
+    base pages pkey
+    (match vkey with Some v -> string_of_int v | None -> "-")
+    cls
+
+let section_aad_of ~header (s : section) =
+  section_aad ~header ~index:s.index ~base:s.base ~pages:s.pages ~pkey:s.pkey
+    ~vkey:s.vkey ~cls:(class_string s.sealed)
+
+(* What the section HMAC covers besides the aad: every sealed byte, so
+   flipping anything — data, marker, nonce, tag, plaintext digest —
+   breaks verification. *)
+let section_mac_payload (s : section) =
+  match s.sealed with
+  | Clear | Leaked -> s.payload
+  | Redacted marker -> Bytes.of_string marker
+  | Encrypted { nonce; tag; ptx_hmac } ->
+      Bytes.concat Bytes.empty [ nonce; tag; ptx_hmac; s.payload ]
+
+let section_mac ~ikey ~header s =
+  Hmac.sha256 ~key:ikey
+    (Bytes.concat Bytes.empty
+       [ Bytes.of_string (section_aad_of ~header s); section_mac_payload s ])
+
+(* ---------- JSON ---------- *)
+
+let hex = Mpk_util.Hex.encode
+
+let json_of_sig (s : sig_report) =
+  Json.Obj
+    [
+      "signo", Json.Int s.signo;
+      "code", Json.String s.code;
+      "addr", Json.Int s.addr;
+      "access", Json.String s.access;
+      "pkey", Json.Int s.pkey;
+    ]
+
+let json_of_section (s : section) =
+  let common =
+    [
+      "index", Json.Int s.index;
+      "base", Json.Int s.base;
+      "pages", Json.Int s.pages;
+      "pkey", Json.Int s.pkey;
+      "vkey", (match s.vkey with Some v -> Json.Int v | None -> Json.Null);
+      "class", Json.String (class_string s.sealed);
+    ]
+  in
+  let body =
+    match s.sealed with
+    | Clear | Leaked -> [ "data", Json.bytes_to_json s.payload ]
+    | Redacted marker -> [ "marker", Json.String marker ]
+    | Encrypted { nonce; tag; ptx_hmac } ->
+        [
+          "nonce", Json.String (hex nonce);
+          "tag", Json.String (hex tag);
+          "plaintext_hmac", Json.String (hex ptx_hmac);
+          "data", Json.bytes_to_json s.payload;
+        ]
+  in
+  Json.Obj (common @ body @ [ "hmac", Json.String (hex s.mac) ])
+
+let to_json_with_mac t mac_hex =
+  Json.Obj
+    [
+      "format", Json.String "mpk-core";
+      "version", Json.Int t.version;
+      "dump_id", Json.String t.dump_id;
+      "task", Json.Int t.task;
+      "seed", Json.String (Int64.to_string t.seed);
+      "policy", Json.String (policy_to_string t.policy);
+      "siginfo", (match t.siginfo with Some s -> json_of_sig s | None -> Json.Null);
+      ( "registers",
+        Json.Obj
+          [
+            "task_pkru", Json.Int t.task_pkru;
+            ( "cores",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Obj
+                       [
+                         "core", Json.Int r.core;
+                         "pkru", Json.Int r.pkru;
+                         "cycles", Json.Float r.cycles;
+                       ])
+                   t.regs) );
+          ] );
+      ( "vmas",
+        Json.List
+          (List.map
+             (fun v ->
+               Json.Obj
+                 [
+                   "start", Json.Int v.start;
+                   "pages", Json.Int v.pages;
+                   "prot", Json.String v.prot;
+                   "pkey", Json.Int v.pkey;
+                 ])
+             t.vmas) );
+      "blackbox", Json.List (List.map (fun l -> Json.String l) t.blackbox);
+      "profile", (match t.profile with Some j -> j | None -> Json.Null);
+      "sections", Json.List (List.map json_of_section t.sections);
+      "hmac", Json.String mac_hex;
+    ]
+
+let to_json t = to_json_with_mac t (hex t.mac)
+
+(* The dump-level MAC covers the complete serialized document with the
+   "hmac" field pinned empty — serialization is deterministic, so the
+   pre-image is reproducible at verification time. *)
+let dump_mac_preimage t = Json.to_string (to_json_with_mac t "")
+
+let compute_dump_mac t =
+  Hmac.sha256 ~key:(integrity_key t.dump_id) (Bytes.of_string (dump_mac_preimage t))
+
+let to_string t = Json.to_string ~indent:1 (to_json t)
+
+(* ---------- sealing ---------- *)
+
+let seal ~key ~seed ~policy ~task ?siginfo ~regs ~task_pkru ~vmas ~blackbox ?profile
+    raws =
+  if Bytes.length key <> Aead.key_bytes then
+    invalid_arg (Printf.sprintf "Dump.seal: key must be %d bytes" Aead.key_bytes);
+  let version = current_version in
+  let dump_id = Printf.sprintf "mpk-core:t%d:s%Ld" task seed in
+  let header = header_aad ~version ~dump_id ~task ~siginfo ~policy in
+  let ikey = integrity_key dump_id in
+  let seal_one index (r : raw_section) =
+    let sealed, payload =
+      if not r.raw_protected then (Clear, r.raw_data)
+      else
+        match policy with
+        | Clear_debug -> (Leaked, r.raw_data)
+        | Redact -> (Redacted (redaction_marker ~pkey:r.raw_pkey), Bytes.empty)
+        | Encrypt ->
+            let aad =
+              section_aad ~header ~index ~base:r.raw_base ~pages:r.raw_pages
+                ~pkey:r.raw_pkey ~vkey:r.raw_vkey ~cls:"encrypted"
+            in
+            (* Deterministic nonce: unique per (key, dump, section) since
+               the aad embeds the dump id and section index. *)
+            let nonce =
+              Bytes.sub
+                (Hmac.sha256 ~key:(nonce_key key) (Bytes.of_string aad))
+                0 Aead.nonce_bytes
+            in
+            let aad_bytes = Bytes.of_string aad in
+            let ciphertext, tag = Aead.seal ~key ~nonce ~aad:aad_bytes r.raw_data in
+            let ptx_hmac = Hmac.sha256 ~key:(ptx_key key) r.raw_data in
+            (Encrypted { nonce; tag; ptx_hmac }, ciphertext)
+    in
+    let s =
+      {
+        index;
+        base = r.raw_base;
+        pages = r.raw_pages;
+        pkey = r.raw_pkey;
+        vkey = r.raw_vkey;
+        sealed;
+        payload;
+        mac = Bytes.empty;
+      }
+    in
+    { s with mac = section_mac ~ikey ~header s }
+  in
+  let sections = List.mapi seal_one raws in
+  let t =
+    {
+      version;
+      dump_id;
+      task;
+      seed;
+      policy;
+      siginfo;
+      regs;
+      task_pkru;
+      vmas;
+      blackbox;
+      profile;
+      sections;
+      mac = Bytes.empty;
+    }
+  in
+  { t with mac = compute_dump_mac t }
+
+let filename t = Printf.sprintf "CORE_t%d_s%Ld.json" t.task t.seed
+
+(* ---------- parsing ---------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_int name = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let as_string name = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let as_list name = function
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "field %S: expected an array" name)
+
+let int_field name j = Result.bind (field name j) (as_int name)
+let string_field name j = Result.bind (field name j) (as_string name)
+let list_field name j = Result.bind (field name j) (as_list name)
+
+let hex_field name j =
+  let* s = string_field name j in
+  Result.map_error (fun e -> Printf.sprintf "field %S: %s" name e) (Mpk_util.Hex.decode s)
+
+let b64_field name j =
+  let* v = field name j in
+  Result.map_error (fun e -> Printf.sprintf "field %S: %s" name e) (Json.bytes_of_json v)
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = collect f rest in
+      Ok (y :: ys)
+
+let parse_sig j =
+  let* signo = int_field "signo" j in
+  let* code = string_field "code" j in
+  let* addr = int_field "addr" j in
+  let* access = string_field "access" j in
+  let* pkey = int_field "pkey" j in
+  Ok { signo; code; addr; access; pkey }
+
+let parse_section j =
+  let* index = int_field "index" j in
+  let* base = int_field "base" j in
+  let* pages = int_field "pages" j in
+  let* pkey = int_field "pkey" j in
+  let* vkey =
+    match Json.member "vkey" j with
+    | Some Json.Null | None -> Ok None
+    | Some (Json.Int v) -> Ok (Some v)
+    | Some _ -> Error "field \"vkey\": expected an integer or null"
+  in
+  let* cls = string_field "class" j in
+  let* mac = hex_field "hmac" j in
+  let* sealed, payload =
+    match cls with
+    | "clear" ->
+        let* data = b64_field "data" j in
+        Ok (Clear, data)
+    | "leaked" ->
+        let* data = b64_field "data" j in
+        Ok (Leaked, data)
+    | "redacted" ->
+        let* marker = string_field "marker" j in
+        Ok (Redacted marker, Bytes.empty)
+    | "encrypted" ->
+        let* nonce = hex_field "nonce" j in
+        let* tag = hex_field "tag" j in
+        let* ptx_hmac = hex_field "plaintext_hmac" j in
+        let* data = b64_field "data" j in
+        Ok (Encrypted { nonce; tag; ptx_hmac }, data)
+    | c -> Error (Printf.sprintf "unknown section class %S" c)
+  in
+  Ok { index; base; pages; pkey; vkey; sealed; payload; mac }
+
+let of_json j =
+  let* fmt = string_field "format" j in
+  if fmt <> "mpk-core" then Error (Printf.sprintf "not an mpk-core dump (format %S)" fmt)
+  else
+    let* version = int_field "version" j in
+    if version <> current_version then
+      Error (Printf.sprintf "unsupported dump version %d" version)
+    else
+      let* dump_id = string_field "dump_id" j in
+      let* task = int_field "task" j in
+      let* seed_s = string_field "seed" j in
+      let* seed =
+        match Int64.of_string_opt seed_s with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "field \"seed\": bad int64 %S" seed_s)
+      in
+      let* policy_s = string_field "policy" j in
+      let* policy = policy_of_string policy_s in
+      let* siginfo =
+        match Json.member "siginfo" j with
+        | Some Json.Null | None -> Ok None
+        | Some sj -> Result.map Option.some (parse_sig sj)
+      in
+      let* registers = field "registers" j in
+      let* task_pkru = int_field "task_pkru" registers in
+      let* core_list = list_field "cores" registers in
+      let* regs =
+        collect
+          (fun cj ->
+            let* core = int_field "core" cj in
+            let* pkru = int_field "pkru" cj in
+            let* cycles =
+              match Json.member "cycles" cj with
+              | Some v -> (
+                  match Json.to_number v with
+                  | Some f -> Ok f
+                  | None -> Error "field \"cycles\": expected a number")
+              | None -> Error "missing field \"cycles\""
+            in
+            Ok { core; pkru; cycles })
+          core_list
+      in
+      let* vma_list = list_field "vmas" j in
+      let* vmas =
+        collect
+          (fun vj ->
+            let* start = int_field "start" vj in
+            let* pages = int_field "pages" vj in
+            let* prot = string_field "prot" vj in
+            let* pkey = int_field "pkey" vj in
+            Ok { start; pages; prot; pkey })
+          vma_list
+      in
+      let* bb_list = list_field "blackbox" j in
+      let* blackbox = collect (as_string "blackbox") bb_list in
+      let profile =
+        match Json.member "profile" j with
+        | Some Json.Null | None -> None
+        | Some p -> Some p
+      in
+      let* sect_list = list_field "sections" j in
+      let* sections = collect parse_section sect_list in
+      let* mac = hex_field "hmac" j in
+      Ok
+        {
+          version;
+          dump_id;
+          task;
+          seed;
+          policy;
+          siginfo;
+          regs;
+          task_pkru;
+          vmas;
+          blackbox;
+          profile;
+          sections;
+          mac;
+        }
+
+let of_string s =
+  match Json.parse s with
+  | Error e -> Error (Printf.sprintf "JSON: %s" e)
+  | Ok j -> of_json j
+
+(* ---------- verification ---------- *)
+
+let verify t =
+  let header =
+    header_aad ~version:t.version ~dump_id:t.dump_id ~task:t.task ~siginfo:t.siginfo
+      ~policy:t.policy
+  in
+  let ikey = integrity_key t.dump_id in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if not (Bytes.equal t.mac (compute_dump_mac t)) then
+    fail "dump HMAC mismatch (document was modified)";
+  List.iter
+    (fun (s : section) ->
+      if not (Bytes.equal s.mac (section_mac ~ikey ~header s)) then
+        fail "section #%d (base 0x%x): HMAC mismatch" s.index s.base;
+      match s.sealed with
+      | Redacted marker when marker <> redaction_marker ~pkey:s.pkey ->
+          fail "section #%d: redaction marker %S does not match pkey %d" s.index marker
+            s.pkey
+      | _ -> ())
+    t.sections;
+  List.rev !failures
+
+let open_section ~key t (s : section) =
+  match s.sealed with
+  | Clear | Leaked -> Ok s.payload
+  | Redacted marker ->
+      Error (Printf.sprintf "section #%d is %s: bytes were not captured" s.index marker)
+  | Encrypted { nonce; tag; ptx_hmac } -> (
+      let header =
+        header_aad ~version:t.version ~dump_id:t.dump_id ~task:t.task
+          ~siginfo:t.siginfo ~policy:t.policy
+      in
+      let aad = Bytes.of_string (section_aad_of ~header s) in
+      match Aead.open_ ~key ~nonce ~aad ~tag s.payload with
+      | Error e -> Error (Printf.sprintf "section #%d: %s" s.index e)
+      | Ok plaintext ->
+          if Bytes.equal (Hmac.sha256 ~key:(ptx_key key) plaintext) ptx_hmac then
+            Ok plaintext
+          else
+            Error
+              (Printf.sprintf "section #%d: decrypted bytes do not match plaintext digest"
+                 s.index))
+
+(* ---------- sentinel scanning ---------- *)
+
+let contains ~needle hay =
+  let n = Bytes.length needle and h = Bytes.length hay in
+  if n = 0 then true
+  else if n > h then false
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= h - n do
+      let j = ref 0 in
+      while !j < n && Bytes.get hay (!i + !j) = Bytes.get needle !j do
+        incr j
+      done;
+      if !j = n then found := true else incr i
+    done;
+    !found
+  end
+
+let scan ~sentinel raw =
+  let needle = Bytes.of_string sentinel in
+  let hits = ref [] in
+  let hit fmt = Printf.ksprintf (fun m -> hits := m :: !hits) fmt in
+  if contains ~needle (Bytes.of_string raw) then
+    hit "sentinel appears verbatim in the raw dump text";
+  (match of_string raw with
+  | Error _ -> ()  (* raw text scan above is all we can do *)
+  | Ok t ->
+      List.iter
+        (fun (s : section) ->
+          if contains ~needle s.payload then
+            hit "sentinel appears in decoded payload of section #%d (class %s, base 0x%x)"
+              s.index (class_string s.sealed) s.base)
+        t.sections);
+  List.rev !hits

@@ -1,0 +1,96 @@
+type outcome = { report : string; failures : string list }
+
+let class_of (s : Dump.section) =
+  match s.Dump.sealed with
+  | Dump.Clear -> "clear"
+  | Dump.Leaked -> "LEAKED"
+  | Dump.Redacted _ -> "redacted"
+  | Dump.Encrypted _ -> "encrypted"
+
+let pkru_rights pkru =
+  (* Render only keys with non-default rights to keep the line short. *)
+  let p = Mpk_hw.Pkru.of_int pkru in
+  let parts =
+    List.filter_map
+      (fun k ->
+        match Mpk_hw.Pkru.rights p k with
+        | Mpk_hw.Pkru.Read_write -> Some (Printf.sprintf "k%d=rw" (Mpk_hw.Pkey.to_int k))
+        | Mpk_hw.Pkru.Read_only -> Some (Printf.sprintf "k%d=ro" (Mpk_hw.Pkey.to_int k))
+        | Mpk_hw.Pkru.No_access -> None)
+      (Mpk_hw.Pkey.default :: Mpk_hw.Pkey.allocatable)
+  in
+  if parts = [] then "all-denied" else String.concat "," parts
+
+let blackbox_tail = 8
+
+let run ?key raw =
+  match Dump.of_string raw with
+  | Error e -> Error e
+  | Ok t ->
+      let failures = ref (Dump.verify t) in
+      let fail m = failures := !failures @ [ m ] in
+      let buf = Buffer.create 4096 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+      line "mpk-core dump %s (version %d)" t.Dump.dump_id t.Dump.version;
+      line "  task %d, seed %Ld, policy %s" t.Dump.task t.Dump.seed
+        (Dump.policy_to_string t.Dump.policy);
+      (match t.Dump.siginfo with
+      | None -> line "  fault: none recorded (explicit capture)"
+      | Some s ->
+          line "  fault: signal %d code=%s addr=0x%x access=%s pkey=%d" s.Dump.signo
+            s.Dump.code s.Dump.addr s.Dump.access s.Dump.pkey);
+      line "  task PKRU: 0x%x (%s)" t.Dump.task_pkru (pkru_rights t.Dump.task_pkru);
+      List.iter
+        (fun (r : Dump.core_regs) ->
+          line "  core %d: pkru=0x%x cycles=%.0f" r.Dump.core r.Dump.pkru r.Dump.cycles)
+        t.Dump.regs;
+      line "  vmas (%d):" (List.length t.Dump.vmas);
+      List.iter
+        (fun (v : Dump.vma_entry) ->
+          line "    0x%x +%d pages %s pkey=%d" v.Dump.start v.Dump.pages v.Dump.prot
+            v.Dump.pkey)
+        t.Dump.vmas;
+      line "  sections (%d):" (List.length t.Dump.sections);
+      List.iter
+        (fun (s : Dump.section) ->
+          let status =
+            match s.Dump.sealed, key with
+            | Dump.Encrypted _, Some k -> (
+                match Dump.open_section ~key:k t s with
+                | Ok plaintext ->
+                    Printf.sprintf "decrypt ok (%d bytes, digest verified)"
+                      (Bytes.length plaintext)
+                | Error e ->
+                    fail e;
+                    "decrypt FAILED")
+            | Dump.Encrypted _, None -> "sealed (no key)"
+            | Dump.Redacted marker, _ -> marker
+            | Dump.Leaked, _ ->
+                fail
+                  (Printf.sprintf
+                     "section #%d: protected bytes are IN THE CLEAR (policy none)"
+                     s.Dump.index);
+                "LEAKED"
+            | Dump.Clear, _ -> Printf.sprintf "%d bytes" (Bytes.length s.Dump.payload)
+          in
+          line "    #%d 0x%x +%d pages pkey=%d vkey=%s %s: %s" s.Dump.index s.Dump.base
+            s.Dump.pages s.Dump.pkey
+            (match s.Dump.vkey with Some v -> string_of_int v | None -> "-")
+            (class_of s) status)
+        t.Dump.sections;
+      (match t.Dump.profile with
+      | Some _ -> line "  profile: embedded (cycle attribution snapshot)"
+      | None -> line "  profile: absent");
+      let bb = t.Dump.blackbox in
+      line "  black box: %d events%s" (List.length bb)
+        (if bb = [] then "" else Printf.sprintf ", last %d:" (min blackbox_tail (List.length bb)));
+      let tail =
+        let n = List.length bb in
+        List.filteri (fun i _ -> i >= n - blackbox_tail) bb
+      in
+      List.iter (fun l -> line "    %s" l) tail;
+      (* HMAC integrity (key-less check) always gets a verdict line. *)
+      (match Dump.verify t with
+      | [] -> line "  integrity: all HMACs verified"
+      | fs -> List.iter (fun f -> line "  integrity FAILURE: %s" f) fs);
+      Ok { report = Buffer.contents buf; failures = !failures }

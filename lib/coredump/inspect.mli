@@ -1,0 +1,17 @@
+(** Offline dump inspection: parse, verify every HMAC, and render a
+    fault report that never exposes protected plaintext.
+
+    With a key, encrypted sections are additionally opened: the AEAD tag
+    is checked, the plaintext decrypted, and its digest compared against
+    the recorded plaintext HMAC — the report then shows per-section
+    decrypt status (still only sizes and digests, never the bytes). *)
+
+type outcome = {
+  report : string;  (** human-readable fault report *)
+  failures : string list;  (** integrity/decrypt failures; [[]] = clean *)
+}
+
+(** [run ?key raw] — [Error] means the document does not parse as a
+    dump (CLI exit 2); [Ok o] with [o.failures <> []] means it parsed
+    but failed verification (CLI exit 1). *)
+val run : ?key:bytes -> string -> (outcome, string) result

@@ -44,6 +44,26 @@ let of_fault (f : Mpk_hw.Mmu.fault) ~pkey =
 
 type handler = siginfo -> unit
 
+(* --- default-kill crash record --- *)
+
+let blackbox_depth = 64
+
+type crash = { task : int; si : siginfo; blackbox : string list }
+
+let last_crash_ref : crash option ref = ref None
+
+let record_kill ~task si =
+  (* Snapshot the flight recorder *now*: by the time anyone asks, a
+     handler or test harness may have cleared or clobbered the ring. An
+     empty list just means tracing was off. *)
+  let blackbox =
+    List.map Mpk_trace.Event.to_line (Mpk_trace.Tracer.recent blackbox_depth)
+  in
+  last_crash_ref := Some { task; si; blackbox }
+
+let last_crash () = !last_crash_ref
+let clear_last_crash () = last_crash_ref := None
+
 let () =
   Printexc.register_printer (function
     | Killed si -> Some (Printf.sprintf "Signal.Killed(%s)" (to_string si))

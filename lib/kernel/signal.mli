@@ -48,3 +48,33 @@ val of_fault : Mpk_hw.Mmu.fault -> pkey:int -> siginfo
 
 (** A per-task handler, as installed with [Task.set_signal_handler]. *)
 type handler = siginfo -> unit
+
+(** {2 Default-kill crash record}
+
+    A real kernel snapshots crash context (registers, maps) the moment
+    the default disposition fires, because the dying thread's state is
+    gone afterwards. The simulated analogue: just before {!Killed} is
+    raised, [Task.deliver_signal] records the siginfo together with the
+    tail of the {!Mpk_trace.Tracer} ring — the stress harness's flight
+    recorder — so any default-kill carries its last-N-events black box.
+    The core-dump capturer ([Mpk_coredump.Capture]) reuses this record
+    rather than re-reading a ring the unwinding may have disturbed. *)
+
+(** Events the black box retains (the flight-recorder depth the stress
+    harness also uses for its failure reports). *)
+val blackbox_depth : int
+
+type crash = {
+  task : int;
+  si : siginfo;
+  blackbox : string list;  (** rendered trace events, oldest first *)
+}
+
+(** Called by [Task.deliver_signal] on the default-kill path only — a
+    handler that escapes by raising is a survival, not a crash. *)
+val record_kill : task:int -> siginfo -> unit
+
+(** The most recent default-kill, if any since [clear_last_crash]. *)
+val last_crash : unit -> crash option
+
+val clear_last_crash : unit -> unit

@@ -60,7 +60,10 @@ let deliver_signal t (si : Signal.siginfo) =
   | Some handler -> handler si  (* escape by raising = siglongjmp idiom *)
   | None -> ());
   (* No handler, or the handler returned: the access would refault
-     forever, so the default disposition kills the task. *)
+     forever, so the default disposition kills the task. Record the
+     crash (siginfo + flight-recorder black box) first — the core-dump
+     capturer reads it after the unwind. *)
+  Signal.record_kill ~task:t.id si;
   raise (Signal.Killed si)
 
 let work_add t f = Queue.add f t.work

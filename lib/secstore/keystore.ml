@@ -75,8 +75,7 @@ let insecure_alloc t len =
   if t.bump > insecure_key_offset then failwith "Keystore: request-buffer area full";
   addr
 
-let store t task (kp : Rsa.keypair) =
-  let data = serialize_secret kp.Rsa.secret in
+let store_bytes t task data =
   let len = Bytes.length data in
   if len > (insecure_region_pages * page) - insecure_key_offset then
     failwith "Keystore: key too large";
@@ -95,8 +94,14 @@ let store t task (kp : Rsa.keypair) =
   | Protected, None -> assert false);
   t.secret_addr <- addr;
   t.secret_len <- len;
+  addr
+
+let store t task (kp : Rsa.keypair) =
+  let addr = store_bytes t task (serialize_secret kp.Rsa.secret) in
   t.pub <- Some kp.Rsa.public;
   addr
+
+let store_opaque t task data = store_bytes t task data
 
 let with_secret t task f =
   let read () =

@@ -27,6 +27,12 @@ val proc_of : t -> Proc.t
     the (possibly protected) region. Returns the address. *)
 val store : t -> Task.t -> Mpk_crypto.Rsa.keypair -> int
 
+(** [store_opaque t task data] — store an arbitrary secret blob through
+    the same path as {!store} (protected mode: [mpk_malloc] + a
+    begin/write/end window). Used by the core-dump leak check to plant a
+    known sentinel in a pkey-protected page. Returns the address. *)
+val store_opaque : t -> Task.t -> bytes -> int
+
 (** [with_secret t task f] — read the key material back from simulated
     memory through the MMU (unlocking the domain first in [Protected]
     mode) and run [f] on the reconstructed secret. *)

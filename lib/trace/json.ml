@@ -305,6 +305,137 @@ let parse s =
   | v -> Ok v
   | exception Parse_error (pos, msg) -> Error (Printf.sprintf "at offset %d: %s" pos msg)
 
+(* ---------- base64 byte blobs ---------- *)
+
+(* JSON has no bytes type, so byte blobs (core-dump sections) travel as
+   base64 strings. RFC 4648, standard alphabet, strict decoding: the
+   round-trip tests rely on the decoder rejecting everything the encoder
+   cannot have produced, including non-canonical trailing bits. *)
+
+let b64_alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let base64_encode b =
+  let n = Bytes.length b in
+  let out = Buffer.create (4 * ((n + 2) / 3)) in
+  let byte i = Char.code (Bytes.get b i) in
+  let rec go i =
+    if i + 3 <= n then begin
+      let v = (byte i lsl 16) lor (byte (i + 1) lsl 8) lor byte (i + 2) in
+      Buffer.add_char out b64_alphabet.[(v lsr 18) land 0x3f];
+      Buffer.add_char out b64_alphabet.[(v lsr 12) land 0x3f];
+      Buffer.add_char out b64_alphabet.[(v lsr 6) land 0x3f];
+      Buffer.add_char out b64_alphabet.[v land 0x3f];
+      go (i + 3)
+    end
+    else if i + 2 = n then begin
+      let v = (byte i lsl 16) lor (byte (i + 1) lsl 8) in
+      Buffer.add_char out b64_alphabet.[(v lsr 18) land 0x3f];
+      Buffer.add_char out b64_alphabet.[(v lsr 12) land 0x3f];
+      Buffer.add_char out b64_alphabet.[(v lsr 6) land 0x3f];
+      Buffer.add_char out '='
+    end
+    else if i + 1 = n then begin
+      let v = byte i lsl 16 in
+      Buffer.add_char out b64_alphabet.[(v lsr 18) land 0x3f];
+      Buffer.add_char out b64_alphabet.[(v lsr 12) land 0x3f];
+      Buffer.add_string out "=="
+    end
+  in
+  go 0;
+  Buffer.contents out
+
+let b64_value c =
+  match c with
+  | 'A' .. 'Z' -> Some (Char.code c - Char.code 'A')
+  | 'a' .. 'z' -> Some (Char.code c - Char.code 'a' + 26)
+  | '0' .. '9' -> Some (Char.code c - Char.code '0' + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let base64_decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then Error (Printf.sprintf "base64 length %d not a multiple of 4" n)
+  else if n = 0 then Ok (Bytes.create 0)
+  else begin
+    let pad =
+      if s.[n - 1] <> '=' then 0
+      else if s.[n - 2] <> '=' then 1
+      else 2
+    in
+    let out = Buffer.create (3 * n / 4) in
+    let err = ref None in
+    (try
+       let i = ref 0 in
+       while !i < n do
+         let quad j =
+           let c = s.[!i + j] in
+           if c = '=' then
+             (* '=' is only legal as final padding. *)
+             if !i + j >= n - pad then -1
+             else begin
+               err := Some (Printf.sprintf "stray '=' at offset %d" (!i + j));
+               raise Exit
+             end
+           else
+             match b64_value c with
+             | Some v -> v
+             | None ->
+                 err :=
+                   Some (Printf.sprintf "invalid base64 character %C at offset %d" c (!i + j));
+                 raise Exit
+         in
+         let a = quad 0 and b = quad 1 and c = quad 2 and d = quad 3 in
+         if a < 0 || b < 0 then begin
+           err := Some "malformed base64 padding";
+           raise Exit
+         end;
+         let last = !i + 4 >= n in
+         (match c, d with
+         | -1, -1 ->
+             if not last then begin
+               err := Some "malformed base64 padding";
+               raise Exit
+             end;
+             (* canonical encoding: unused trailing bits must be zero *)
+             if (b land 0x0f) <> 0 then begin
+               err := Some "non-canonical base64 (nonzero trailing bits)";
+               raise Exit
+             end;
+             Buffer.add_char out (Char.chr ((a lsl 2) lor (b lsr 4)))
+         | c', -1 ->
+             if not last then begin
+               err := Some "malformed base64 padding";
+               raise Exit
+             end;
+             if (c' land 0x03) <> 0 then begin
+               err := Some "non-canonical base64 (nonzero trailing bits)";
+               raise Exit
+             end;
+             Buffer.add_char out (Char.chr ((a lsl 2) lor (b lsr 4)));
+             Buffer.add_char out (Char.chr (((b land 0x0f) lsl 4) lor (c' lsr 2)))
+         | -1, _ ->
+             err := Some "malformed base64 padding";
+             raise Exit
+         | c', d' ->
+             Buffer.add_char out (Char.chr ((a lsl 2) lor (b lsr 4)));
+             Buffer.add_char out (Char.chr (((b land 0x0f) lsl 4) lor (c' lsr 2)));
+             Buffer.add_char out (Char.chr (((c' land 0x03) lsl 6) lor d'));
+             ignore last);
+         i := !i + 4
+       done
+     with Exit -> ());
+    match !err with
+    | Some e -> Error e
+    | None -> Ok (Buffer.to_bytes out)
+  end
+
+let bytes_to_json b = String (base64_encode b)
+
+let bytes_of_json = function
+  | String s -> base64_decode s
+  | _ -> Error "expected a base64 string"
+
 (* ---------- accessors ---------- *)
 
 let member k = function

@@ -33,6 +33,24 @@ val parse_exn : string -> t
 
 val parse : string -> (t, string) result
 
+(** {2 Base64 byte blobs}
+
+    JSON has no bytes type, so binary payloads (core-dump memory
+    sections, ciphertexts) travel as base64 strings — RFC 4648, standard
+    alphabet, padded. Decoding is strict: length must be a multiple of
+    4, ['='] only as final padding, and non-canonical trailing bits are
+    rejected, so [decode (encode b) = Ok b] and nothing else decodes. *)
+
+val base64_encode : bytes -> string
+
+val base64_decode : string -> (bytes, string) result
+
+val bytes_to_json : bytes -> t
+(** [String (base64_encode b)]. *)
+
+val bytes_of_json : t -> (bytes, string) result
+(** Decodes a [String] node; errors on other nodes or malformed base64. *)
+
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] on anything else or a missing key. *)
 

@@ -1,0 +1,37 @@
+let digits = "0123456789abcdef"
+
+let encode b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) digits.[c lsr 4];
+    Bytes.set out ((2 * i) + 1) digits.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error (Printf.sprintf "odd-length hex string (%d chars)" n)
+  else
+    let out = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok out
+      else
+        match nibble s.[i], nibble s.[i + 1] with
+        | Some hi, Some lo ->
+            Bytes.set out (i / 2) (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | _ ->
+            Error
+              (Printf.sprintf "invalid hex character at offset %d"
+                 (if nibble s.[i] = None then i else i + 1))
+    in
+    go 0

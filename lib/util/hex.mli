@@ -1,0 +1,13 @@
+(** Lowercase hex encoding of byte strings.
+
+    Keys, nonces, MACs and digests cross the CLI boundary (dump files,
+    [--key] arguments) as hex; the decoder is strict so a mangled
+    argument or a hand-edited dump field fails loudly instead of
+    silently truncating. *)
+
+val encode : bytes -> string
+(** ["deadbeef"]-style, two lowercase digits per byte. *)
+
+val decode : string -> (bytes, string) result
+(** Inverse of {!encode}. Accepts upper- and lowercase digits; rejects
+    odd-length input and any non-hex character. *)

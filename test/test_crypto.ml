@@ -251,6 +251,86 @@ let test_rsa_distinct_keys () =
   let wrong = Rsa.decrypt k2.Rsa.secret (Bignum.rem ct k2.Rsa.secret.Rsa.n) in
   Alcotest.(check bool) "wrong key fails" false (Bignum.equal wrong msg)
 
+(* --- Aead (encrypt-then-MAC, the core-dump sealer) --- *)
+
+let aead_key = Bytes.init 32 Char.chr
+let aead_nonce = Bytes.init 12 Char.chr
+let aead_aad = Bytes.of_string "mpk-core|kat"
+
+(* Known answer computed with an independent implementation of the
+   construction (ChaCha20 + HKDF-style derive + HMAC-SHA256 over the
+   length-prefixed aad/nonce/ciphertext concatenation). *)
+let test_aead_kat () =
+  let ct, tag = Aead.seal ~key:aead_key ~nonce:aead_nonce ~aad:aead_aad
+      (Bytes.of_string "attack at dawn")
+  in
+  Alcotest.(check string) "ciphertext" "c6799860edb0bda9d08a336c0767" (Mpk_util.Hex.encode ct);
+  Alcotest.(check string) "tag"
+    "cb83371f0f73f989e2efcf963f25535d2ae72beef05b45ba882d663210ba5e1e"
+    (Mpk_util.Hex.encode tag)
+
+let test_aead_roundtrip () =
+  List.iter
+    (fun len ->
+      let pt = Bytes.init len (fun i -> Char.chr ((i * 7 + len) land 0xff)) in
+      let ct, tag = Aead.seal ~key:aead_key ~nonce:aead_nonce ~aad:aead_aad pt in
+      if len > 0 then
+        Alcotest.(check bool) "ciphertext differs" false (Bytes.equal ct pt);
+      match Aead.open_ ~key:aead_key ~nonce:aead_nonce ~aad:aead_aad ~tag ct with
+      | Ok pt' -> Alcotest.(check bool) (Printf.sprintf "len %d" len) true (Bytes.equal pt pt')
+      | Error e -> Alcotest.fail e)
+    [ 0; 1; 63; 64; 65; 4096 ]
+
+let expect_reject name ~nonce ~aad ~tag ct =
+  (match Aead.open_ ~key:aead_key ~nonce ~aad ~tag ct with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: forgery accepted" name);
+  Alcotest.(check bool) name false (Aead.verify ~key:aead_key ~nonce ~aad ~tag ct)
+
+let test_aead_tamper () =
+  let pt = Bytes.of_string "protected page bytes" in
+  let ct, tag = Aead.seal ~key:aead_key ~nonce:aead_nonce ~aad:aead_aad pt in
+  (* flipped ciphertext bit *)
+  let ct' = Bytes.copy ct in
+  Bytes.set ct' 3 (Char.chr (Char.code (Bytes.get ct' 3) lxor 0x10));
+  expect_reject "flipped ct bit" ~nonce:aead_nonce ~aad:aead_aad ~tag ct';
+  (* swapped nonce *)
+  let nonce' = Bytes.init 12 (fun i -> Char.chr (11 - i)) in
+  expect_reject "swapped nonce" ~nonce:nonce' ~aad:aead_aad ~tag ct;
+  (* truncated tag *)
+  expect_reject "truncated tag" ~nonce:aead_nonce ~aad:aead_aad
+    ~tag:(Bytes.sub tag 0 16) ct;
+  (* altered aad *)
+  expect_reject "altered aad" ~nonce:aead_nonce ~aad:(Bytes.of_string "mpk-core|kat2") ~tag ct;
+  (* flipped tag bit *)
+  let tag' = Bytes.copy tag in
+  Bytes.set tag' 0 (Char.chr (Char.code (Bytes.get tag' 0) lxor 1));
+  expect_reject "flipped tag bit" ~nonce:aead_nonce ~aad:aead_aad ~tag:tag' ct
+
+let test_aead_wrong_key () =
+  let pt = Bytes.of_string "secret" in
+  let ct, tag = Aead.seal ~key:aead_key ~nonce:aead_nonce ~aad:aead_aad pt in
+  let key' = Bytes.init 32 (fun i -> Char.chr (i + 1)) in
+  match Aead.open_ ~key:key' ~nonce:aead_nonce ~aad:aead_aad ~tag ct with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong key accepted"
+
+let test_aead_sizes () =
+  Alcotest.check_raises "short key" (Invalid_argument "Aead: key must be 32 bytes")
+    (fun () -> ignore (Aead.seal ~key:(Bytes.create 16) ~nonce:aead_nonce ~aad:aead_aad Bytes.empty));
+  Alcotest.check_raises "short nonce" (Invalid_argument "Aead: nonce must be 12 bytes")
+    (fun () -> ignore (Aead.seal ~key:aead_key ~nonce:(Bytes.create 8) ~aad:aead_aad Bytes.empty))
+
+let aead_roundtrip_prop =
+  QCheck.Test.make ~name:"aead seal/open roundtrip" ~count:200
+    QCheck.(string_of_size (Gen.int_bound 300))
+    (fun s ->
+      let pt = Bytes.of_string s in
+      let ct, tag = Aead.seal ~key:aead_key ~nonce:aead_nonce ~aad:aead_aad pt in
+      match Aead.open_ ~key:aead_key ~nonce:aead_nonce ~aad:aead_aad ~tag ct with
+      | Ok pt' -> Bytes.equal pt pt'
+      | Error _ -> false)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "mpk_crypto"
@@ -280,6 +360,15 @@ let () =
           tc "rfc4231 tc2" `Quick test_hmac_rfc4231;
           tc "long key" `Quick test_hmac_long_key;
           tc "derive" `Quick test_hmac_derive_len;
+        ] );
+      ( "aead",
+        [
+          tc "known answer" `Quick test_aead_kat;
+          tc "roundtrip" `Quick test_aead_roundtrip;
+          tc "tamper detection" `Quick test_aead_tamper;
+          tc "wrong key" `Quick test_aead_wrong_key;
+          tc "size validation" `Quick test_aead_sizes;
+          qtest aead_roundtrip_prop;
         ] );
       ( "rsa",
         [

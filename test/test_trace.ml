@@ -92,6 +92,87 @@ let test_json_non_finite_rejected () =
     (Invalid_argument "Json: non-finite float") (fun () ->
       ignore (Json.to_string (Json.Float Float.nan)))
 
+(* RFC 4648 §10 test vectors. *)
+let test_base64_vectors () =
+  List.iter
+    (fun (plain, enc) ->
+      Alcotest.(check string) plain enc (Json.base64_encode (Bytes.of_string plain));
+      match Json.base64_decode enc with
+      | Ok b -> Alcotest.(check string) enc plain (Bytes.to_string b)
+      | Error e -> Alcotest.fail e)
+    [
+      "", "";
+      "f", "Zg==";
+      "fo", "Zm8=";
+      "foo", "Zm9v";
+      "foob", "Zm9vYg==";
+      "fooba", "Zm9vYmE=";
+      "foobar", "Zm9vYmFy";
+    ]
+
+let test_base64_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Json.base64_decode s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "decoder accepted %S" s)
+      | Error _ -> ())
+    [
+      "Zg";  (* length not a multiple of 4 *)
+      "Zg=";
+      "Z===";
+      "====";
+      "Zm=v";  (* '=' before the end *)
+      "=m9v";
+      "Zm9v=A==";
+      "Zm9$";  (* alphabet violation *)
+      "Zm 9";
+      "Zg==Zg==";  (* data after padding *)
+      "Zh==";  (* non-canonical: trailing bits set *)
+      "Zm9=";
+    ]
+
+let test_base64_fuzz_roundtrip () =
+  let p = Mpk_util.Prng.create ~seed:0xB64L in
+  for _ = 1 to 500 do
+    let len = Mpk_util.Prng.int p 200 in
+    let b = Bytes.init len (fun _ -> Char.chr (Mpk_util.Prng.int p 256)) in
+    let enc = Json.base64_encode b in
+    (match Json.base64_decode enc with
+    | Ok b' ->
+        if not (Bytes.equal b b') then Alcotest.failf "roundtrip failed for %S" enc
+    | Error e -> Alcotest.failf "decode of own encoding failed: %s (%S)" e enc);
+    (* the bytes<->Json path used by dump payloads *)
+    match Json.bytes_of_json (Json.bytes_to_json b) with
+    | Ok b' ->
+        if not (Bytes.equal b b') then Alcotest.fail "bytes_to_json roundtrip failed"
+    | Error e -> Alcotest.fail e
+  done;
+  (* corrupting any single character of a valid encoding must never
+     silently decode to the original bytes *)
+  for _ = 1 to 100 do
+    let len = 1 + Mpk_util.Prng.int p 50 in
+    let b = Bytes.init len (fun _ -> Char.chr (Mpk_util.Prng.int p 256)) in
+    let enc = Json.base64_encode b in
+    let i = Mpk_util.Prng.int p (String.length enc) in
+    let c = Char.chr (33 + Mpk_util.Prng.int p 90) in
+    if c <> enc.[i] then begin
+      let enc' = Bytes.of_string enc in
+      Bytes.set enc' i c;
+      match Json.base64_decode (Bytes.to_string enc') with
+      | Ok b' ->
+          if Bytes.equal b b' then Alcotest.fail "corrupted encoding decoded identically"
+      | Error _ -> ()
+    end
+  done
+
+let test_bytes_of_json_wrong_node () =
+  (match Json.bytes_of_json (Json.Int 3) with
+  | Ok _ -> Alcotest.fail "accepted Int node"
+  | Error _ -> ());
+  match Json.bytes_of_json Json.Null with
+  | Ok _ -> Alcotest.fail "accepted Null node"
+  | Error _ -> ()
+
 (* --- a small traced workload --- *)
 
 let demo_workload () =
@@ -398,6 +479,10 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed;
           Alcotest.test_case "non-finite rejected" `Quick test_json_non_finite_rejected;
+          Alcotest.test_case "base64 rfc4648 vectors" `Quick test_base64_vectors;
+          Alcotest.test_case "base64 rejects malformed" `Quick test_base64_rejects_malformed;
+          Alcotest.test_case "base64 fuzz roundtrip" `Quick test_base64_fuzz_roundtrip;
+          Alcotest.test_case "bytes_of_json wrong node" `Quick test_bytes_of_json_wrong_node;
         ] );
       ( "tracer",
         [
