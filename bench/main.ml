@@ -127,6 +127,24 @@ let test_fig14_kv_get () =
   ignore (Mpk_kvstore.Server.set srv ~worker:0 ~key:"bench" ~value:(Bytes.make 512 'v') : (unit, _) result);
   Staged.stage (fun () -> ignore (Mpk_kvstore.Server.get srv ~worker:0 ~key:"bench"))
 
+let test_scale_sharded_set () =
+  (* the `mpkctl scale` hot path: key-affine set through the sharded Sync
+     server, regions opened/sealed with one batched mprotect pair each way *)
+  let srv =
+    Mpk_kvstore.Server.create ~mode:Mpk_kvstore.Server.Sync ~workers:4 ~shards:4
+      ~slab_mib:16 ~buckets:1024 ()
+  in
+  let value = Bytes.make 128 'v' in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      let key = Printf.sprintf "bench-%d" (!i land 255) in
+      ignore
+        (Mpk_kvstore.Server.set srv
+           ~worker:(Mpk_kvstore.Server.shard_of_key srv key)
+           ~key ~value
+          : (unit, _) result))
+
 let test_table3_begin_end () =
   let env = Mpk_experiments.Env.make () in
   let task = Mpk_experiments.Env.main env in
@@ -149,6 +167,7 @@ let bechamel_tests () =
       Test.make ~name:"fig12/jit-run" (test_fig12_engine_run ());
       Test.make ~name:"fig13/sdcg-patch" (test_fig13_sdcg_patch ());
       Test.make ~name:"fig14/kv-get" (test_fig14_kv_get ());
+      Test.make ~name:"scale/sharded-set-sync" (test_scale_sharded_set ());
       Test.make ~name:"table3/begin-end" (test_table3_begin_end ());
     ]
 

@@ -12,6 +12,9 @@
      mpkctl lint [OPTIONS]       static domain-safety analysis of the
                                  case-study apps' libmpk protocols, with
                                  optional witness replay (--confirm)
+     mpkctl scale [OPTIONS]      kvstore throughput/latency vs core count,
+                                 batched do_pkey_sync IPIs vs the
+                                 per-update broadcast, auditor-validated
 
    Every subcommand returns an explicit exit code through [Cmd.eval']:
    0 success, 1 a check failed (invariant violation, ERROR finding),
@@ -457,6 +460,110 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ id $ json_out $ perfetto_out $ folded_out)
 
+(* --- scale: multi-core throughput/latency curves --- *)
+
+let scale_cmd =
+  let doc =
+    "Multi-core scale-out of the kvstore: one point per core count, each a fresh \
+     sharded server (one shard per worker core) driven by the zipfian closed-loop \
+     load generator. Every point is measured twice from the same seed — batched \
+     do_pkey_sync IPIs versus the per-update broadcast — and validated: the \
+     cross-layer auditor must be clean after each concurrent run and the batched \
+     run must emit strictly fewer Ipi trace events. Writes throughput, p50/p95/p99 \
+     latency, and per-core IPI counters as validated JSON. Exits 1 on any \
+     validation failure or invalid export."
+  in
+  let cores_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4 ]
+      & info [ "cores" ] ~docv:"N,N,..." ~doc:"worker core counts to sweep (>= 1 each)")
+  in
+  let mode_arg =
+    let modes =
+      [
+        "sync", Mpk_kvstore.Server.Sync;
+        "domain", Mpk_kvstore.Server.Domain;
+        "baseline", Mpk_kvstore.Server.Baseline;
+        "mprotect", Mpk_kvstore.Server.Mprotect_sys;
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum modes) Mpk_kvstore.Server.Sync
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"protection mode: $(b,sync) (mpk_mprotect, the IPI-heavy one), \
+                $(b,domain), $(b,baseline), or $(b,mprotect)")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"CI-sized run: small store, few connections")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0xC0FE & info [ "seed" ] ~docv:"SEED" ~doc:"workload PRNG seed")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt string "BENCH_scale.json"
+      & info [ "json" ] ~docv:"FILE" ~doc:"metrics JSON output")
+  in
+  let run cores mode smoke seed json_path =
+    if cores = [] || List.exists (fun c -> c < 1) cores then begin
+      Printf.eprintf "mpkctl: scale: --cores needs a non-empty list of counts >= 1\n";
+      2
+    end
+    else begin
+      Mpk_trace.Metrics.reset ();
+      let report =
+        Mpk_kvstore.Scale.run ~mode ~cores ~smoke ~seed:(Int64.of_int seed) ()
+      in
+      List.iter
+        (fun (p : Mpk_kvstore.Scale.point) ->
+          let b = p.Mpk_kvstore.Scale.batched in
+          let u = p.Mpk_kvstore.Scale.per_update in
+          Printf.printf
+            "cores=%d  batched: %.0f req/s p50=%.0f p99=%.0f cycles ipi_events=%d | \
+             per-update: %.0f req/s p99=%.0f ipi_events=%d\n"
+            p.Mpk_kvstore.Scale.cores b.Mpk_kvstore.Loadgen.s_throughput_rps
+            b.Mpk_kvstore.Loadgen.p50_cycles b.Mpk_kvstore.Loadgen.p99_cycles
+            p.Mpk_kvstore.Scale.ipi_events_batched u.Mpk_kvstore.Loadgen.s_throughput_rps
+            u.Mpk_kvstore.Loadgen.p99_cycles p.Mpk_kvstore.Scale.ipi_events_per_update)
+        report.Mpk_kvstore.Scale.points;
+      let problems = Mpk_kvstore.Scale.problems report in
+      List.iter (fun m -> Printf.eprintf "mpkctl: scale: %s\n" m) problems;
+      let json =
+        Mpk_trace.Json.Obj
+          (match Mpk_kvstore.Scale.to_json report with
+          | Mpk_trace.Json.Obj fields ->
+              fields
+              @ [
+                  ( "valid",
+                    Mpk_trace.Json.Bool (problems = []) );
+                  "metrics", Mpk_trace.Metrics.export_json ();
+                ]
+          | other -> [ "report", other ])
+      in
+      let content = Mpk_trace.Json.to_string ~indent:1 json in
+      let json_ok =
+        match Mpk_trace.Json.parse content with
+        | Ok _ ->
+            let oc = open_out json_path in
+            output_string oc content;
+            close_out oc;
+            Printf.printf "wrote %s\n" json_path;
+            true
+        | Error err ->
+            Printf.eprintf "mpkctl: scale: export does not re-parse: %s\n" err;
+            false
+      in
+      if problems = [] && json_ok then 0 else 1
+    end
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run $ cores_arg $ mode_arg $ smoke_arg $ seed_arg $ json_arg)
+
 (* --- lint: the static domain-safety analyzer --- *)
 
 type app = Jit | Secstore | Kvstore
@@ -795,5 +902,6 @@ let () =
             lint_cmd;
             trace_cmd;
             profile_cmd;
+            scale_cmd;
             coredump_cmd;
           ]))

@@ -566,6 +566,55 @@ let mpk_mprotect t task ~vkey ~prot =
    end);
   sync_slot t task vkey
 
+(* Batched protection change: apply every (vkey, prot) update, then
+   propagate all the PKRU changes to other threads with one batched
+   do_pkey_sync — one kernel entry and one IPI per target core — instead
+   of one sync per update. Only the hot path (a mapped, non-execute-only
+   group whose exec bit is unchanged) can defer its sync; anything else
+   (unmapped groups, execute-only transitions, exec-bit flips) falls back
+   to the full [mpk_mprotect], whose own synchronization is part of its
+   semantics. *)
+let mpk_mprotect_many t task ~updates =
+  span task "mpk_mprotect_many" @@ fun () ->
+  let deferred = ref [] in
+  List.iter
+    (fun ((vkey, prot) : int * Perm.t) ->
+      let fast =
+        (not (Perm.equal prot Perm.x_only))
+        &&
+        match Hashtbl.find_opt t.groups vkey with
+        | Some (group, _) ->
+            (not group.Group.xonly)
+            && group.Group.begin_depth = 0
+            && group.Group.prot.Perm.exec = prot.Perm.exec
+            && (match group.Group.state with
+               | Group.Mapped _ -> true
+               | Group.Unmapped -> false)
+        | None -> false
+      in
+      if not fast then mpk_mprotect t task ~vkey ~prot
+      else begin
+        check_vkey t vkey;
+        charge_user task;
+        count t c_mprotect;
+        emit_group_op task "mprotect" vkey;
+        let group, _ = group_slot t vkey in
+        (match group.Group.state with
+        | Group.Mapped pkey ->
+            emit_acquire task vkey (Key_cache.acquire t.cache vkey);  (* LRU bump + stats *)
+            group.Group.prot <- prot;
+            group.Group.isolated <- false;
+            let rights = Pkru.rights_of_perm prot in
+            set_own_rights task pkey rights;
+            deferred := (pkey, rights) :: !deferred
+        | Group.Unmapped -> assert false);
+        sync_slot t task vkey
+      end)
+    updates;
+  match List.rev !deferred with
+  | [] -> ()
+  | ds -> if multi_threaded t then Syscall.pkey_sync_many t.proc task ~updates:ds
+
 let mpk_malloc t task ~vkey ~size =
   span task "mpk_malloc" @@ fun () ->
   check_vkey t vkey;

@@ -97,6 +97,14 @@ val mpk_end : t -> Task.t -> vkey:Vkey.t -> unit
     Execute-only requests are served by the reserved execute-only key. *)
 val mpk_mprotect : t -> Task.t -> vkey:Vkey.t -> prot:Perm.t -> unit
 
+(** [mpk_mprotect_many t task ~updates] — apply every [(vkey, prot)]
+    change, deferring the inter-thread PKRU synchronization of the
+    mapped-group fast path into one batched [do_pkey_sync] at the end:
+    one kernel entry and one IPI per target core for the whole batch.
+    Updates that cannot defer (unmapped groups, execute-only transitions,
+    exec-bit flips) fall back to [mpk_mprotect] individually. *)
+val mpk_mprotect_many : t -> Task.t -> updates:(Vkey.t * Perm.t) list -> unit
+
 (** [mpk_malloc t task ~vkey ~size] — allocate from the group's heap,
     creating a default-sized group on first use of [vkey]. *)
 val mpk_malloc : t -> Task.t -> vkey:Vkey.t -> size:int -> int

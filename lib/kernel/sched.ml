@@ -1,10 +1,37 @@
 open Mpk_hw
 
-type t = { machine : Machine.t; mutable tasks : Task.t list; mutable next_id : int }
+type ipi_stats = { mutable sent : int; mutable received : int }
 
-let create machine = { machine; tasks = []; next_id = 0 }
+type t = {
+  machine : Machine.t;
+  mutable tasks : Task.t list;
+  mutable next_id : int;
+  ipi : (int, ipi_stats) Hashtbl.t;  (* core id -> IPIs sent/received *)
+}
+
+let create machine = { machine; tasks = []; next_id = 0; ipi = Hashtbl.create 8 }
 
 let machine t = t.machine
+
+let ipi_stats_for t core_id =
+  match Hashtbl.find_opt t.ipi core_id with
+  | Some s -> s
+  | None ->
+      let s = { sent = 0; received = 0 } in
+      Hashtbl.add t.ipi core_id s;
+      s
+
+let note_ipi t ~sender_id ~target_id =
+  let s = ipi_stats_for t sender_id in
+  s.sent <- s.sent + 1;
+  let r = ipi_stats_for t target_id in
+  r.received <- r.received + 1
+
+let ipis_sent t = Hashtbl.fold (fun _ s acc -> acc + s.sent) t.ipi 0
+
+let ipis_per_core t =
+  Hashtbl.fold (fun id s acc -> (id, s.sent, s.received) :: acc) t.ipi []
+  |> List.sort compare
 
 let return_to_user task = Task.work_run task
 
@@ -16,6 +43,17 @@ let schedule_in _t task =
       Cpu.charge ~label:"context_switch" core (Cpu.costs core).context_switch;
       Cpu.set_pkru_direct core (Task.saved_pkru task);
       Task.set_state task On_cpu;
+      (* Deferred TLB shootdown: a lazy shootdown aimed at this task while
+         it was off-CPU marked it instead of sending an IPI; the flush is
+         paid for here, where the eager path would have charged the
+         target. *)
+      if Task.tlb_flush_pending task then begin
+        Cpu.charge ~label:"tlb_flush_deferred" core (Cpu.costs core).tlb_flush_all;
+        Tlb.flush_all (Cpu.tlb core);
+        Task.clear_tlb_flush task;
+        if Mpk_trace.Tracer.on () then
+          Cpu.emit core (Mpk_trace.Event.Tlb_flush { pages = 0; all = true })
+      end;
       (* Keep the tracer's core→task registry current even while tracing
          is off, so enabling mid-run stamps events correctly. *)
       Mpk_trace.Tracer.set_task_on_core ~core:(Cpu.id core) ~task:(Task.id task);
@@ -68,28 +106,101 @@ let preempt t ~core_id =
             schedule_out t task;
             schedule_in t task)
 
-let kick _t ~from target =
-  let sender = Task.core from in
-  Cpu.charge ~label:"ipi_send" sender (Cpu.costs sender).ipi_send;
-  if Mpk_trace.Tracer.on () then
-    Cpu.emit sender
-      (Mpk_trace.Event.Ipi { kind = "resched_kick"; target_core = Cpu.id (Task.core target) });
+let kick t ~from target =
   match Task.state target with
-  | Task.Off_cpu -> ()  (* lazy: work runs when it is next scheduled *)
+  | Task.Off_cpu -> ()
+      (* lazy: no IPI is sent at all — the queued work runs at the
+         target's next [schedule_in], so neither side pays anything here *)
   | Task.On_cpu ->
+      let sender = Task.core from in
       let core = Task.core target in
+      Cpu.charge ~label:"ipi_send" sender (Cpu.costs sender).ipi_send;
+      note_ipi t ~sender_id:(Cpu.id sender) ~target_id:(Cpu.id core);
+      if Mpk_trace.Tracer.on () then
+        Cpu.emit sender (Mpk_trace.Event.Ipi { kind = "resched_kick"; target_core = Cpu.id core });
       Cpu.charge ~label:"ipi_receive" core (Cpu.costs core).ipi_receive;
       return_to_user target
 
-let shootdown _t ~from target =
+type batch = { cores_kicked : int; tasks_reached : int }
+
+let kick_batch t ~from ?(kind = "pkey_sync_batch") ?(flush_tlb = false) ?(sync = false) targets =
+  let sender = Task.core from in
+  let costs = Cpu.costs sender in
+  (* Off-CPU targets never see an IPI: their queued work runs at the next
+     [schedule_in], which (for shootdown batches) also performs the
+     deferred flush. An idle core's stale entries are dropped immediately
+     — nothing can touch them before the flush we just scheduled — so the
+     audited TLB state matches the eager path throughout. *)
+  if flush_tlb then
+    List.iter
+      (fun tk ->
+        if Task.state tk = Task.Off_cpu then begin
+          Task.mark_tlb_flush tk;
+          match task_on t ~core_id:(Cpu.id (Task.core tk)) with
+          | Some _ -> ()
+          | None -> Tlb.flush_all (Cpu.tlb (Task.core tk))
+        end)
+      targets;
+  (* One IPI per distinct core holding at least one on-CPU target: every
+     pending update queued on every task of that core drains under a
+     single interrupt. *)
+  let by_core = Hashtbl.create 8 in
+  List.iter
+    (fun tk ->
+      if Task.state tk = Task.On_cpu then begin
+        let id = Cpu.id (Task.core tk) in
+        let prev = Option.value (Hashtbl.find_opt by_core id) ~default:[] in
+        Hashtbl.replace by_core id (tk :: prev)
+      end)
+    targets;
+  let core_ids =
+    Hashtbl.fold (fun id _ acc -> id :: acc) by_core [] |> List.sort compare
+  in
+  let reached = ref 0 in
+  List.iter
+    (fun id ->
+      let core_tasks = List.rev (Hashtbl.find by_core id) in
+      let core = Task.core (List.hd core_tasks) in
+      Cpu.charge ~label:"ipi_send" sender costs.ipi_send;
+      note_ipi t ~sender_id:(Cpu.id sender) ~target_id:id;
+      if Mpk_trace.Tracer.on () then
+        Cpu.emit sender (Mpk_trace.Event.Ipi { kind; target_core = id });
+      Cpu.charge ~label:"ipi_receive" core (Cpu.costs core).ipi_receive;
+      if flush_tlb then begin
+        Tlb.flush_all (Cpu.tlb core);
+        if Mpk_trace.Tracer.on () then
+          Cpu.emit core (Mpk_trace.Event.Tlb_flush { pages = 0; all = true })
+      end;
+      List.iter
+        (fun tk ->
+          incr reached;
+          return_to_user tk)
+        core_tasks)
+    core_ids;
+  (* A synchronous batch spin-waits for the acks; the sends overlap, so
+     the initiator pays a single receive-latency wait regardless of
+     fan-out. *)
+  if sync && core_ids <> [] then Cpu.charge ~label:"ipi_spin" sender costs.ipi_receive;
+  { cores_kicked = List.length core_ids; tasks_reached = !reached }
+
+let shootdown t ~from target =
   match Task.state target with
-  | Task.Off_cpu -> ()
+  | Task.Off_cpu ->
+      (* Lazy shootdown: no IPI. The task is marked so its next
+         [schedule_in] charges for and performs the flush; if its core is
+         idle the stale entries are dropped now for free (nothing can use
+         them first), matching the eager path's visible TLB state. *)
+      Task.mark_tlb_flush target;
+      (match task_on t ~core_id:(Cpu.id (Task.core target)) with
+      | Some _ -> ()
+      | None -> Tlb.flush_all (Cpu.tlb (Task.core target)))
   | Task.On_cpu ->
       let sender = Task.core from in
       let costs = Cpu.costs sender in
       (* The initiator spin-waits for the acknowledgement. *)
       Cpu.charge ~label:"ipi_send" sender (costs.ipi_send +. costs.ipi_receive);
       let core = Task.core target in
+      note_ipi t ~sender_id:(Cpu.id sender) ~target_id:(Cpu.id core);
       if Mpk_trace.Tracer.on () then
         Cpu.emit sender
           (Mpk_trace.Event.Ipi { kind = "tlb_shootdown"; target_core = Cpu.id core });

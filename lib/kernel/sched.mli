@@ -39,14 +39,42 @@ val schedule_out : t -> Task.t -> unit
     pending task_work (return-to-userspace), marks the task on-CPU. *)
 val schedule_in : t -> Task.t -> unit
 
-(** [kick t ~from target] sends a reschedule IPI: the sender pays
-    [ipi_send]; the target core pays [ipi_receive] and immediately passes
-    through return-to-userspace, draining its task_work. Off-CPU targets
-    ignore the kick (their work runs at the next [schedule_in]). *)
+(** [kick t ~from target] sends a reschedule IPI to an on-CPU target: the
+    sender pays [ipi_send]; the target core pays [ipi_receive] and
+    immediately passes through return-to-userspace, draining its
+    task_work. Off-CPU targets see no IPI at all — nothing is charged and
+    no [Ipi] event is emitted; their work runs at the next
+    [schedule_in]. *)
 val kick : t -> from:Task.t -> Task.t -> unit
+
+type batch = { cores_kicked : int; tasks_reached : int }
+
+(** [kick_batch t ~from targets] coalesces reschedule IPIs: one IPI per
+    distinct core holding at least one on-CPU target (sender pays
+    [ipi_send] per core, each target core pays [ipi_receive] once), and
+    every on-CPU target on that core drains its task_work under that
+    single interrupt. Off-CPU targets are skipped as in [kick].
+
+    [flush_tlb] additionally flushes each kicked core's TLB (emitting
+    [Tlb_flush]) and marks off-CPU targets for a deferred flush at their
+    next [schedule_in]. [sync] models the initiator spin-waiting for the
+    acknowledgements: the sends overlap, so it costs a single
+    [ipi_receive]-latency wait regardless of fan-out. *)
+val kick_batch :
+  t -> from:Task.t -> ?kind:string -> ?flush_tlb:bool -> ?sync:bool -> Task.t list -> batch
 
 (** [shootdown t ~from target] sends a synchronous TLB-shootdown IPI: the
     sender pays send + wait, the target core pays [ipi_receive] and
-    flushes its TLB. Off-CPU targets are skipped (their TLB state is dead).
-*)
+    flushes its TLB. Off-CPU targets get no IPI; they are marked so their
+    next [schedule_in] charges [tlb_flush_all] and flushes (and an idle
+    core's stale entries are dropped immediately, for free, so the
+    visible TLB state always matches the eager path). *)
 val shootdown : t -> from:Task.t -> Task.t -> unit
+
+(** Total IPIs sent since the scheduler was created (reschedule kicks,
+    batched sync kicks, and TLB shootdowns). *)
+val ipis_sent : t -> int
+
+(** Per-core IPI counters as [(core_id, sent, received)], sorted by core.
+    Cores that never saw an IPI are absent. *)
+val ipis_per_core : t -> (int * int * int) list

@@ -134,6 +134,55 @@ let queue_pkru_update ~core ~pkey_int target make_pkru =
         Cpu.emit (Task.core t)
           (Mpk_trace.Event.Pkey_sync_executed { target = Task.id t; pkey = pkey_int }))
 
+(* IPI batching for the lazy-sync paths: on by default; the per-update
+   broadcast (one kick per target per PKRU update) is kept behind this
+   toggle as the reference point `mpkctl scale` compares against. *)
+let batching = ref true
+
+let ipi_batching () = !batching
+let set_ipi_batching b = batching := b
+
+(* Shared body of pkey_sync / pkey_sync_many: queue every (pkey, rights)
+   update on every other thread, then notify. Each handshake is charged
+   exactly once:
+   - lazy, batched: one IPI per distinct core with an on-CPU target
+     (sender pays ipi_send per core, the core pays ipi_receive once);
+   - lazy, per-update: one kick per target per update — [Sched.kick]
+     itself carries the whole charge and is free for off-CPU targets;
+   - eager, on-CPU target: the kick pays send (sender) + receive
+     (target); the initiator additionally spin-waits one receive latency
+     for the ack;
+   - eager, off-CPU target: the sender pays the wakeup IPI + spin; the
+     target pays its own context switch inside [schedule_in]. *)
+let sync_updates proc task ~eager updates =
+  let core = Task.core task in
+  let costs = Cpu.costs core in
+  let sched = Proc.sched proc in
+  let others = other_tasks proc task in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (pkey, rights) ->
+          queue_pkru_update ~core ~pkey_int:(Pkey.to_int pkey) t (fun t ->
+              Pkru.set_rights (Task.pkru t) pkey rights))
+        updates)
+    others;
+  if eager then
+    List.iter
+      (fun t ->
+        match Task.state t with
+        | Task.On_cpu ->
+            Sched.kick sched ~from:task t;
+            Cpu.charge ~label:"ipi_spin" core costs.ipi_receive
+        | Task.Off_cpu ->
+            Cpu.charge ~label:"ipi_send" core costs.ipi_send;
+            Cpu.charge ~label:"ipi_spin" core costs.ipi_receive;
+            Sched.schedule_in sched t)
+      others
+  else if !batching then ignore (Sched.kick_batch sched ~from:task others)
+  else
+    List.iter (fun t -> List.iter (fun _ -> Sched.kick sched ~from:task t) updates) others
+
 let pkey_unmap_group proc task ~addr ~len ~prot ~old_pkey =
   sys task "pkey_unmap_group" (fun () ->
       let core = Task.core task in
@@ -142,33 +191,25 @@ let pkey_unmap_group proc task ~addr ~len ~prot ~old_pkey =
            ~pkey:Pkey.default);
       (* Scrub stale rights for the recycled key everywhere, caller included. *)
       Task.set_pkru task (Pkru.set_rights (Task.pkru task) old_pkey Pkru.No_access);
+      let others = other_tasks proc task in
       List.iter
         (fun t ->
           queue_pkru_update ~core ~pkey_int:(Pkey.to_int old_pkey) t (fun t ->
-              Pkru.set_rights (Task.pkru t) old_pkey Pkru.No_access);
-          Sched.kick (Proc.sched proc) ~from:task t)
-        (other_tasks proc task);
-      shootdown_others proc task)
+              Pkru.set_rights (Task.pkru t) old_pkey Pkru.No_access))
+        others;
+      if !batching then
+        (* One synchronous IPI per target core both drains the PKRU scrub
+           and flushes the TLB — the per-update path below sends two. *)
+        ignore
+          (Sched.kick_batch (Proc.sched proc) ~from:task ~kind:"pkey_sync_shootdown"
+             ~flush_tlb:true ~sync:true others)
+      else begin
+        List.iter (fun t -> Sched.kick (Proc.sched proc) ~from:task t) others;
+        shootdown_others proc task
+      end)
 
 let pkey_sync proc task ?(eager = false) ~pkey rights =
-  sys task "pkey_sync" (fun () ->
-      let core = Task.core task in
-      let costs = Cpu.costs core in
-      let sched = Proc.sched proc in
-      List.iter
-        (fun t ->
-          queue_pkru_update ~core ~pkey_int:(Pkey.to_int pkey) t (fun t ->
-              Pkru.set_rights (Task.pkru t) pkey rights);
-          if eager then begin
-            (* synchronous handshake: kick and spin until acknowledged *)
-            (match Task.state t with
-            | Task.On_cpu -> Cpu.charge ~label:"ipi" core (costs.ipi_send +. costs.ipi_receive)
-            | Task.Off_cpu ->
-                (* must force a wakeup + context switch to get the ack *)
-                Cpu.charge ~label:"ipi" core (costs.ipi_send +. costs.context_switch));
-            Sched.kick sched ~from:task t;
-            (* an off-CPU thread must be brought in to acknowledge *)
-            if Task.state t = Task.Off_cpu then Sched.schedule_in sched t
-          end
-          else Sched.kick sched ~from:task t)
-        (other_tasks proc task))
+  sys task "pkey_sync" (fun () -> sync_updates proc task ~eager [ (pkey, rights) ])
+
+let pkey_sync_many proc task ~updates =
+  sys task "pkey_sync" (fun () -> sync_updates proc task ~eager:false updates)

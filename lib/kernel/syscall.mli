@@ -41,10 +41,35 @@ val pkey_mprotect : Proc.t -> Task.t -> addr:int -> len:int -> prot:Perm.t -> pk
     the new rights are in force. The caller's own PKRU must be updated in
     userspace (WRPKRU) by the caller.
 
+    With IPI batching on (the default), the lazy path sends one IPI per
+    distinct core holding a running target instead of one per target per
+    update. Each handshake is charged exactly once: lazily the kick pays
+    [ipi_send] (sender) + [ipi_receive] (target core); off-CPU targets
+    cost nothing until their next schedule-in.
+
     [eager:true] models the strawman the paper rejects: a synchronous
     handshake where the caller spin-waits for each running thread to
-    acknowledge before returning (used by the lazy-vs-eager ablation). *)
+    acknowledge before returning (used by the lazy-vs-eager ablation).
+    Per on-CPU target the sender pays [ipi_send] plus an
+    [ipi_receive]-latency spin and the target core pays [ipi_receive];
+    per off-CPU target the sender pays the wakeup IPI + spin and the
+    target pays its own context switch inside [schedule_in]. *)
 val pkey_sync : Proc.t -> Task.t -> ?eager:bool -> pkey:Pkey.t -> Pkru.rights -> unit
+
+(** [pkey_sync_many proc task ~updates] — batched [do_pkey_sync]: queue
+    every (pkey, rights) update in [updates] on every other thread, then
+    kick each target core once (with batching on). One kernel entry, one
+    IPI per core, regardless of [List.length updates]. *)
+val pkey_sync_many : Proc.t -> Task.t -> updates:(Pkey.t * Pkru.rights) list -> unit
+
+(** IPI batching toggle for the lazy sync paths ([pkey_sync],
+    [pkey_sync_many], [pkey_unmap_group]). On by default; turning it off
+    restores the per-update broadcast (one kick per target per update,
+    plus a separate shootdown IPI on eviction) as a reference point for
+    scaling comparisons. *)
+val ipi_batching : unit -> bool
+
+val set_ipi_batching : bool -> unit
 
 (** [pkey_unmap_group proc task ~addr ~len ~prot ~old_pkey] — libmpk's
     kernel-side eviction primitive: retag the range with the default key,

@@ -8,6 +8,7 @@ type t = {
   mutable state : state;
   mutable saved_pkru : Pkru.t;
   work : (t -> unit) Queue.t;
+  mutable tlb_flush_pending : bool;
   mutable sig_handler : Signal.handler option;
   mutable sig_delivered : int;
 }
@@ -19,6 +20,7 @@ let create ~id ~core () =
     state = Off_cpu;
     saved_pkru = Pkru.init;
     work = Queue.create ();
+    tlb_flush_pending = false;
     sig_handler = None;
     sig_delivered = 0;
   }
@@ -40,6 +42,10 @@ let set_pkru t v =
 
 let saved_pkru t = t.saved_pkru
 let set_saved_pkru t v = t.saved_pkru <- v
+
+let mark_tlb_flush t = t.tlb_flush_pending <- true
+let clear_tlb_flush t = t.tlb_flush_pending <- false
+let tlb_flush_pending t = t.tlb_flush_pending
 
 let set_signal_handler t h = t.sig_handler <- Some h
 let clear_signal_handler t = t.sig_handler <- None

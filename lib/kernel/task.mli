@@ -31,6 +31,14 @@ val set_pkru : t -> Pkru.t -> unit
 val saved_pkru : t -> Pkru.t
 val set_saved_pkru : t -> Pkru.t -> unit
 
+(** Lazy TLB shootdown: a shootdown aimed at an off-CPU task marks it
+    instead of sending an IPI; the flush is charged and performed at the
+    task's next [schedule_in]. *)
+val mark_tlb_flush : t -> unit
+
+val clear_tlb_flush : t -> unit
+val tlb_flush_pending : t -> bool
+
 (** Install the task's handler for memory-fault signals. A handler that
     wants to survive the fault must escape by raising (the [siglongjmp]
     idiom); returning normally still kills the task — the faulting

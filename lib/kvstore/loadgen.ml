@@ -86,3 +86,127 @@ let run server ~conn_rate ?(duration_s = 1.0) ?(reqs_per_conn = 10) ?(value_size
     throughput_rps = float_of_int !requests /. seconds;
     data_mb_s = float_of_int !data /. (seconds *. 1e6);
   }
+
+(* --- multi-core scale workload: zipfian keys, connection churn, shard
+   routing, per-core accounting --- *)
+
+type loop =
+  | Open_loop of int  (* offered connections per second; late arrivals drop *)
+  | Closed_loop of int  (* total connections, issued back-to-back (saturation) *)
+
+type scale_result = {
+  loop : loop;
+  s_offered_conns : int;
+  s_handled_conns : int;
+  s_dropped_conns : int;
+  s_requests : int;
+  s_gets : int;
+  s_sets : int;
+  s_data_bytes : int;
+  s_duration_s : float;
+  s_throughput_rps : float;
+  p50_cycles : float;
+  p95_cycles : float;
+  p99_cycles : float;
+  ipis : int;  (* IPIs sent during the run (sync kicks + shootdowns) *)
+  per_core_busy_s : float array;  (* per-worker busy time, seconds *)
+}
+
+let run_scale server ~loop ?(reqs_per_conn = 10) ?(value_size = 1024)
+    ?(working_set = 10_000) ?(theta = 0.99) ?(get_ratio = 0.9)
+    ?(conn_setup_cycles = 3_000.0) ?(duration_s = 1.0) ?(max_delay_s = 0.1) ?(ghz = 2.4)
+    ?(seed = 0xC0FEL) () =
+  let workers = Server.workers server in
+  let n = Array.length workers in
+  let cycles_per_s = ghz *. 1e9 in
+  let prng = Mpk_util.Prng.create ~seed in
+  let zipf = Mpk_util.Zipf.create ~theta ~n:working_set () in
+  let start = Array.map (fun w -> Cpu.cycles (Task.core w)) workers in
+  let clock i = Cpu.cycles (Task.core workers.(i)) -. start.(i) in
+  let sched = Proc.sched (Server.proc server) in
+  let ipis0 = Sched.ipis_sent sched in
+  let lat = Mpk_util.Stats.Histogram.create ~lo:1024.0 ~growth:2.0 ~buckets:24 () in
+  let handled = ref 0 and dropped = ref 0 and requests = ref 0 in
+  let gets = ref 0 and sets = ref 0 and data = ref 0 in
+  (* With a sharded store, requests run on the shard's owning worker
+     (key-affine routing: the connection hands the request over); an
+     unsharded store serves on the connection's worker. *)
+  let sharded = Server.shard_count server > 1 in
+  let exec_request conn_worker =
+    incr requests;
+    let key = Printf.sprintf "key-%d" (Mpk_util.Zipf.sample zipf prng) in
+    let w = if sharded then Server.shard_of_key server key mod n else conn_worker in
+    let core = Task.core workers.(w) in
+    let t0 = Cpu.cycles core in
+    (if Mpk_util.Prng.float prng < get_ratio then begin
+       incr gets;
+       match Server.get server ~worker:w ~key with
+       | Some v -> data := !data + Bytes.length v
+       | None -> ()
+     end
+     else begin
+       incr sets;
+       match Server.set server ~worker:w ~key ~value:(Bytes.make value_size 'w') with
+       | Ok () -> data := !data + value_size
+       | Error _ -> ()
+     end);
+    Mpk_util.Stats.Histogram.add lat (Cpu.cycles core -. t0)
+  in
+  let run_conn w =
+    incr handled;
+    (* connection churn: accept + session setup + teardown *)
+    Cpu.charge ~label:"conn_churn" (Task.core workers.(w)) conn_setup_cycles;
+    for _ = 1 to reqs_per_conn do
+      exec_request w
+    done
+  in
+  let offered =
+    match loop with
+    | Closed_loop conns ->
+        for c = 0 to conns - 1 do
+          run_conn (c mod n)
+        done;
+        conns
+    | Open_loop rate ->
+        let offered = int_of_float (float_of_int rate *. duration_s) in
+        let interval = cycles_per_s /. float_of_int rate in
+        let max_delay = max_delay_s *. cycles_per_s in
+        for c = 0 to offered - 1 do
+          let arrival = float_of_int c *. interval in
+          (* least-loaded worker accepts *)
+          let w = ref 0 in
+          for i = 1 to n - 1 do
+            if clock i < clock !w then w := i
+          done;
+          if clock !w -. arrival > max_delay then incr dropped
+          else begin
+            if clock !w < arrival then
+              Cpu.charge ~label:"idle_wait" (Task.core workers.(!w)) (arrival -. clock !w);
+            run_conn !w
+          end
+        done;
+        offered
+  in
+  let makespan = ref 0.0 in
+  for i = 0 to n - 1 do
+    makespan := Float.max !makespan (clock i)
+  done;
+  let seconds = !makespan /. cycles_per_s in
+  let pct p = Mpk_util.Stats.Histogram.percentile lat p in
+  {
+    loop;
+    s_offered_conns = offered;
+    s_handled_conns = !handled;
+    s_dropped_conns = !dropped;
+    s_requests = !requests;
+    s_gets = !gets;
+    s_sets = !sets;
+    s_data_bytes = !data;
+    s_duration_s = seconds;
+    s_throughput_rps = (if seconds > 0.0 then float_of_int !requests /. seconds else 0.0);
+    p50_cycles = pct 50.0;
+    p95_cycles = pct 95.0;
+    p99_cycles = pct 99.0;
+    ipis = Sched.ipis_sent sched - ipis0;
+    per_core_busy_s = Array.init n clock |> Array.map (fun c -> c /. cycles_per_s);
+  }

@@ -33,3 +33,56 @@ val run :
   ?protocol:bool ->
   unit ->
   result
+
+(** {2 Multi-core scale workload} *)
+
+type loop =
+  | Open_loop of int
+      (** offered connections per second; arrivals waiting longer than
+          [max_delay_s] in the accept queue are dropped *)
+  | Closed_loop of int
+      (** total connections issued back-to-back with zero think time —
+          the saturation (capacity) measurement *)
+
+type scale_result = {
+  loop : loop;
+  s_offered_conns : int;
+  s_handled_conns : int;
+  s_dropped_conns : int;
+  s_requests : int;
+  s_gets : int;
+  s_sets : int;
+  s_data_bytes : int;
+  s_duration_s : float;  (** makespan across worker cores *)
+  s_throughput_rps : float;
+  p50_cycles : float;
+  p95_cycles : float;
+  p99_cycles : float;
+  ipis : int;  (** IPIs sent during the run (sync kicks + shootdowns) *)
+  per_core_busy_s : float array;  (** per-worker busy time, seconds *)
+}
+
+(** [run_scale server ~loop ()] — the scale-out workload: zipfian keys
+    ([theta], default 0.99 over [working_set] ranks), [get_ratio]
+    get/set mix, per-connection churn cost ([conn_setup_cycles] on the
+    accepting worker), and key-affine routing — with a sharded server
+    each request executes on its shard's owning worker. Latency
+    percentiles cover exactly this run's requests (end-to-end per
+    request, protection discipline included); [ipis] counts the
+    scheduler's IPIs during the run, so batched and per-update sync can
+    be compared on identical workloads by seed. *)
+val run_scale :
+  Server.t ->
+  loop:loop ->
+  ?reqs_per_conn:int ->
+  ?value_size:int ->
+  ?working_set:int ->
+  ?theta:float ->
+  ?get_ratio:float ->
+  ?conn_setup_cycles:float ->
+  ?duration_s:float ->
+  ?max_delay_s:float ->
+  ?ghz:float ->
+  ?seed:int64 ->
+  unit ->
+  scale_result

@@ -1,0 +1,225 @@
+open Mpk_kernel
+module Json = Mpk_trace.Json
+module Metrics = Mpk_trace.Metrics
+
+(* One core count, measured twice on the identical workload (same seed,
+   same zipfian key stream): once with batched do_pkey_sync IPIs (and
+   the server's batched mprotect pairs), once with the per-update
+   broadcast reference. [ipi_events_*] count actual [Ipi] trace events
+   observed during the measured run — the quantity the batching is
+   supposed to shrink. *)
+type point = {
+  cores : int;
+  batched : Loadgen.scale_result;
+  per_update : Loadgen.scale_result;
+  ipi_events_batched : int;
+  ipi_events_per_update : int;
+  per_core_ipis : (int * int * int) list;  (* core, sent, received (batched run) *)
+  audit_violations : string list;
+  slabs_ok : bool;
+}
+
+type report = {
+  mode : Server.mode;
+  closed_conns : int;
+  open_rate : int option;  (* extra open-loop pass at each core count *)
+  seed : int64;
+  smoke : bool;
+  points : point list;
+}
+
+type config = {
+  c_slab_mib : int;
+  c_buckets : int;
+  c_items : int;
+  c_value_size : int;
+  c_working_set : int;
+  c_conns : int;
+}
+
+let config ~smoke =
+  if smoke then
+    {
+      c_slab_mib = 16;
+      c_buckets = 1 lsl 12;
+      c_items = 300;
+      c_value_size = 128;
+      c_working_set = 500;
+      c_conns = 120;
+    }
+  else
+    {
+      c_slab_mib = 64;
+      c_buckets = 1 lsl 14;
+      c_items = 2_000;
+      c_value_size = 512;
+      c_working_set = 5_000;
+      c_conns = 1_500;
+    }
+
+(* One measured run: fresh server, prefill, then the zipfian closed-loop
+   workload with the tracer counting [Ipi] events. The tracer is left
+   disabled with no sinks afterwards, and the global batching toggle is
+   restored to its default (on). *)
+let run_one ~mode ~workers ~batch ~seed cfg =
+  Syscall.set_ipi_batching batch;
+  Fun.protect
+    ~finally:(fun () -> Syscall.set_ipi_batching true)
+    (fun () ->
+      let server =
+        Server.create ~mode ~workers ~shards:workers ~sync_batch:batch
+          ~slab_mib:cfg.c_slab_mib ~buckets:cfg.c_buckets ()
+      in
+      Server.prefill server ~items:cfg.c_items ~value_size:cfg.c_value_size;
+      let ipi_events = ref 0 in
+      Mpk_trace.Tracer.add_sink (fun e ->
+          match e.Mpk_trace.Event.ev with
+          | Mpk_trace.Event.Ipi _ -> incr ipi_events
+          | _ -> ());
+      Mpk_trace.Tracer.enable ();
+      let result =
+        Fun.protect
+          ~finally:(fun () ->
+            Mpk_trace.Tracer.disable ();
+            Mpk_trace.Tracer.clear_sinks ();
+            Mpk_trace.Tracer.clear ())
+          (fun () ->
+            Loadgen.run_scale server ~loop:(Loadgen.Closed_loop cfg.c_conns)
+              ~value_size:cfg.c_value_size ~working_set:cfg.c_working_set ~seed ())
+      in
+      (* The concurrent run must leave a consistent cross-layer state:
+         the full six-invariant audit for the libmpk modes, plus every
+         shard's slab allocator invariant. *)
+      let audit =
+        match Server.mpk server with
+        | None -> []
+        | Some mpk ->
+            Mpk_check.Audit.run mpk
+            |> List.map (fun v -> Format.asprintf "%a" Mpk_check.Audit.pp_violation v)
+      in
+      let per_core_ipis = Sched.ipis_per_core (Proc.sched (Server.proc server)) in
+      (result, !ipi_events, per_core_ipis, audit, Server.slab_invariants server))
+
+let publish_metrics ~cores (r : Loadgen.scale_result) per_core_ipis =
+  Array.iteri
+    (fun i busy ->
+      Metrics.set
+        (Metrics.gauge
+           (Printf.sprintf "scale_core_busy_seconds{cores=\"%d\",core=\"%d\"}" cores i))
+        busy)
+    r.Loadgen.per_core_busy_s;
+  List.iter
+    (fun (core, sent, received) ->
+      Metrics.set
+        (Metrics.gauge (Printf.sprintf "scale_ipis_sent{cores=\"%d\",core=\"%d\"}" cores core))
+        (float_of_int sent);
+      Metrics.set
+        (Metrics.gauge
+           (Printf.sprintf "scale_ipis_received{cores=\"%d\",core=\"%d\"}" cores core))
+        (float_of_int received))
+    per_core_ipis
+
+let run ~mode ~cores ?(smoke = false) ?(seed = 0xC0FEL) () =
+  let cfg = config ~smoke in
+  let points =
+    List.map
+      (fun workers ->
+        if workers < 1 then invalid_arg "Scale.run: core counts must be >= 1";
+        let batched, eb, per_core_ipis, audit_b, slabs_b =
+          run_one ~mode ~workers ~batch:true ~seed cfg
+        in
+        let per_update, eu, _, audit_u, slabs_u =
+          run_one ~mode ~workers ~batch:false ~seed cfg
+        in
+        publish_metrics ~cores:workers batched per_core_ipis;
+        {
+          cores = workers;
+          batched;
+          per_update;
+          ipi_events_batched = eb;
+          ipi_events_per_update = eu;
+          per_core_ipis;
+          audit_violations = audit_b @ audit_u;
+          slabs_ok = slabs_b && slabs_u;
+        })
+      cores
+  in
+  { mode; closed_conns = cfg.c_conns; open_rate = None; seed; smoke; points }
+
+let result_json (r : Loadgen.scale_result) =
+  Json.Obj
+    [
+      ("offered_conns", Json.Int r.Loadgen.s_offered_conns);
+      ("handled_conns", Json.Int r.Loadgen.s_handled_conns);
+      ("dropped_conns", Json.Int r.Loadgen.s_dropped_conns);
+      ("requests", Json.Int r.Loadgen.s_requests);
+      ("gets", Json.Int r.Loadgen.s_gets);
+      ("sets", Json.Int r.Loadgen.s_sets);
+      ("data_bytes", Json.Int r.Loadgen.s_data_bytes);
+      ("duration_s", Json.Float r.Loadgen.s_duration_s);
+      ("throughput_rps", Json.Float r.Loadgen.s_throughput_rps);
+      ("p50_cycles", Json.Float r.Loadgen.p50_cycles);
+      ("p95_cycles", Json.Float r.Loadgen.p95_cycles);
+      ("p99_cycles", Json.Float r.Loadgen.p99_cycles);
+      ("ipis", Json.Int r.Loadgen.ipis);
+      ( "per_core_busy_s",
+        Json.List
+          (Array.to_list (Array.map (fun s -> Json.Float s) r.Loadgen.per_core_busy_s)) );
+    ]
+
+let point_json p =
+  Json.Obj
+    [
+      ("cores", Json.Int p.cores);
+      ("batched", result_json p.batched);
+      ("per_update", result_json p.per_update);
+      ("ipi_events_batched", Json.Int p.ipi_events_batched);
+      ("ipi_events_per_update", Json.Int p.ipi_events_per_update);
+      ( "per_core_ipis",
+        Json.List
+          (List.map
+             (fun (core, sent, received) ->
+               Json.Obj
+                 [
+                   ("core", Json.Int core);
+                   ("sent", Json.Int sent);
+                   ("received", Json.Int received);
+                 ])
+             p.per_core_ipis) );
+      ( "audit_violations",
+        Json.List (List.map (fun m -> Json.String m) p.audit_violations) );
+      ("slabs_ok", Json.Bool p.slabs_ok);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("bench", Json.String "scale");
+      ("mode", Json.String (Server.mode_name r.mode));
+      ("closed_conns", Json.Int r.closed_conns);
+      ("seed", Json.String (Printf.sprintf "0x%Lx" r.seed));
+      ("smoke", Json.Bool r.smoke);
+      ("points", Json.List (List.map point_json r.points));
+    ]
+
+(* Validation shared by `mpkctl scale` and CI: the measured curve must
+   have every audited invariant hold, every slab consistent, and the
+   batched runs must emit strictly fewer Ipi trace events than the
+   per-update reference wherever the reference emitted any. *)
+let problems r =
+  List.concat_map
+    (fun p ->
+      let issues = ref [] in
+      let add fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
+      if p.audit_violations <> [] then
+        add "cores=%d: %d auditor invariant violation(s): %s" p.cores
+          (List.length p.audit_violations)
+          (String.concat "; " p.audit_violations);
+      if not p.slabs_ok then add "cores=%d: shard slab invariant failed" p.cores;
+      if p.ipi_events_per_update > 0 && p.ipi_events_batched >= p.ipi_events_per_update
+      then
+        add "cores=%d: batched sync emitted %d Ipi events, per-update %d (expected fewer)"
+          p.cores p.ipi_events_batched p.ipi_events_per_update;
+      if p.batched.Loadgen.s_requests = 0 then add "cores=%d: no requests completed" p.cores;
+      List.rev !issues)
+    r.points

@@ -1,0 +1,46 @@
+(** Multi-core scale-out measurement (ROADMAP item 1): throughput and
+    tail latency versus core count, with batched do_pkey_sync IPIs
+    measured against the per-update broadcast on the identical workload.
+
+    Each point builds a fresh sharded server ([shards = workers], one
+    worker per core), prefills it, and drives the zipfian closed-loop
+    workload twice from the same seed: once with IPI batching (and the
+    server's batched mprotect pairs), once with the per-update reference.
+    [Ipi] trace events are counted through a tracer sink during the
+    measured window, the cross-layer auditor runs against the live libmpk
+    instance after each run, and per-core busy time and IPI counters are
+    published to the metrics registry. *)
+
+type point = {
+  cores : int;
+  batched : Loadgen.scale_result;
+  per_update : Loadgen.scale_result;
+  ipi_events_batched : int;
+  ipi_events_per_update : int;
+  per_core_ipis : (int * int * int) list;  (** core, sent, received (batched run) *)
+  audit_violations : string list;
+  slabs_ok : bool;
+}
+
+type report = {
+  mode : Server.mode;
+  closed_conns : int;
+  open_rate : int option;
+  seed : int64;
+  smoke : bool;
+  points : point list;
+}
+
+(** [run ~mode ~cores ()] — one point per entry of [cores] (each entry is
+    a worker/shard count). [smoke] shrinks the store and the connection
+    count to CI size. Deterministic for a given [seed]. *)
+val run :
+  mode:Server.mode -> cores:int list -> ?smoke:bool -> ?seed:int64 -> unit -> report
+
+val to_json : report -> Mpk_trace.Json.t
+
+(** Human-readable validation failures: auditor violations, slab
+    invariant breaks, a batched run that did not emit strictly fewer
+    [Ipi] events than its per-update twin, or an empty run. Empty means
+    the report is good. *)
+val problems : report -> string list

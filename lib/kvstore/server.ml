@@ -15,24 +15,37 @@ let hash_vkey = 201
 (* parse the request line, build the response header, socket bookkeeping *)
 let request_overhead_cycles = 8_000.0
 
+(* One shard: its own slice of the slab arena and of the bucket region,
+   its own recency queue. Sharding partitions the store per core so
+   workers touch disjoint state; the protection discipline (the two
+   vkeys) still covers the whole region — libmpk keys protect address
+   ranges, not shards. *)
+type shard = {
+  table : Shash.t;
+  shard_slab : Slab.t;
+  lru : string Queue.t;  (* key recency for item eviction (lazy) *)
+  mutable evicted : int;
+}
+
 type t = {
   mode : mode;
   proc : Proc.t;
   workers : Task.t array;
   attacker : Task.t;
   mpk : Libmpk.t option;
+  sync_batch : bool;  (* Sync mode: batch the per-request mprotect pairs *)
   slab_base : int;
   slab_len : int;
   hash_base : int;
   hash_len : int;
-  table : Shash.t;
-  lru : string Queue.t;  (* key recency for item eviction (lazy) *)
-  mutable evicted_items : int;
+  shards : shard array;
   mutable protocol_requests : int;
   latency : Mpk_util.Stats.Histogram.h;  (* per-request cycles, all entry points *)
 }
 
-let create ~mode ?(workers = 4) ?(slab_mib = 1024) ?(buckets = 1 lsl 16) () =
+let create ~mode ?(workers = 4) ?(shards = 1) ?(sync_batch = true) ?(slab_mib = 1024)
+    ?(buckets = 1 lsl 16) () =
+  if shards < 1 then invalid_arg "Server.create: shards must be >= 1";
   let machine = Machine.create ~cores:(workers + 1) ~mem_mib:(slab_mib + 256) () in
   let proc = Proc.create machine in
   let tasks = Array.init workers (fun i -> Proc.spawn proc ~core_id:i ()) in
@@ -57,21 +70,38 @@ let create ~mode ?(workers = 4) ?(slab_mib = 1024) ?(buckets = 1 lsl 16) () =
         end;
         None, slab_base, hash_base
   in
-  let slab = Slab.create ~base:slab_base ~len:slab_len in
-  let table = Shash.create proc ~buckets ~bucket_base:hash_base slab in
+  (* Partition the arena into per-shard slices: each needs at least one
+     whole slab, and each shard's bucket strip at least one bucket. *)
+  let shard_slab_len = slab_len / shards / Slab.slab_bytes * Slab.slab_bytes in
+  if shard_slab_len < Slab.slab_bytes then
+    invalid_arg "Server.create: slab region too small for this many shards";
+  let shard_buckets = max 1 (buckets / shards) in
+  if shards * shard_buckets > buckets then
+    invalid_arg "Server.create: more shards than hash buckets";
+  let shard_arr =
+    Array.init shards (fun i ->
+        let slab =
+          Slab.create ~base:(slab_base + (i * shard_slab_len)) ~len:shard_slab_len
+        in
+        let table =
+          Shash.create proc ~buckets:shard_buckets
+            ~bucket_base:(hash_base + (i * shard_buckets * 8))
+            slab
+        in
+        { table; shard_slab = slab; lru = Queue.create (); evicted = 0 })
+  in
   {
     mode;
     proc;
     workers = tasks;
     attacker;
     mpk;
+    sync_batch;
     slab_base;
     slab_len;
     hash_base;
     hash_len;
-    table;
-    lru = Queue.create ();
-    evicted_items = 0;
+    shards = shard_arr;
     protocol_requests = 0;
     (* Requests span ~10k cycles (Baseline) to ~10M (Mprotect_sys over a
        populated gigabyte); log-spaced buckets cover the whole range. *)
@@ -84,6 +114,13 @@ let proc t = t.proc
 let attacker_task t = t.attacker
 let slab_base t = t.slab_base
 
+let shard_count t = Array.length t.shards
+let shard_of_key t key = Shash.hash key mod Array.length t.shards
+let shard_for t key = t.shards.(shard_of_key t key)
+let entry_count t = Array.fold_left (fun acc s -> acc + Shash.entry_count s.table) 0 t.shards
+let slab_invariants t = Array.for_all (fun s -> Slab.invariant s.shard_slab) t.shards
+
+let mpk t = t.mpk
 let mpk_exn t = match t.mpk with Some m -> m | None -> assert false
 
 (* Open both regions for the calling worker (or globally), run the store
@@ -106,6 +143,18 @@ let with_store t task f =
           Libmpk.mpk_begin mpk task ~vkey:hash_vkey ~prot:Perm.rw;
           hash_open := true;
           f ())
+  | Sync when t.sync_batch ->
+      (* Both open and both seal travel as one batched mprotect each: a
+         single do_pkey_sync per pair, so one IPI per remote core instead
+         of one per vkey update. *)
+      let mpk = mpk_exn t in
+      Libmpk.mpk_mprotect_many mpk task
+        ~updates:[ (slab_vkey, Perm.rw); (hash_vkey, Perm.rw) ];
+      Fun.protect
+        ~finally:(fun () ->
+          Libmpk.mpk_mprotect_many mpk task
+            ~updates:[ (hash_vkey, Perm.none); (slab_vkey, Perm.none) ])
+        f
   | Sync ->
       let mpk = mpk_exn t in
       Libmpk.mpk_mprotect mpk task ~vkey:slab_vkey ~prot:Perm.rw;
@@ -149,19 +198,19 @@ let set t ~worker ~key ~value =
   let task = worker_task t worker in
   timed t task @@ fun () ->
   charge_request task;
-  with_store t task (fun () -> Shash.set t.table task ~key ~value)
+  with_store t task (fun () -> Shash.set (shard_for t key).table task ~key ~value)
 
 let get t ~worker ~key =
   let task = worker_task t worker in
   timed t task @@ fun () ->
   charge_request task;
-  with_store t task (fun () -> Shash.get t.table task ~key)
+  with_store t task (fun () -> Shash.get (shard_for t key).table task ~key)
 
 let delete t ~worker ~key =
   let task = worker_task t worker in
   timed t task @@ fun () ->
   charge_request task;
-  with_store t task (fun () -> Shash.delete t.table task ~key)
+  with_store t task (fun () -> Shash.delete (shard_for t key).table task ~key)
 
 let prefill t ~items ~value_size =
   let value = Bytes.make value_size 'v' in
@@ -199,18 +248,20 @@ let decode_item b =
   let deadline = Int64.to_float (Bytes.get_int64_le b 4) /. 1000.0 in
   flags, deadline, Bytes.sub b item_header (Bytes.length b - item_header)
 
-let items_evicted t = t.evicted_items
+let items_evicted t = Array.fold_left (fun acc s -> acc + s.evicted) 0 t.shards
 
-(* Reclaim the least-recently-used live item; false when nothing left.
-   The recency queue is lazy: stale entries (overwritten or deleted keys
-   whose entry is no longer the newest) are skipped. *)
-let evict_one t task =
+(* Reclaim the least-recently-used live item of one shard; false when
+   nothing left there. The recency queue is lazy: stale entries
+   (overwritten or deleted keys whose entry is no longer the newest) are
+   skipped. Eviction is shard-local — the shard that is full is the one
+   that must yield memory. *)
+let evict_one_in shard task =
   let rec pop () =
-    match Queue.take_opt t.lru with
+    match Queue.take_opt shard.lru with
     | None -> false
     | Some key ->
-        if Shash.delete t.table task ~key then begin
-          t.evicted_items <- t.evicted_items + 1;
+        if Shash.delete shard.table task ~key then begin
+          shard.evicted <- shard.evicted + 1;
           true
         end
         else pop ()
@@ -218,29 +269,31 @@ let evict_one t task =
   pop ()
 
 let set_item t task ~key ~flags ~deadline payload =
+  let shard = shard_for t key in
   let value = encode_item ~flags ~deadline payload in
   let rec attempt tries =
-    match Shash.set t.table task ~key ~value with
+    match Shash.set shard.table task ~key ~value with
     | Ok () ->
-        Queue.add key t.lru;
+        Queue.add key shard.lru;
         true
-    | Error _ when tries > 0 -> if evict_one t task then attempt (tries - 1) else false
+    | Error _ when tries > 0 -> if evict_one_in shard task then attempt (tries - 1) else false
     | Error _ -> false
   in
   attempt 64
 
 let get_item t task ~now ~key =
-  match Shash.get t.table task ~key with
+  let shard = shard_for t key in
+  match Shash.get shard.table task ~key with
   | None -> None
   | Some raw ->
       let flags, deadline, payload = decode_item raw in
       if deadline > 0.0 && now >= deadline then begin
         (* expired: reclaim on access, like Memcached *)
-        ignore (Shash.delete t.table task ~key);
+        ignore (Shash.delete shard.table task ~key);
         None
       end
       else begin
-        Queue.add key t.lru;
+        Queue.add key shard.lru;
         Some (flags, payload)
       end
 
@@ -287,12 +340,13 @@ let dispatch t ~worker ~now wire =
             | None -> Protocol.End_)
     | Ok (Protocol.Delete key) ->
         with_store t task (fun () ->
-            if Shash.delete t.table task ~key then Protocol.Deleted else Protocol.Not_found)
+            if Shash.delete (shard_for t key).table task ~key then Protocol.Deleted
+            else Protocol.Not_found)
     | Ok Protocol.Stats ->
         Protocol.Stats_reply
           ([
-             "curr_items", string_of_int (Shash.entry_count t.table);
-             "evictions", string_of_int t.evicted_items;
+             "curr_items", string_of_int (entry_count t);
+             "evictions", string_of_int (items_evicted t);
              "cmd_total", string_of_int t.protocol_requests;
              "mode", mode_name t.mode;
            ]

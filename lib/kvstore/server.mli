@@ -27,14 +27,50 @@ val hash_vkey : Libmpk.Vkey.t
 
 type t
 
-(** [create ~mode ~workers ~slab_mib ~buckets ()] — builds a machine,
-    process, [workers] tasks, the regions and (for the libmpk modes) the
-    libmpk instance. *)
-val create : mode:mode -> ?workers:int -> ?slab_mib:int -> ?buckets:int -> unit -> t
+(** [create ~mode ~workers ~shards ~sync_batch ~slab_mib ~buckets ()] —
+    builds a machine, process, [workers] tasks, the regions and (for the
+    libmpk modes) the libmpk instance.
+
+    [shards] (default 1) partitions the slab arena and the bucket region
+    into per-shard slices with shard-local LRU eviction; keys route to
+    shards by the table's own hash, so with [shards = workers] each
+    worker can serve its shard with no cross-core data sharing. The
+    protection keys still cover the whole regions — libmpk keys protect
+    address ranges, not shards.
+
+    [sync_batch] (default true) makes [Sync] mode open and seal the two
+    regions with one batched [mpk_mprotect_many] pair per request (one
+    [do_pkey_sync] — and so one IPI per remote core — per pair) instead
+    of four individually synchronized [mpk_mprotect] calls. *)
+val create :
+  mode:mode ->
+  ?workers:int ->
+  ?shards:int ->
+  ?sync_batch:bool ->
+  ?slab_mib:int ->
+  ?buckets:int ->
+  unit ->
+  t
 
 val mode : t -> mode
 val workers : t -> Task.t array
 val proc : t -> Proc.t
+
+val shard_count : t -> int
+
+(** The shard a key routes to (same hash as the table's buckets). *)
+val shard_of_key : t -> string -> int
+
+(** Live items across all shards. *)
+val entry_count : t -> int
+
+(** Every shard's slab allocator passes its internal invariant check. *)
+val slab_invariants : t -> bool
+
+(** The libmpk instance behind the [Domain]/[Sync] modes ([None] for the
+    others) — exposed so the cross-layer auditor can run against a live
+    server. *)
+val mpk : t -> Libmpk.t option
 
 (** Per-request parsing/response cost charged outside the store proper. *)
 val request_overhead_cycles : float

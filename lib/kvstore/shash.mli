@@ -16,6 +16,10 @@ type t
     at a mapped region of at least [8 * buckets] bytes. *)
 val create : Proc.t -> buckets:int -> bucket_base:int -> Slab.t -> t
 
+(** The table's key hash (FNV-1a), exposed so a sharded store can route a
+    key to its owning shard with the same function the buckets use. *)
+val hash : string -> int
+
 val buckets : t -> int
 
 (** [set t task ~key ~value] — insert or overwrite. [Error ENOSPC] when

@@ -1,0 +1,15 @@
+(** Zipfian rank sampler (YCSB-style): [P(rank = r)] proportional to
+    [1 / (r+1)^theta] over ranks [0..n-1], rank 0 hottest. Deterministic
+    given the caller's {!Prng}. *)
+
+type t
+
+(** [create ?theta ~n ()] — precomputes the CDF in O(n). [theta]
+    defaults to 0.99 (YCSB's skew); [theta = 0.] is uniform. Raises
+    [Invalid_argument] when [n < 1] or [theta < 0]. *)
+val create : ?theta:float -> n:int -> unit -> t
+
+val n : t -> int
+
+(** O(log n) binary search over the precomputed CDF. *)
+val sample : t -> Prng.t -> int

@@ -64,6 +64,32 @@ let test_scripted_lifecycle () =
   Alcotest.(check int) "all keys back on the free list" (Libmpk.hw_keys mpk)
     (List.length (Libmpk.Key_cache.free_keys (Libmpk.cache mpk)))
 
+(* --- lazy TLB shootdown stays coherent across the off-CPU window --- *)
+
+let test_lazy_shootdown_audited () =
+  (* A sibling caches a translation for a group's page, gets descheduled,
+     and the group is unmapped (pkey_unmap_group retags the PTEs and lazily
+     shoots the sibling down). The auditor's I4 must hold through the whole
+     window: while the task sleeps — the idle core's stale entries are
+     dropped for free — and after it reschedules and pays for the deferred
+     flush. *)
+  let mpk, proc, tasks = make_env ~threads:2 ~hw_keys:4 () in
+  let t0 = tasks.(0) and t1 = tasks.(1) in
+  let a = Libmpk.mpk_mmap mpk t0 ~vkey:1 ~len:page ~prot:Perm.rw in
+  Libmpk.mpk_mprotect mpk t0 ~vkey:1 ~prot:Perm.rw;
+  Mmu.write_byte (Proc.mmu proc) (Task.core t0) ~addr:a 'x';
+  (* mpk_mprotect rights are process-global: the sibling can warm its own
+     core's TLB with the same page. *)
+  ignore (Mmu.read_byte (Proc.mmu proc) (Task.core t1) ~addr:a);
+  check_clean "both TLBs warm" mpk;
+  Sched.schedule_out (Proc.sched proc) t1;
+  Libmpk.mpk_munmap mpk t0 ~vkey:1;
+  Alcotest.(check bool) "flush deferred to switch-in" true (Task.tlb_flush_pending t1);
+  check_clean "lazy window (sibling off-cpu, group gone)" mpk;
+  Sched.schedule_in (Proc.sched proc) t1;
+  Alcotest.(check bool) "flush debt settled" false (Task.tlb_flush_pending t1);
+  check_clean "sibling rescheduled" mpk
+
 (* --- nested begin/end across two tasks with a single hardware key --- *)
 
 let test_nested_begin_two_tasks_one_key () =
@@ -434,6 +460,8 @@ let () =
           Alcotest.test_case "nested begins, one key, two tasks" `Quick
             test_nested_begin_two_tasks_one_key;
           Alcotest.test_case "execute-only lifecycle" `Quick test_xonly_lifecycle;
+          Alcotest.test_case "lazy shootdown stays coherent (I4)" `Quick
+            test_lazy_shootdown_audited;
         ] );
       ( "auditor-detects",
         [

@@ -209,6 +209,116 @@ let test_shootdown_flushes_remote_tlb () =
   Sched.shootdown (Proc.sched proc) ~from:t0 t1;
   Alcotest.(check bool) "remote tlb flushed" true (Tlb.lookup tlb1 ~vpn:42 = None)
 
+(* --- IPI accounting regressions ---
+
+   Hand-counted against the cost table: every handshake is charged
+   exactly once, on the side that actually does the work. An IPI that is
+   never sent (off-CPU target) charges nobody and emits nothing. *)
+
+let cycles_on proc core_id = Cpu.cycles (Machine.core (Proc.machine proc) core_id)
+
+let ipi_counters = Alcotest.(list (triple int int int))
+
+let test_kick_off_cpu_charges_nothing () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  Sched.schedule_out (Proc.sched proc) t1;
+  Task.work_add t1 (fun _ -> ());
+  let c0 = cycles_on proc 0 and c1 = cycles_on proc 1 in
+  Sched.kick (Proc.sched proc) ~from:t0 t1;
+  Alcotest.(check (float 0.0)) "sender charged nothing" c0 (cycles_on proc 0);
+  Alcotest.(check (float 0.0)) "target charged nothing" c1 (cycles_on proc 1);
+  Alcotest.(check int) "no IPI recorded" 0 (Sched.ipis_sent (Proc.sched proc))
+
+let test_kick_on_cpu_hand_model () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  let costs = Cpu.costs (Task.core t0) in
+  Task.work_add t1 (fun _ -> ());
+  let c0 = cycles_on proc 0 and c1 = cycles_on proc 1 in
+  Sched.kick (Proc.sched proc) ~from:t0 t1;
+  Alcotest.(check (float 0.0)) "sender pays one ipi_send"
+    (c0 +. costs.Costs.ipi_send) (cycles_on proc 0);
+  Alcotest.(check (float 0.0)) "target pays one receive + the work"
+    (c1 +. costs.Costs.ipi_receive +. costs.Costs.task_work_run)
+    (cycles_on proc 1);
+  Alcotest.check ipi_counters "counters" [ (0, 1, 0); (1, 0, 1) ]
+    (Sched.ipis_per_core (Proc.sched proc))
+
+let test_kick_batch_one_ipi_per_core () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  let t2 = Proc.spawn proc ~core_id:1 () in (* shares t1's core *)
+  let t3 = Proc.spawn proc ~core_id:2 () in
+  let t4 = Proc.spawn proc ~core_id:3 () in
+  Sched.schedule_out (Proc.sched proc) t4;
+  List.iter (fun t -> Task.work_add t (fun _ -> ())) [ t1; t2; t3; t4 ];
+  let costs = Cpu.costs (Task.core t0) in
+  let c0 = cycles_on proc 0 and c1 = cycles_on proc 1 in
+  let c2 = cycles_on proc 2 and c3 = cycles_on proc 3 in
+  let batch = Sched.kick_batch (Proc.sched proc) ~from:t0 [ t1; t2; t3; t4 ] in
+  Alcotest.(check int) "two cores kicked" 2 batch.Sched.cores_kicked;
+  Alcotest.(check int) "three tasks reached" 3 batch.Sched.tasks_reached;
+  Alcotest.(check (float 0.0)) "sender: one send per distinct core"
+    (c0 +. (2.0 *. costs.Costs.ipi_send)) (cycles_on proc 0);
+  Alcotest.(check (float 0.0)) "core 1: one receive drains both tasks"
+    (c1 +. costs.Costs.ipi_receive +. (2.0 *. costs.Costs.task_work_run))
+    (cycles_on proc 1);
+  Alcotest.(check (float 0.0)) "core 2: one receive, one work item"
+    (c2 +. costs.Costs.ipi_receive +. costs.Costs.task_work_run)
+    (cycles_on proc 2);
+  Alcotest.(check (float 0.0)) "off-cpu core untouched" c3 (cycles_on proc 3);
+  Alcotest.(check int) "sleeper keeps its work parked" 1 (Task.work_pending t4);
+  Alcotest.check ipi_counters "one IPI per distinct on-cpu core"
+    [ (0, 2, 0); (1, 0, 1); (2, 0, 1) ]
+    (Sched.ipis_per_core (Proc.sched proc))
+
+let test_shootdown_lazy_idle_core () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  let tlb1 = Cpu.tlb (Task.core t1) in
+  Sched.schedule_out (Proc.sched proc) t1;
+  Tlb.insert tlb1 ~vpn:42 (Pte.make ~frame:1 ~perm:Perm.rw ~pkey:Pkey.default);
+  let costs = Cpu.costs (Task.core t1) in
+  let c0 = cycles_on proc 0 and c1 = cycles_on proc 1 in
+  Sched.shootdown (Proc.sched proc) ~from:t0 t1;
+  Alcotest.(check (float 0.0)) "lazy: sender pays nothing" c0 (cycles_on proc 0);
+  Alcotest.(check (float 0.0)) "lazy: target pays nothing yet" c1 (cycles_on proc 1);
+  Alcotest.(check int) "no IPI sent" 0 (Sched.ipis_sent (Proc.sched proc));
+  Alcotest.(check bool) "idle core's stale entry dropped now" true
+    (Tlb.lookup tlb1 ~vpn:42 = None);
+  Alcotest.(check bool) "flush still owed" true (Task.tlb_flush_pending t1);
+  Sched.schedule_in (Proc.sched proc) t1;
+  Alcotest.(check (float 0.0)) "switch-in pays the switch + deferred flush"
+    (c1 +. costs.Costs.context_switch +. costs.Costs.tlb_flush_all)
+    (cycles_on proc 1);
+  Alcotest.(check bool) "debt cleared" false (Task.tlb_flush_pending t1)
+
+let test_shootdown_lazy_busy_core () =
+  (* The target's core is running another task: its live translations
+     must survive a shootdown aimed at the off-CPU task; the flush lands
+     when the shot-down task is next scheduled in. *)
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  Sched.schedule_out (Proc.sched proc) t1;
+  let t2 = Proc.spawn proc ~core_id:1 () in (* now holds the core *)
+  let tlb1 = Cpu.tlb (Task.core t1) in
+  Tlb.insert tlb1 ~vpn:42 (Pte.make ~frame:1 ~perm:Perm.rw ~pkey:Pkey.default);
+  Sched.shootdown (Proc.sched proc) ~from:t0 t1;
+  Alcotest.(check bool) "busy core keeps its entries" true
+    (Tlb.lookup tlb1 ~vpn:42 <> None);
+  Alcotest.(check bool) "flush owed at switch-in" true (Task.tlb_flush_pending t1);
+  Sched.schedule_out (Proc.sched proc) t2;
+  Sched.schedule_in (Proc.sched proc) t1;
+  Alcotest.(check bool) "flushed once the task runs" true
+    (Tlb.lookup tlb1 ~vpn:42 = None);
+  Alcotest.(check bool) "debt cleared" false (Task.tlb_flush_pending t1)
+
 (* --- Mm --- *)
 
 let test_mm_mmap_read_write () =
@@ -586,6 +696,159 @@ let test_syscall_counter () =
   ignore (Syscall.pkey_alloc proc task ~init_rights:Pkru.No_access);
   Alcotest.(check int) "two syscalls" 2 (Syscall.count ())
 
+(* --- pkey_sync cycle conservation (the double-charge regressions) ---
+
+   The sum of per-core cycle deltas across a sync must equal the
+   hand-counted model exactly: kernel entry on the initiator, one
+   task_work_add per queued update, and each IPI handshake charged once
+   — ipi_send on the sender, ipi_receive on the target, the spin-wait
+   (eager only) on the initiator. *)
+
+let sync_env () =
+  (* initiator on core 0, an on-CPU sibling on core 1, a descheduled one
+     on core 2 *)
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let t1 = Proc.spawn proc ~core_id:1 () in
+  let t2 = Proc.spawn proc ~core_id:2 () in
+  Sched.schedule_out (Proc.sched proc) t2;
+  (proc, t0, t1, t2)
+
+let test_eager_pkey_sync_cycle_conservation () =
+  let proc, t0, _t1, _t2 = sync_env () in
+  let costs = Cpu.costs (Task.core t0) in
+  let c0 = cycles_on proc 0 and c1 = cycles_on proc 1 and c2 = cycles_on proc 2 in
+  Syscall.pkey_sync proc t0 ~eager:true ~pkey:(Pkey.of_int 1) Pkru.Read_write;
+  Alcotest.(check (float 0.0))
+    "initiator: entry + 2 queues + 2 sends + 2 spin-waits, nothing twice"
+    (c0 +. costs.Costs.kernel_entry_exit
+    +. (2.0 *. costs.Costs.task_work_add)
+    +. (2.0 *. costs.Costs.ipi_send)
+    +. (2.0 *. costs.Costs.ipi_receive))
+    (cycles_on proc 0);
+  Alcotest.(check (float 0.0)) "on-cpu target: one receive + the work"
+    (c1 +. costs.Costs.ipi_receive +. costs.Costs.task_work_run)
+    (cycles_on proc 1);
+  Alcotest.(check (float 0.0)) "woken target: its own switch + the work, no receive"
+    (c2 +. costs.Costs.context_switch +. costs.Costs.task_work_run)
+    (cycles_on proc 2)
+
+let test_lazy_pkey_sync_batched_model () =
+  let proc, t0, _t1, t2 = sync_env () in
+  let costs = Cpu.costs (Task.core t0) in
+  let c0 = cycles_on proc 0 and c1 = cycles_on proc 1 and c2 = cycles_on proc 2 in
+  Syscall.pkey_sync proc t0 ~pkey:(Pkey.of_int 1) Pkru.Read_write;
+  Alcotest.(check (float 0.0)) "initiator: entry + 2 queues + 1 send"
+    (c0 +. costs.Costs.kernel_entry_exit
+    +. (2.0 *. costs.Costs.task_work_add)
+    +. costs.Costs.ipi_send)
+    (cycles_on proc 0);
+  Alcotest.(check (float 0.0)) "on-cpu core: one receive + the work"
+    (c1 +. costs.Costs.ipi_receive +. costs.Costs.task_work_run)
+    (cycles_on proc 1);
+  Alcotest.(check (float 0.0)) "off-cpu target untouched" c2 (cycles_on proc 2);
+  Alcotest.(check int) "work parked for the sleeper" 1 (Task.work_pending t2)
+
+let test_pkey_sync_many_one_ipi_per_core () =
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let _t1 = Proc.spawn proc ~core_id:1 () in
+  let _t2 = Proc.spawn proc ~core_id:2 () in
+  let updates =
+    [ (Pkey.of_int 1, Pkru.Read_write); (Pkey.of_int 2, Pkru.No_access) ]
+  in
+  let costs = Cpu.costs (Task.core t0) in
+  let c0 = cycles_on proc 0 and c1 = cycles_on proc 1 and c2 = cycles_on proc 2 in
+  Syscall.pkey_sync_many proc t0 ~updates;
+  Alcotest.(check (float 0.0)) "initiator: entry + 4 queues, still 1 send per core"
+    (c0 +. costs.Costs.kernel_entry_exit
+    +. (4.0 *. costs.Costs.task_work_add)
+    +. (2.0 *. costs.Costs.ipi_send))
+    (cycles_on proc 0);
+  let per_target = costs.Costs.ipi_receive +. (2.0 *. costs.Costs.task_work_run) in
+  Alcotest.(check (float 0.0)) "core 1: one receive drains both updates"
+    (c1 +. per_target) (cycles_on proc 1);
+  Alcotest.(check (float 0.0)) "core 2: one receive drains both updates"
+    (c2 +. per_target) (cycles_on proc 2);
+  Alcotest.check ipi_counters "one IPI per core for the whole batch"
+    [ (0, 2, 0); (1, 0, 1); (2, 0, 1) ]
+    (Sched.ipis_per_core (Proc.sched proc))
+
+(* --- trace-based sync-batch accounting --- *)
+
+let with_tracer f =
+  Mpk_trace.Tracer.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Mpk_trace.Tracer.disable ();
+      Mpk_trace.Tracer.clear ())
+    f
+
+let ipi_targets () =
+  List.filter_map
+    (fun e ->
+      match e.Mpk_trace.Event.ev with
+      | Mpk_trace.Event.Ipi { target_core; _ } -> Some target_core
+      | _ -> None)
+    (Mpk_trace.Tracer.events ())
+
+let count_ev pred =
+  List.length
+    (List.filter (fun e -> pred e.Mpk_trace.Event.ev) (Mpk_trace.Tracer.events ()))
+
+let deferred_count () =
+  count_ev (function Mpk_trace.Event.Pkey_sync_deferred _ -> true | _ -> false)
+
+let executed_count () =
+  count_ev (function Mpk_trace.Event.Pkey_sync_executed _ -> true | _ -> false)
+
+let test_trace_one_ipi_per_core_per_batch () =
+  (* Four sibling tasks on two cores, two PKRU updates in the batch: the
+     trace must show exactly one Ipi per target core — not one per task,
+     and not one per update. *)
+  let proc = make_proc () in
+  let t0 = Proc.spawn proc ~core_id:0 () in
+  let _t1 = Proc.spawn proc ~core_id:1 () in
+  let _t2 = Proc.spawn proc ~core_id:1 () in
+  let _t3 = Proc.spawn proc ~core_id:2 () in
+  with_tracer (fun () ->
+      let updates =
+        [ (Pkey.of_int 1, Pkru.Read_write); (Pkey.of_int 2, Pkru.Read_write) ]
+      in
+      Syscall.pkey_sync_many proc t0 ~updates;
+      Alcotest.(check (list int)) "one Ipi event per target core"
+        [ 1; 2 ]
+        (List.sort compare (ipi_targets ()));
+      Alcotest.(check int) "deferred = 3 targets x 2 updates" 6 (deferred_count ());
+      Alcotest.(check int) "every deferred update executed" 6 (executed_count ()))
+
+let test_trace_batching_conserves_sync_counts () =
+  (* The same sync executed batched and per-update: identical
+     deferred/executed conservation, strictly fewer Ipi events batched. *)
+  let run ~batch =
+    let proc, t0, _t1, t2 = sync_env () in
+    Syscall.set_ipi_batching batch;
+    Fun.protect
+      ~finally:(fun () -> Syscall.set_ipi_batching true)
+      (fun () ->
+        with_tracer (fun () ->
+            let updates =
+              [ (Pkey.of_int 1, Pkru.Read_write); (Pkey.of_int 2, Pkru.No_access) ]
+            in
+            Syscall.pkey_sync_many proc t0 ~updates;
+            Sched.schedule_in (Proc.sched proc) t2;
+            (List.length (ipi_targets ()), deferred_count (), executed_count ())))
+  in
+  let ib, db, eb = run ~batch:true in
+  let iu, du, eu = run ~batch:false in
+  Alcotest.(check int) "batched: deferred = 2 targets x 2 updates" 4 db;
+  Alcotest.(check int) "batched: all executed after the sleeper runs" 4 eb;
+  Alcotest.(check int) "per-update: same deferred count" db du;
+  Alcotest.(check int) "per-update: same executed count" eb eu;
+  Alcotest.(check int) "batched: one Ipi for the on-cpu core" 1 ib;
+  Alcotest.(check int) "per-update: one Ipi per update" 2 iu;
+  Alcotest.(check bool) "batching emits strictly fewer Ipis" true (ib < iu)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "mpk_kernel"
@@ -618,6 +881,11 @@ let () =
           tc "task_work lazy off-cpu" `Quick test_task_work_lazy_when_off_cpu;
           tc "set_pkru placement" `Quick test_task_pkru_helpers;
           tc "shootdown flushes tlb" `Quick test_shootdown_flushes_remote_tlb;
+          tc "kick off-cpu is free" `Quick test_kick_off_cpu_charges_nothing;
+          tc "kick on-cpu hand model" `Quick test_kick_on_cpu_hand_model;
+          tc "kick_batch one IPI per core" `Quick test_kick_batch_one_ipi_per_core;
+          tc "lazy shootdown, idle core" `Quick test_shootdown_lazy_idle_core;
+          tc "lazy shootdown, busy core" `Quick test_shootdown_lazy_busy_core;
         ] );
       ( "mm",
         [
@@ -660,5 +928,10 @@ let () =
           tc "untouched vs populated" `Quick test_mprotect_untouched_vs_populated;
           tc "demand paging fault cost" `Quick test_demand_paging_fault_cost;
           tc "syscall counter" `Quick test_syscall_counter;
+          tc "eager sync charged once" `Quick test_eager_pkey_sync_cycle_conservation;
+          tc "lazy sync batched model" `Quick test_lazy_pkey_sync_batched_model;
+          tc "sync_many one IPI per core" `Quick test_pkey_sync_many_one_ipi_per_core;
+          tc "trace: Ipi per core per batch" `Quick test_trace_one_ipi_per_core_per_batch;
+          tc "trace: batching conserves syncs" `Quick test_trace_batching_conserves_sync_counts;
         ] );
     ]

@@ -405,6 +405,133 @@ let test_loadgen_mpk_outperforms_mprotect () =
     true
     (sync > 4.0 *. mprotect)
 
+(* --- sharding --- *)
+
+let test_sharded_matches_model () =
+  let srv =
+    Server.create ~mode:Server.Sync ~workers:4 ~shards:4 ~slab_mib:16
+      ~buckets:(1 lsl 10) ()
+  in
+  Alcotest.(check int) "four shards" 4 (Server.shard_count srv);
+  let model = Hashtbl.create 64 in
+  let prng = Mpk_util.Prng.create ~seed:7L in
+  for i = 0 to 499 do
+    let key = Printf.sprintf "key-%d" (Mpk_util.Prng.int prng 120) in
+    let worker = Server.shard_of_key srv key in
+    match Mpk_util.Prng.int prng 3 with
+    | 0 | 1 -> (
+        let value = Bytes.of_string (Printf.sprintf "v%d" i) in
+        match Server.set srv ~worker ~key ~value with
+        | Ok () -> Hashtbl.replace model key (Bytes.to_string value)
+        | Error _ -> Alcotest.fail "unexpected ENOSPC")
+    | _ ->
+        let got = Server.delete srv ~worker ~key in
+        Alcotest.(check bool) ("delete agrees for " ^ key) (Hashtbl.mem model key) got;
+        Hashtbl.remove model key
+  done;
+  Hashtbl.iter
+    (fun key v ->
+      match Server.get srv ~worker:(Server.shard_of_key srv key) ~key with
+      | Some b -> Alcotest.(check string) ("get " ^ key) v (Bytes.to_string b)
+      | None -> Alcotest.fail ("lost key " ^ key))
+    model;
+  Alcotest.(check int) "entry_count sums the shards" (Hashtbl.length model)
+    (Server.entry_count srv);
+  Alcotest.(check bool) "every shard slab consistent" true (Server.slab_invariants srv)
+
+let test_shard_routing_stable () =
+  let srv =
+    Server.create ~mode:Server.Baseline ~workers:3 ~shards:3 ~slab_mib:8
+      ~buckets:(1 lsl 9) ()
+  in
+  let seen = Array.make 3 0 in
+  for i = 0 to 299 do
+    let key = Printf.sprintf "key-%d" i in
+    let s = Server.shard_of_key srv key in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 3);
+    Alcotest.(check int) "stable" s (Server.shard_of_key srv key);
+    seen.(s) <- seen.(s) + 1
+  done;
+  Array.iteri
+    (fun s c ->
+      Alcotest.(check bool) (Printf.sprintf "shard %d gets traffic" s) true (c > 0))
+    seen
+
+let test_sharded_sync_still_blocks_attacker () =
+  (* Sharding carves up the arenas but not the protection: the two keys
+     still seal the whole regions between requests. *)
+  let srv =
+    Server.create ~mode:Server.Sync ~workers:4 ~shards:4 ~slab_mib:16
+      ~buckets:(1 lsl 10) ()
+  in
+  ignore
+    (Server.set srv ~worker:0 ~key:"secret" ~value:(Bytes.of_string "hunter2")
+      : (unit, _) result);
+  let attacker = Server.attacker_task srv in
+  match
+    Mmu.read_bytes (Proc.mmu (Server.proc srv)) (Task.core attacker)
+      ~addr:(Server.slab_base srv) ~len:64
+  with
+  | exception Signal.Killed _ -> ()
+  | _ -> Alcotest.fail "attacker read slab memory through the sharded Sync server"
+
+(* --- scale workload --- *)
+
+let test_run_scale_closed_loop_accounting () =
+  let srv =
+    Server.create ~mode:Server.Domain ~workers:2 ~shards:2 ~slab_mib:16
+      ~buckets:(1 lsl 10) ()
+  in
+  Server.prefill srv ~items:100 ~value_size:128;
+  let r =
+    Loadgen.run_scale srv ~loop:(Loadgen.Closed_loop 40) ~value_size:128
+      ~working_set:200 ()
+  in
+  Alcotest.(check int) "closed loop handles every conn" 40 r.Loadgen.s_handled_conns;
+  Alcotest.(check int) "closed loop never drops" 0 r.Loadgen.s_dropped_conns;
+  Alcotest.(check int) "requests = conns x reqs_per_conn" (40 * 10) r.Loadgen.s_requests;
+  Alcotest.(check int) "mix adds up" r.Loadgen.s_requests
+    (r.Loadgen.s_gets + r.Loadgen.s_sets);
+  Alcotest.(check int) "one busy counter per worker" 2
+    (Array.length r.Loadgen.per_core_busy_s);
+  Alcotest.(check bool) "throughput measured" true (r.Loadgen.s_throughput_rps > 0.0);
+  Alcotest.(check bool) "p99 >= p50" true (r.Loadgen.p99_cycles >= r.Loadgen.p50_cycles)
+
+let test_run_scale_deterministic_by_seed () =
+  let go seed =
+    let srv =
+      Server.create ~mode:Server.Sync ~workers:2 ~shards:2 ~slab_mib:16
+        ~buckets:(1 lsl 10) ()
+    in
+    Server.prefill srv ~items:100 ~value_size:128;
+    let r =
+      Loadgen.run_scale srv ~loop:(Loadgen.Closed_loop 30) ~value_size:128
+        ~working_set:200 ~seed ()
+    in
+    (r.Loadgen.s_gets, r.Loadgen.s_sets, r.Loadgen.p99_cycles, r.Loadgen.ipis)
+  in
+  Alcotest.(check bool) "same seed, same run" true (go 5L = go 5L)
+
+let test_scale_report_batched_fewer_ipis () =
+  Mpk_trace.Metrics.reset ();
+  let report = Scale.run ~mode:Server.Sync ~cores:[ 1; 2 ] ~smoke:true () in
+  Alcotest.(check (list string)) "no validation problems" [] (Scale.problems report);
+  Alcotest.(check int) "one point per core count" 2 (List.length report.Scale.points);
+  List.iter
+    (fun (p : Scale.point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cores=%d: batched (%d) < per-update (%d) Ipi events"
+           p.Scale.cores p.Scale.ipi_events_batched p.Scale.ipi_events_per_update)
+        true
+        (p.Scale.ipi_events_batched < p.Scale.ipi_events_per_update);
+      Alcotest.(check bool) "shard slabs survive the run" true p.Scale.slabs_ok;
+      Alcotest.(check bool) "requests completed" true
+        (p.Scale.batched.Loadgen.s_requests > 0))
+    report.Scale.points;
+  match Mpk_trace.Json.parse (Mpk_trace.Json.to_string (Scale.to_json report)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("report JSON does not parse: " ^ e)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "mpk_kvstore"
@@ -454,5 +581,17 @@ let () =
           tc "protocol path" `Quick test_loadgen_protocol_path;
           tc "mprotect drops" `Quick test_loadgen_mprotect_drops_when_populated;
           tc "mpk beats mprotect" `Quick test_loadgen_mpk_outperforms_mprotect;
+        ] );
+      ( "sharding",
+        [
+          tc "matches model" `Quick test_sharded_matches_model;
+          tc "routing stable" `Quick test_shard_routing_stable;
+          tc "still blocks attacker" `Quick test_sharded_sync_still_blocks_attacker;
+        ] );
+      ( "scale",
+        [
+          tc "closed-loop accounting" `Quick test_run_scale_closed_loop_accounting;
+          tc "deterministic by seed" `Quick test_run_scale_deterministic_by_seed;
+          tc "batched fewer IPIs" `Quick test_scale_report_batched_fewer_ipis;
         ] );
     ]

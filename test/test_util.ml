@@ -218,6 +218,56 @@ let test_series () =
   in
   Alcotest.(check bool) "starts with title" true (String.length s > 5 && String.sub s 0 5 = "Fig X")
 
+(* --- Zipf --- *)
+
+let test_zipf_bounds_and_determinism () =
+  let z = Zipf.create ~theta:0.99 ~n:100 () in
+  Alcotest.(check int) "n recorded" 100 (Zipf.n z);
+  let draw seed =
+    let p = Prng.create ~seed in
+    List.init 500 (fun _ -> Zipf.sample z p)
+  in
+  let a = draw 9L in
+  List.iter (fun r -> if r < 0 || r >= 100 then Alcotest.fail "rank out of range") a;
+  Alcotest.(check bool) "deterministic for a seed" true (a = draw 9L)
+
+let test_zipf_skews_to_low_ranks () =
+  let z = Zipf.create ~theta:0.99 ~n:1000 () in
+  let p = Prng.create ~seed:3L in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 20_000 do
+    let r = Zipf.sample z p in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let head = Array.fold_left ( + ) 0 (Array.sub counts 0 100) in
+  Alcotest.(check bool)
+    (Printf.sprintf "top 10%% of ranks takes most samples (%d/20000)" head)
+    true (head > 10_000);
+  Alcotest.(check bool) "rank 0 beats rank 999" true (counts.(0) > counts.(999))
+
+let test_zipf_theta_zero_is_uniform () =
+  let z = Zipf.create ~theta:0.0 ~n:10 () in
+  let p = Prng.create ~seed:4L in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let r = Zipf.sample z p in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Array.iteri
+    (fun r c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d roughly uniform (%d)" r c)
+        true
+        (c > 700 && c < 1300))
+    counts
+
+let test_zipf_rejects_bad_args () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Zipf.create: n must be >= 1")
+    (fun () -> ignore (Zipf.create ~n:0 ()));
+  Alcotest.check_raises "negative theta"
+    (Invalid_argument "Zipf.create: theta must be >= 0") (fun () ->
+      ignore (Zipf.create ~theta:(-0.5) ~n:10 ()))
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "mpk_util"
@@ -259,5 +309,12 @@ let () =
           tc "short rows" `Quick test_table_pads_short_rows;
           tc "float cell" `Quick test_float_cell;
           tc "series" `Quick test_series;
+        ] );
+      ( "zipf",
+        [
+          tc "bounds + determinism" `Quick test_zipf_bounds_and_determinism;
+          tc "skews to low ranks" `Quick test_zipf_skews_to_low_ranks;
+          tc "theta 0 is uniform" `Quick test_zipf_theta_zero_is_uniform;
+          tc "rejects bad args" `Quick test_zipf_rejects_bad_args;
         ] );
     ]
