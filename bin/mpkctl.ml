@@ -503,21 +503,36 @@ let scale_cmd =
   let seed_arg =
     Arg.(value & opt int 0xC0FE & info [ "seed" ] ~docv:"SEED" ~doc:"workload PRNG seed")
   in
+  let open_loop_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "open-loop" ] ~docv:"RATE,RATE,..."
+          ~doc:"also sweep these open-loop arrival rates (connections/s) at the \
+                largest core count and report the latency knee — the first rate \
+                whose p99 doubles the lowest rate's or that drops > 1% of offered \
+                connections")
+  in
   let json_arg =
     Arg.(
       value
       & opt string "BENCH_scale.json"
       & info [ "json" ] ~docv:"FILE" ~doc:"metrics JSON output")
   in
-  let run cores mode smoke seed json_path =
+  let run cores mode smoke seed open_rates json_path =
     if cores = [] || List.exists (fun c -> c < 1) cores then begin
       Printf.eprintf "mpkctl: scale: --cores needs a non-empty list of counts >= 1\n";
+      2
+    end
+    else if List.exists (fun r -> r < 1) open_rates then begin
+      Printf.eprintf "mpkctl: scale: --open-loop rates must be >= 1\n";
       2
     end
     else begin
       Mpk_trace.Metrics.reset ();
       let report =
-        Mpk_kvstore.Scale.run ~mode ~cores ~smoke ~seed:(Int64.of_int seed) ()
+        Mpk_kvstore.Scale.run ~mode ~cores ~open_rates ~smoke
+          ~seed:(Int64.of_int seed) ()
       in
       List.iter
         (fun (p : Mpk_kvstore.Scale.point) ->
@@ -531,6 +546,27 @@ let scale_cmd =
             p.Mpk_kvstore.Scale.ipi_events_batched u.Mpk_kvstore.Loadgen.s_throughput_rps
             u.Mpk_kvstore.Loadgen.p99_cycles p.Mpk_kvstore.Scale.ipi_events_per_update)
         report.Mpk_kvstore.Scale.points;
+      (match report.Mpk_kvstore.Scale.open_loop with
+      | None -> ()
+      | Some s ->
+          List.iter
+            (fun (p : Mpk_kvstore.Scale.open_point) ->
+              let r = p.Mpk_kvstore.Scale.op_result in
+              Printf.printf
+                "open-loop rate=%d  %.0f req/s p50=%.0f p99=%.0f cycles \
+                 dropped=%d/%d\n"
+                p.Mpk_kvstore.Scale.op_rate r.Mpk_kvstore.Loadgen.s_throughput_rps
+                r.Mpk_kvstore.Loadgen.p50_cycles r.Mpk_kvstore.Loadgen.p99_cycles
+                r.Mpk_kvstore.Loadgen.s_dropped_conns
+                r.Mpk_kvstore.Loadgen.s_offered_conns)
+            s.Mpk_kvstore.Scale.os_points;
+          (match s.Mpk_kvstore.Scale.os_knee with
+          | Some rate ->
+              Printf.printf "open-loop latency knee: %d conns/s (%d cores)\n" rate
+                s.Mpk_kvstore.Scale.os_cores
+          | None ->
+              Printf.printf "open-loop latency knee: beyond swept range (%d cores)\n"
+                s.Mpk_kvstore.Scale.os_cores));
       let problems = Mpk_kvstore.Scale.problems report in
       List.iter (fun m -> Printf.eprintf "mpkctl: scale: %s\n" m) problems;
       let json =
@@ -562,7 +598,143 @@ let scale_cmd =
     end
   in
   Cmd.v (Cmd.info "scale" ~doc)
-    Term.(const run $ cores_arg $ mode_arg $ smoke_arg $ seed_arg $ json_arg)
+    Term.(
+      const run $ cores_arg $ mode_arg $ smoke_arg $ seed_arg $ open_loop_arg
+      $ json_arg)
+
+(* --- torture: deterministic interleaving explorer --- *)
+
+let torture_cmd =
+  let doc =
+    "Deterministic interleaving torture of the VMA locking protocol: concurrent \
+     fibers of mmap/munmap/lookup/protect traffic, interleaved by seeded schedules \
+     of preemption decisions at the same $(b,sched.preempt) point fault injection \
+     uses, with the lockdep validator recording. A failing schedule is ddmin-shrunk \
+     and replayed byte-identically from (seed, schedule); $(b,--plant) disables one \
+     safety mechanism to prove the harness finds the resulting bug. Exits 0 on a \
+     clean sweep, 1 when a failure is found (expected under --plant)."
+  in
+  let tasks =
+    Arg.(value & opt int 4 & info [ "tasks" ] ~docv:"N" ~doc:"concurrent fibers")
+  in
+  let ops =
+    Arg.(value & opt int 48 & info [ "ops" ] ~docv:"N" ~doc:"operations per fiber")
+  in
+  let slots =
+    Arg.(
+      value & opt int 4
+      & info [ "slots" ] ~docv:"N" ~doc:"shared mapping slots the fibers collide on")
+  in
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"base PRNG seed")
+  in
+  let seeds =
+    Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"seeds to sweep")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 16
+      & info [ "rounds" ] ~docv:"N" ~doc:"random schedules per seed")
+  in
+  let points =
+    Arg.(
+      value & opt int 48
+      & info [ "points" ] ~docv:"N" ~doc:"switch decisions per schedule")
+  in
+  let plant =
+    Arg.(
+      value & opt string "none"
+      & info [ "plant" ] ~docv:"BUG"
+          ~doc:
+            "planted bug: $(b,recycle) (skip the lookup protocol's recycle \
+             re-validation), $(b,lock-order) (acquire against the established \
+             order), $(b,release-held) (release a lock that is not held), or \
+             $(b,none)")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"AT:TARGET,..."
+          ~doc:
+            "replay one run with this exact preemption schedule instead of \
+             sweeping (use the schedule a failure report prints)")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"CI-sized sweep: fewer ops and rounds")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "TORTURE_failure.txt"
+      & info [ "out" ] ~docv:"FILE" ~doc:"failure report written here (CI artifact)")
+  in
+  let run tasks ops slots seed seeds rounds points plant schedule smoke out =
+    match Mpk_check.Torture.plant_of_string plant with
+    | None ->
+        Printf.eprintf
+          "mpkctl: torture: unknown plant %S (recycle, lock-order, release-held, \
+           none)\n"
+          plant;
+        2
+    | Some plant -> (
+        let ops = if smoke then min ops 32 else ops in
+        let rounds = if smoke then min rounds 8 else rounds in
+        let cfg = { Mpk_check.Torture.tasks; ops; slots; seed; plant } in
+        match schedule with
+        | Some sched_str -> (
+            match Mpk_check.Torture.schedule_of_string sched_str with
+            | Error e ->
+                Printf.eprintf "mpkctl: torture: %s\n" e;
+                2
+            | Ok sched ->
+                let o = Mpk_check.Torture.run_once cfg ~schedule:sched () in
+                Printf.printf
+                  "replay (seed %Ld, %d switches): %s — %d ops, %d benign races, \
+                   %d preemption points, %.0f cycles\n"
+                  seed (List.length sched)
+                  (if o.Mpk_check.Torture.ok then "CLEAN" else "FAILED")
+                  o.Mpk_check.Torture.ops_applied o.Mpk_check.Torture.benign
+                  o.Mpk_check.Torture.points o.Mpk_check.Torture.cycles;
+                (match o.Mpk_check.Torture.reason with
+                | Some r -> Printf.printf "  reason: %s\n" r
+                | None -> ());
+                List.iter
+                  (fun f -> Printf.printf "  finding: %s\n" f)
+                  o.Mpk_check.Torture.findings;
+                if o.Mpk_check.Torture.ok then 0 else 1)
+        | None -> (
+            let result =
+              Mpk_check.Torture.sweep ~entries:points ~rounds ~seeds cfg
+            in
+            let st = result.Mpk_check.Torture.stats in
+            Printf.printf
+              "torture sweep: %d runs (%d seeds x %d rounds, plant %s), %d ops, \
+               %d benign races, %d vma recycles, up to %d preemption points/run\n"
+              st.Mpk_check.Torture.runs seeds rounds
+              (Mpk_check.Torture.plant_to_string plant)
+              st.Mpk_check.Torture.ops_applied st.Mpk_check.Torture.benign
+              st.Mpk_check.Torture.recycled st.Mpk_check.Torture.max_points;
+            match result.Mpk_check.Torture.failure with
+            | None ->
+                Printf.printf
+                  "torture OK: no lockdep findings, no oracle violations, no \
+                   deadlocks\n";
+                0
+            | Some rep ->
+                let report = Mpk_check.Torture.render_report rep in
+                print_string report;
+                let oc = open_out out in
+                output_string oc report;
+                close_out oc;
+                Printf.printf "wrote %s\n" out;
+                Printf.eprintf "mpkctl: torture: failure found\n";
+                1))
+  in
+  Cmd.v (Cmd.info "torture" ~doc)
+    Term.(
+      const run $ tasks $ ops $ slots $ seed $ seeds $ rounds $ points $ plant
+      $ schedule_arg $ smoke $ out)
 
 (* --- lint: the static domain-safety analyzer --- *)
 
@@ -903,5 +1075,6 @@ let () =
             trace_cmd;
             profile_cmd;
             scale_cmd;
+            torture_cmd;
             coredump_cmd;
           ]))

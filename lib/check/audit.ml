@@ -260,4 +260,11 @@ let run mpk =
       end)
     groups;
 
+  (* I7 — lock discipline. When the lockdep recorder is enabled, any
+     finding it has accumulated (ordering inversion, self-deadlock,
+     release-not-held, leaked hold/refcount) is an audit violation: a
+     run that survived despite one only got lucky with its schedule. *)
+  if Lockdep.enabled () then
+    List.iter (fun f -> fail 7 "%s" (Lockdep.to_string f)) (Lockdep.findings ());
+
   List.rev !viols

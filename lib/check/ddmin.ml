@@ -1,0 +1,27 @@
+(* Generic ddmin-style chunk-halving minimizer, shared by the stress
+   harness (op traces) and the torture harness (preemption schedules).
+
+   Classic delta debugging: repeatedly try dropping chunks of the
+   current candidate, keeping any reduction that still fails; halve the
+   chunk size when a full pass at the current granularity removes
+   nothing more. Termination: each kept candidate is strictly shorter,
+   and the chunk size only shrinks. The result is 1-minimal at chunk
+   size 1: removing any single remaining element makes the failure
+   vanish (assuming [fails] is deterministic, which both harnesses
+   guarantee by replaying from a fixed seed). *)
+
+let minimize ~fails items =
+  let current = ref items in
+  let chunk = ref (max 1 (List.length items / 2)) in
+  while !chunk >= 1 do
+    let i = ref 0 in
+    while !i < List.length !current do
+      let cand = List.filteri (fun j _ -> j < !i || j >= !i + !chunk) !current in
+      (* Never test the empty candidate: an empty trace "failing" would
+         mean the failure predates the inputs, and keeping it would
+         erase the reproducer. *)
+      if cand <> [] && fails cand then current := cand else i := !i + !chunk
+    done;
+    chunk := (if !chunk = 1 then 0 else !chunk / 2)
+  done;
+  !current

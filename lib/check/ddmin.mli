@@ -1,0 +1,12 @@
+(** Generic ddmin-style (delta debugging) list minimizer.
+
+    Shared by the stress harness (minimizing failing op traces) and the
+    torture harness (minimizing failing preemption schedules). *)
+
+val minimize : fails:('a list -> bool) -> 'a list -> 'a list
+(** [minimize ~fails items] returns a sublist of [items] (order
+    preserved) on which [fails] still holds, shrunk by chunk-halving
+    until no single element can be removed. [fails items] is assumed to
+    hold on entry; [fails] must be deterministic for the result to be
+    meaningful. The empty list is never tested, so the result is
+    nonempty. *)

@@ -1,0 +1,192 @@
+open Mpk_kernel
+
+(* Lockdep-style lock-discipline validator (DESIGN.md §13).
+
+   Installs itself as the kernel Lock module's event hook and tracks,
+   per actor, the stack of held locks. From the held-sets it builds the
+   class-level lock-order graph ("while holding A, acquired B"); an
+   edge whose reverse is also witnessed — or any longer cycle found at
+   the quiescent sweep — is an ordering inversion that could deadlock
+   under an adversarial schedule even if this run survived. Attempts
+   that would wait on the acquiring actor's own holds (shared→exclusive
+   upgrades) are self-deadlocks; releases with no matching hold and
+   holds outliving quiescence (leaked vm_refcnt references) round out
+   the findings. Wired into the auditor as invariant I7. *)
+
+type finding =
+  | Inversion of { first : string * string; second : string * string; actor : int }
+  | Cycle of { classes : string list }
+  | Same_class_nesting of { cls : string; actor : int }
+  | Self_deadlock of { cls : string; actor : int }
+  | Release_not_held of { cls : string; actor : int }
+  | Leak of { cls : string; actor : int; count : int }
+
+let to_string = function
+  | Inversion { first = a1, b1; second = a2, b2; actor } ->
+      Printf.sprintf
+        "lock-order inversion: %s -> %s contradicts established %s -> %s (actor %d)"
+        a2 b2 a1 b1 actor
+  | Cycle { classes } ->
+      Printf.sprintf "lock-order cycle: %s" (String.concat " -> " classes)
+  | Same_class_nesting { cls; actor } ->
+      Printf.sprintf "unannotated same-class nesting of %s by actor %d" cls actor
+  | Self_deadlock { cls; actor } ->
+      Printf.sprintf "self-deadlock: actor %d waits on its own hold of %s" actor cls
+  | Release_not_held { cls; actor } ->
+      Printf.sprintf "release of %s not held by actor %d" cls actor
+  | Leak { cls; actor; count } ->
+      Printf.sprintf "%d %s reference(s) held by actor %d at quiescence" count cls
+        actor
+
+(* --- state --- *)
+
+type hold = { lock_id : int; hcls : string; hmode : Lock.mode }
+
+let enabled_flag = ref false
+let held : (int, hold list ref) Hashtbl.t = Hashtbl.create 16
+let edges : (string * string, unit) Hashtbl.t = Hashtbl.create 16
+let findings_rev : finding list ref = ref []
+let finding_keys : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let held_of actor =
+  match Hashtbl.find_opt held actor with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace held actor l;
+      l
+
+(* Findings are deduplicated by rendering: a buggy loop shouldn't bury
+   the report under thousands of copies of the same inversion. *)
+let add_finding f =
+  let key = to_string f in
+  if not (Hashtbl.mem finding_keys key) then begin
+    Hashtbl.replace finding_keys key ();
+    findings_rev := f :: !findings_rev
+  end
+
+let on_event = function
+  | Lock.Attempt { lock; mode; actor } ->
+      let h = !(held_of actor) in
+      let lid = Lock.id lock in
+      let cls = Lock.cls lock in
+      (* A shared→exclusive upgrade waits for the refcount it holds
+         itself; reentrant exclusive (and shared-under-own-exclusive)
+         are granted by the lock and are fine. *)
+      (match mode with
+      | Lock.Exclusive ->
+          if
+            List.exists (fun hd -> hd.lock_id = lid && hd.hmode = Lock.Shared) h
+            && not
+                 (List.exists
+                    (fun hd -> hd.lock_id = lid && hd.hmode = Lock.Exclusive)
+                    h)
+          then add_finding (Self_deadlock { cls; actor })
+      | Lock.Shared -> ());
+      List.iter
+        (fun hd ->
+          if hd.lock_id <> lid then
+            if hd.hcls = cls then
+              (* Same-class nesting needs an ordering annotation real
+                 lockdep would demand; we simply forbid it. *)
+              add_finding (Same_class_nesting { cls; actor })
+            else begin
+              Hashtbl.replace edges (hd.hcls, cls) ();
+              if Hashtbl.mem edges (cls, hd.hcls) then
+                add_finding
+                  (Inversion
+                     { first = (cls, hd.hcls); second = (hd.hcls, cls); actor })
+            end)
+        h
+  | Lock.Acquired { lock; mode; actor } ->
+      let h = held_of actor in
+      h := { lock_id = Lock.id lock; hcls = Lock.cls lock; hmode = mode } :: !h
+  | Lock.Contended _ -> ()
+  | Lock.Released { lock; mode; actor } ->
+      let h = held_of actor in
+      let lid = Lock.id lock in
+      let rec drop = function
+        | [] -> None
+        | hd :: rest when hd.lock_id = lid && hd.hmode = mode -> Some rest
+        | hd :: rest -> Option.map (fun r -> hd :: r) (drop rest)
+      in
+      (match drop !h with
+      | Some rest -> h := rest
+      | None -> add_finding (Release_not_held { cls = Lock.cls lock; actor }))
+
+(* --- lifecycle --- *)
+
+let reset () =
+  Hashtbl.reset held;
+  Hashtbl.reset edges;
+  Hashtbl.reset finding_keys;
+  findings_rev := []
+
+let enable () =
+  reset ();
+  Lock.set_hook on_event;
+  enabled_flag := true
+
+let disable () =
+  Lock.clear_hook ();
+  enabled_flag := false
+
+let enabled () = !enabled_flag
+
+let findings () = List.rev !findings_rev
+
+(* --- quiescent checks --- *)
+
+(* Full-graph cycle sweep: pairwise detection above only catches
+   2-cycles as they form; longer cycles surface here. *)
+let cycle_sweep () =
+  let nodes = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (a, b) () ->
+      Hashtbl.replace nodes a ();
+      Hashtbl.replace nodes b ())
+    edges;
+  let succs a =
+    Hashtbl.fold (fun (x, y) () acc -> if x = a then y :: acc else acc) edges []
+  in
+  let color = Hashtbl.create 8 in
+  (* 0 = unvisited (absent), 1 = on stack, 2 = done *)
+  let rec visit path a =
+    match Hashtbl.find_opt color a with
+    | Some 2 -> ()
+    | Some 1 ->
+        (* [path] holds the DFS stack newest-first; the cycle is the
+           suffix from the repeated node. *)
+        let rec suffix = function
+          | [] -> []
+          | x :: _ when x = a -> [ x ]
+          | x :: rest -> x :: suffix rest
+        in
+        add_finding (Cycle { classes = List.rev (suffix path) @ [ a ] })
+    | _ ->
+        Hashtbl.replace color a 1;
+        List.iter (visit (a :: path)) (List.sort compare (succs a));
+        Hashtbl.replace color a 2
+  in
+  Hashtbl.iter (fun a () -> visit [] a) nodes
+
+let check_quiescent () =
+  Hashtbl.iter
+    (fun actor holds ->
+      let by_cls = Hashtbl.create 4 in
+      List.iter
+        (fun hd ->
+          let prev = Option.value (Hashtbl.find_opt by_cls hd.hcls) ~default:0 in
+          Hashtbl.replace by_cls hd.hcls (prev + 1))
+        !holds;
+      Hashtbl.iter
+        (fun cls count -> add_finding (Leak { cls; actor; count }))
+        by_cls)
+    held;
+  (* vm_refcnt puts against a recycled vma must have pinned (and then
+     dropped) the foreign owner; a nonzero net grab count means a drop
+     went missing. *)
+  let grabs = Vma.grabs_outstanding () in
+  if grabs <> 0 then add_finding (Leak { cls = "mm_grab"; actor = -1; count = grabs });
+  cycle_sweep ();
+  findings ()

@@ -1,0 +1,46 @@
+(** Lockdep-style lock-discipline validator (DESIGN.md §13, invariant
+    I7).
+
+    When enabled, installs itself as the kernel {!Mpk_kernel.Lock}
+    event hook and tracks per-actor held-sets. From them it builds the
+    class-level lock-order graph and reports:
+    - {b ordering inversions} — an acquire whose held-set implies an
+      A→B edge when B→A is already established (plus a full-graph
+      cycle sweep at quiescence for longer cycles);
+    - {b same-class nesting} — two instances of one class held at once
+      (would need an ordering annotation in real lockdep);
+    - {b self-deadlocks} — waiting on one's own hold (shared→exclusive
+      upgrade);
+    - {b releases-not-held};
+    - {b leaks} — holds (vm_refcnt references) outliving quiescence,
+      including unbalanced mmgrab pins.
+
+    Findings are deduplicated and preserved until {!reset}/{!enable};
+    the auditor folds them in as I7 whenever the recorder is enabled. *)
+
+type finding =
+  | Inversion of { first : string * string; second : string * string; actor : int }
+  | Cycle of { classes : string list }
+  | Same_class_nesting of { cls : string; actor : int }
+  | Self_deadlock of { cls : string; actor : int }
+  | Release_not_held of { cls : string; actor : int }
+  | Leak of { cls : string; actor : int; count : int }
+
+val to_string : finding -> string
+
+val enable : unit -> unit
+(** Reset state and install the recorder as the Lock event hook. *)
+
+val disable : unit -> unit
+(** Uninstall the hook. Findings survive until the next [enable]. *)
+
+val enabled : unit -> bool
+val reset : unit -> unit
+
+val findings : unit -> finding list
+(** Findings recorded so far, oldest first. *)
+
+val check_quiescent : unit -> finding list
+(** Run the end-of-run checks (held-lock/refcount leaks, mmgrab
+    balance, full cycle sweep) and return all findings. Call only when
+    every task has finished its critical sections. *)

@@ -134,12 +134,21 @@ let run cfg ops =
      (cfg, ops) pair is fully deterministic — which is what lets
      [minimize] replay candidate traces meaningfully. *)
   Mpk_faultinj.reset ();
+  (* Fresh vma slab: replayability from (cfg, ops) must not depend on
+     what earlier runs left on the process-global free-list. *)
+  Vma.slab_reset ();
   (* Flight recorder: every run traces into a fresh ring so a failure can
      dump the events leading up to it. Event emission charges no cycles,
      so enabling it here cannot perturb the (deterministic) run itself. *)
   let trace_was_on = Mpk_trace.Tracer.on () in
   Mpk_trace.Tracer.clear ();
   Mpk_trace.Tracer.enable ();
+  (* Lock-discipline watchdog: the post-op audit folds lockdep findings
+     in as I7, so a stress run also vets lock ordering on every path it
+     exercises. Callers that already run their own recorder (torture)
+     keep it. *)
+  let lockdep_was_on = Lockdep.enabled () in
+  if not lockdep_was_on then Lockdep.enable ();
   let machine = Machine.create ~cores:tasks ~mem_mib:128 () in
   let proc = Proc.create machine in
   let threads = Array.init tasks (fun i -> Proc.spawn proc ~core_id:i ()) in
@@ -206,6 +215,7 @@ let run cfg ops =
   let finish () =
     last_fault_stats_ref := List.filter (fun s -> s.Mpk_faultinj.armed) (Mpk_faultinj.stats ());
     Mpk_faultinj.reset ();
+    if not lockdep_was_on then Lockdep.disable ();
     if not trace_was_on then begin
       Mpk_trace.Tracer.disable ();
       Mpk_trace.Tracer.clear ()
@@ -247,21 +257,8 @@ let minimize cfg ops =
   match run cfg ops with
   | Passed _ -> ops
   | Failed f ->
-      (* Everything after the failing op is irrelevant. *)
-      let current = ref (List.filteri (fun i _ -> i <= f.index) ops) in
-      (* ddmin-style: drop ever-smaller chunks while the failure persists. *)
-      let chunk = ref (max 1 (List.length !current / 2)) in
-      while !chunk >= 1 do
-        let i = ref 0 in
-        while !i < List.length !current do
-          let cand =
-            List.filteri (fun j _ -> j < !i || j >= !i + !chunk) !current
-          in
-          if cand <> [] && fails cfg cand then current := cand else i := !i + !chunk
-        done;
-        chunk := (if !chunk = 1 then 0 else !chunk / 2)
-      done;
-      !current
+      (* Everything after the failing op is irrelevant; ddmin does the rest. *)
+      Ddmin.minimize ~fails:(fails cfg) (List.filteri (fun i _ -> i <= f.index) ops)
 
 let report cfg ~ops_total failure minimized =
   let buf = Buffer.create 1024 in

@@ -154,3 +154,12 @@ let parse_spec spec =
 let preempt_action : (int -> unit) ref = ref (fun _ -> ())
 let set_preempt_action f = preempt_action := f
 let preempt core_id = !preempt_action core_id
+
+(* Scoped override: the torture scheduler routes the one preemption
+   mechanism (this point, fired from Cpu.charge) into its own fiber
+   switch, then must hand the previous action back — [set_preempt_action]
+   alone would leave the hook aimed at a dead scheduler. *)
+let with_preempt_action f k =
+  let saved = !preempt_action in
+  preempt_action := f;
+  Fun.protect ~finally:(fun () -> preempt_action := saved) k

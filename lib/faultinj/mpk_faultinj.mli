@@ -72,5 +72,11 @@ val spec_grammar : string
 
 val set_preempt_action : (int -> unit) -> unit
 
+(** [with_preempt_action f k] — run [k] with [f] installed, restoring
+    the previous action afterwards (exception-safe). The torture
+    scheduler uses this to borrow the single preemption mechanism
+    without leaving the hook aimed at a dead scheduler. *)
+val with_preempt_action : (int -> unit) -> (unit -> 'a) -> 'a
+
 (** Run the installed preemption action (no-op when none installed). *)
 val preempt : int -> unit

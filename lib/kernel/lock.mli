@@ -1,0 +1,69 @@
+(** Reader/writer lock with per-actor hold counts — the primitive behind
+    the mm-wide lock and the per-VMA locks (DESIGN.md §13).
+
+    The simulator is single-threaded, so no atomics: the value of the
+    lock is its {e observability} (every transition runs the event hook,
+    which the lockdep validator installs into) and its
+    {e schedulability} (a contended acquire calls the wait hook, which
+    the torture scheduler replaces to park the acquiring fiber). The
+    default wait hook raises {!Would_block}: in sequential mode nothing
+    can release a lock behind the caller's back, so contention is a
+    self-deadlock by construction.
+
+    Actors are plain ints — core ids in practice ([-1] for lock use with
+    no core context, e.g. kernel metadata walks). *)
+
+type mode = Shared | Exclusive
+
+type t
+
+type event =
+  | Attempt of { lock : t; mode : mode; actor : int }
+  | Acquired of { lock : t; mode : mode; actor : int }
+  | Contended of { lock : t; mode : mode; actor : int }
+  | Released of { lock : t; mode : mode; actor : int }
+
+exception Would_block of string
+
+val make : cls:string -> t
+(** [cls] is the lock class ("mm_lock", "vma_lock", ...): lockdep's
+    ordering graph is built over classes, not instances. *)
+
+val id : t -> int
+val cls : t -> string
+
+val set_hook : (event -> unit) -> unit
+(** Install the lockdep recorder. Exactly one hook; [clear_hook]
+    restores the no-op. *)
+
+val clear_hook : unit -> unit
+
+val set_wait_hook : (t -> actor:int -> unit) -> unit
+(** Install the scheduler's contention action (torture parks the fiber
+    and retries after the next resume). *)
+
+val clear_wait_hook : unit -> unit
+
+val acquire : t -> mode -> actor:int -> unit
+(** Blocking acquire. Reentrant for [Exclusive] by the same actor;
+    [Shared] under own [Exclusive] is granted. A shared→exclusive
+    upgrade waits on itself (flagged by lockdep, fatal without a
+    scheduler). *)
+
+val try_acquire : t -> mode -> actor:int -> bool
+(** Non-blocking acquire ([vma_start_read]): no wait, no [Contended]
+    event on failure. *)
+
+val release : t -> mode -> actor:int -> unit
+(** Releasing a lock not held in [mode] is counted in {!unbalanced}
+    (and surfaces as a lockdep finding) rather than raising, mirroring
+    real lockdep's WARN. *)
+
+val reader_count : t -> int
+val write_locked : t -> bool
+val held_exclusive : t -> actor:int -> bool
+val held_shared : t -> actor:int -> bool
+
+val unbalanced : unit -> int
+(** Releases-not-held observed since process start (monotonic; compare
+    deltas). *)

@@ -10,30 +10,91 @@ type t = {
 
 let bump_base_vpn = 0x10000  (* user mappings start at 256 MiB *)
 
+(* Lock plumbing. Acquisitions charge zero cycles — the simulator's cost
+   model folds lock traffic into the operations themselves — but each
+   charge is a preemption point, which is what lets the torture
+   scheduler interleave other fibers exactly where a real kernel could
+   be preempted while (or before) holding the lock. *)
+let lock_point cpu label =
+  match cpu with Some cpu -> Cpu.charge ~label cpu 0.0 | None -> ()
+
+let actor_of cpu = match cpu with Some cpu -> Cpu.id cpu | None -> -1
+
+let with_mm_lock ?cpu t mode f =
+  let actor = actor_of cpu in
+  lock_point cpu "mm_lock";
+  let lock = Vma.mm_lock t.vmas in
+  Lock.acquire lock mode ~actor;
+  Fun.protect ~finally:(fun () -> Lock.release lock mode ~actor) f
+
+let with_write_lock t cpu f = with_mm_lock ~cpu t Lock.Exclusive f
+
+(* Recycling-safe lookup (the lock_vma_under_rcu() shape, SNIPPETS.md
+   §2): walk the current tree snapshot with no lock, try to take the
+   vma's read lock, then re-validate identity/liveness/range — the
+   walk's result may have been unmapped and its record recycled (even
+   into another address space) between the walk and the refcount bump.
+   Any failure falls back to a walk under the mm read lock, which
+   excludes writers. [f] runs with the vma read-held. *)
+let find_vma_read t cpu ~vpn f =
+  let actor = actor_of cpu in
+  lock_point cpu "vma_walk";
+  let fast =
+    match Vma.find t.vmas vpn with
+    | None -> `Fallback  (* racing unmap? only the mm lock can say *)
+    | Some v ->
+        lock_point cpu "vma_start_read";
+        if not (Vma.start_read v ~actor) then `Fallback
+        else begin
+          lock_point cpu "vma_validate";
+          if Vma.validate_read t.vmas v vpn then
+            `Hit
+              (Fun.protect
+                 ~finally:(fun () -> Vma.end_read t.vmas v ~actor)
+                 (fun () -> f v))
+          else begin
+            (* Lost the race: drop the reference (recycled-owner-safe)
+               and retry under the lock. *)
+            Vma.end_read t.vmas v ~actor;
+            `Fallback
+          end
+        end
+  in
+  match fast with
+  | `Hit r -> Some r
+  | `Fallback ->
+      with_mm_lock ?cpu t Lock.Shared (fun () ->
+          match Vma.find t.vmas vpn with
+          | None -> None
+          | Some v -> Some (f v))
+
 (* Demand paging: a not-present fault inside a VMA materializes a zeroed
    frame with the VMA's protection and key; anything else is a real
    segfault. Frame exhaustion refuses the fault with [No_memory], which
-   the MMU delivers in place of the original (SIGBUS upstream). *)
+   the MMU delivers in place of the original (SIGBUS upstream). The VMA
+   lookup takes the lock-free path: faults are the hot concurrent
+   readers racing mmap/munmap. *)
 let fault_handler t cpu (fault : Mmu.fault) =
   let vpn = Page_table.vpn_of_addr fault.Mmu.addr in
-  match Vma.find t.vmas vpn with
+  let service (v : Vma.vma) =
+    (match cpu with
+    | Some cpu ->
+        Cpu.charge ~label:"page_fault" cpu (Cpu.costs cpu).page_fault;
+        if Mpk_trace.Tracer.on () then
+          Cpu.emit cpu
+            (Mpk_trace.Event.Page_fault
+               { addr = fault.Mmu.addr; cause = "demand_paging" })
+    | None -> ());
+    let frame =
+      try Physmem.alloc_frame t.mem
+      with Out_of_memory -> raise (Mmu.Fault { fault with Mmu.cause = Mmu.No_memory })
+    in
+    Page_table.set t.table ~vpn
+      (Pte.make ~frame ~perm:v.Vma.attrs.Vma.prot ~pkey:v.Vma.attrs.Vma.pkey)
+  in
+  match find_vma_read t cpu ~vpn service with
+  | Some () -> true
   | None -> false
-  | Some v ->
-      (match cpu with
-      | Some cpu ->
-          Cpu.charge ~label:"page_fault" cpu (Cpu.costs cpu).page_fault;
-          if Mpk_trace.Tracer.on () then
-            Cpu.emit cpu
-              (Mpk_trace.Event.Page_fault
-                 { addr = fault.Mmu.addr; cause = "demand_paging" })
-      | None -> ());
-      let frame =
-        try Physmem.alloc_frame t.mem
-        with Out_of_memory -> raise (Mmu.Fault { fault with Mmu.cause = Mmu.No_memory })
-      in
-      Page_table.set t.table ~vpn
-        (Pte.make ~frame ~perm:v.Vma.attrs.Vma.prot ~pkey:v.Vma.attrs.Vma.pkey);
-      true
 
 let create mem =
   let table = Page_table.create () in
@@ -72,13 +133,14 @@ let mmap t cpu ?at ~len ~prot () =
         t.bump <- t.bump + pages + 1;
         s
   in
+  with_write_lock t cpu @@ fun () ->
   (match Vma.overlapping t.vmas ~start ~pages with
   | [] -> ()
   | _ -> Errno.fail ENOMEM "mmap: range overlaps an existing mapping");
   let costs = Cpu.costs cpu in
   Cpu.charge ~label:"vma" cpu (costs.vma_find +. costs.vma_update);
   (* Lazy: no frames or PTEs until first touch. *)
-  Vma.add t.vmas ~start ~pages { prot; pkey = Pkey.default };
+  Vma.add ~actor:(Cpu.id cpu) t.vmas ~start ~pages { prot; pkey = Pkey.default };
   Page_table.addr_of_vpn start
 
 let free_present t cpu ~start ~pages =
@@ -97,9 +159,10 @@ let free_present t cpu ~start ~pages =
 
 let munmap t cpu ~addr ~len =
   let start, pages = vpn_range ~addr ~len in
+  with_write_lock t cpu @@ fun () ->
   let costs = Cpu.costs cpu in
   Cpu.charge ~label:"vma" cpu costs.vma_find;
-  let removed = Vma.remove_range t.vmas ~start ~pages in
+  let removed = Vma.remove_range ~actor:(Cpu.id cpu) t.vmas ~start ~pages in
   if removed = [] then Errno.fail EINVAL "munmap: nothing mapped at 0x%x" addr;
   let freed = ref 0 in
   List.iter
@@ -107,6 +170,9 @@ let munmap t cpu ~addr ~len =
       Cpu.charge ~label:"vma" cpu costs.vma_update;
       freed := !freed + free_present t cpu ~start:v.Vma.start ~pages:v.Vma.pages)
     removed;
+  (* Only now — frames freed, PTEs cleared — may the detached vmas hit
+     the typesafe free-list and be recycled by a concurrent mmap. *)
+  Vma.free_detached removed;
   if Mpk_trace.Tracer.on () then
     Cpu.emit cpu (Mpk_trace.Event.Pte_update { pages; present = !freed });
   Cpu.charge ~label:"tlb_flush" cpu (Costs.tlb_invalidate costs ~pages);
@@ -139,11 +205,14 @@ let flush_local cpu ~start ~pages =
 
 let change_range t cpu ~addr ~len ~attr_f ~pte_f =
   let start, pages = vpn_range ~addr ~len in
+  with_write_lock t cpu @@ fun () ->
   if not (Vma.covered t.vmas ~start ~pages) then
     Errno.fail ENOMEM "mprotect: range 0x%x+%d not fully mapped" addr len;
   let costs = Cpu.costs cpu in
   Cpu.charge ~label:"vma" cpu costs.vma_find;
-  let vmas_touched, splits, merges = Vma.set_attrs t.vmas ~start ~pages attr_f in
+  let vmas_touched, splits, merges =
+    Vma.set_attrs ~actor:(Cpu.id cpu) t.vmas ~start ~pages attr_f
+  in
   Cpu.charge ~label:"vma_split_merge" cpu
     ((float_of_int (splits + merges) *. costs.vma_split_merge)
     +. (float_of_int vmas_touched *. costs.vma_update));
@@ -228,12 +297,13 @@ let mmap_frames t cpu ?at ~frames ~prot () =
         t.bump <- t.bump + pages + 1;
         s
   in
+  with_write_lock t cpu @@ fun () ->
   (match Vma.overlapping t.vmas ~start ~pages with
   | [] -> ()
   | _ -> Errno.fail ENOMEM "mmap_frames: range overlaps an existing mapping");
   let costs = Cpu.costs cpu in
   Cpu.charge ~label:"vma" cpu (costs.vma_find +. costs.vma_update);
-  Vma.add t.vmas ~start ~pages { prot; pkey = Pkey.default };
+  Vma.add ~actor:(Cpu.id cpu) t.vmas ~start ~pages { prot; pkey = Pkey.default };
   (* shared mappings are installed eagerly: the frames already exist *)
   Array.iteri
     (fun i frame ->

@@ -4,7 +4,17 @@
 
     All functions charge the given core. Kernel entry/exit is *not*
     charged here — that belongs to the syscall layer. TLB shootdown of
-    other cores likewise lives in the process layer. *)
+    other cores likewise lives in the process layer.
+
+    Concurrency (DESIGN.md §13): every mutating entry point
+    ([mmap]/[munmap]/[mmap_frames] and the [change_*] family) holds the
+    address space's mm lock exclusively for the duration of the VMA and
+    PTE rewrite — which gives the [Syscall]/[Libmpk] paths
+    ([mpk_mmap], [mpk_munmap], [mpk_mprotect_many], [pkey_unmap_group])
+    write locking at one-operation granularity without further
+    plumbing. Lookups ([find_vma_read], used by the fault handler) take
+    the lock-free per-VMA path with an mm-read-lock fallback. Lock
+    acquisitions charge zero cycles but are preemption points. *)
 
 open Mpk_hw
 
@@ -18,6 +28,17 @@ val page_table : t -> Page_table.t
 
 (** Pages spanned by [len] bytes. *)
 val pages_of_len : int -> int
+
+(** [find_vma_read t cpu ~vpn f] — the recycling-safe VMA lookup
+    (DESIGN.md §13): lock-free walk → [vma_start_read] → recycle
+    re-validation, falling back to a walk under the mm read lock when
+    any step loses a race with a writer. [f] runs with the vma
+    read-held (so a concurrent unmap waits for it) and its result is
+    returned; [None] means no mapping covers [vpn]. [cpu] provides
+    charging/preemption context and the lock actor; [None] (kernel
+    walks without a core) acts as actor -1 and charges nothing. This is
+    the path the demand-paging fault handler takes. *)
+val find_vma_read : t -> Cpu.t option -> vpn:int -> (Vma.vma -> 'a) -> 'a option
 
 (** [mmap t cpu ?at ~len ~prot ()] maps [len] bytes (rounded up to pages)
     of zeroed anonymous memory with the default protection key, returning

@@ -7,9 +7,11 @@ type t = {
   mutable tasks : Task.t list;
   mutable next_id : int;
   ipi : (int, ipi_stats) Hashtbl.t;  (* core id -> IPIs sent/received *)
+  mutable preempting : bool;  (* reentrancy guard for [preempt] *)
 }
 
-let create machine = { machine; tasks = []; next_id = 0; ipi = Hashtbl.create 8 }
+let create machine =
+  { machine; tasks = []; next_id = 0; ipi = Hashtbl.create 8; preempting = false }
 
 let machine t = t.machine
 
@@ -91,17 +93,17 @@ let task_on t ~core_id =
 (* Forced preemption (fault injection): bounce the on-CPU task through a
    schedule_out/schedule_in pair. Context switches themselves charge
    cycles — and charged events are where forced preemption fires — so a
-   reentrancy guard keeps the bounce from recursing. *)
-let preempting = ref false
-
+   reentrancy guard keeps the bounce from recursing. The guard is
+   per-scheduler: a nested simulated machine (stress runs, torture
+   harnesses) preempting must not suppress preemption on this one. *)
 let preempt t ~core_id =
-  if not !preempting then
+  if not t.preempting then
     match task_on t ~core_id with
     | None -> ()
     | Some task ->
-        preempting := true;
+        t.preempting <- true;
         Fun.protect
-          ~finally:(fun () -> preempting := false)
+          ~finally:(fun () -> t.preempting <- false)
           (fun () ->
             schedule_out t task;
             schedule_in t task)

@@ -132,7 +132,12 @@ let run_scale server ~loop ?(reqs_per_conn = 10) ?(value_size = 1024)
      (key-affine routing: the connection hands the request over); an
      unsharded store serves on the connection's worker. *)
   let sharded = Server.shard_count server > 1 in
-  let exec_request conn_worker =
+  (* [queue_delay] is the time the connection spent waiting for an
+     accept (open loop only): every request on a queued connection
+     experiences it, so it counts toward the recorded sojourn latency —
+     without it the tail stays flat past saturation and the knee is
+     invisible. *)
+  let exec_request ~queue_delay conn_worker =
     incr requests;
     let key = Printf.sprintf "key-%d" (Mpk_util.Zipf.sample zipf prng) in
     let w = if sharded then Server.shard_of_key server key mod n else conn_worker in
@@ -150,14 +155,14 @@ let run_scale server ~loop ?(reqs_per_conn = 10) ?(value_size = 1024)
        | Ok () -> data := !data + value_size
        | Error _ -> ()
      end);
-    Mpk_util.Stats.Histogram.add lat (Cpu.cycles core -. t0)
+    Mpk_util.Stats.Histogram.add lat (Cpu.cycles core -. t0 +. queue_delay)
   in
-  let run_conn w =
+  let run_conn ?(queue_delay = 0.0) w =
     incr handled;
     (* connection churn: accept + session setup + teardown *)
     Cpu.charge ~label:"conn_churn" (Task.core workers.(w)) conn_setup_cycles;
     for _ = 1 to reqs_per_conn do
-      exec_request w
+      exec_request ~queue_delay w
     done
   in
   let offered =
@@ -178,11 +183,12 @@ let run_scale server ~loop ?(reqs_per_conn = 10) ?(value_size = 1024)
           for i = 1 to n - 1 do
             if clock i < clock !w then w := i
           done;
-          if clock !w -. arrival > max_delay then incr dropped
+          let queue_delay = clock !w -. arrival in
+          if queue_delay > max_delay then incr dropped
           else begin
-            if clock !w < arrival then
-              Cpu.charge ~label:"idle_wait" (Task.core workers.(!w)) (arrival -. clock !w);
-            run_conn !w
+            if queue_delay < 0.0 then
+              Cpu.charge ~label:"idle_wait" (Task.core workers.(!w)) (-.queue_delay);
+            run_conn ~queue_delay:(Float.max 0.0 queue_delay) !w
           end
         done;
         offered

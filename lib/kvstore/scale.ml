@@ -19,13 +19,33 @@ type point = {
   slabs_ok : bool;
 }
 
+(* One arrival rate of the open-loop sweep (fixed core count). Unlike
+   the closed loop, offered load is decoupled from service capacity, so
+   past saturation the drop counter climbs and tail latency leaves the
+   flat region — the knee the sweep exists to locate. *)
+type open_point = {
+  op_rate : int;  (* offered connections per second *)
+  op_result : Loadgen.scale_result;
+  op_audit_violations : string list;
+  op_slabs_ok : bool;
+}
+
+type open_sweep = {
+  os_cores : int;
+  os_duration_s : float;
+  os_points : open_point list;  (* ascending rate *)
+  os_knee : int option;
+      (* first rate whose p99 exceeds 2x the lowest rate's, or that
+         drops > 1% of offered connections; None = knee beyond range *)
+}
+
 type report = {
   mode : Server.mode;
   closed_conns : int;
-  open_rate : int option;  (* extra open-loop pass at each core count *)
   seed : int64;
   smoke : bool;
   points : point list;
+  open_loop : open_sweep option;  (* --open-loop sweep at max core count *)
 }
 
 type config = {
@@ -100,6 +120,66 @@ let run_one ~mode ~workers ~batch ~seed cfg =
       let per_core_ipis = Sched.ipis_per_core (Proc.sched (Server.proc server)) in
       (result, !ipi_events, per_core_ipis, audit, Server.slab_invariants server))
 
+(* One open-loop rate point: fresh server, prefill, timed arrival
+   process. Connections that would wait longer than the accept deadline
+   are dropped, which is what makes the post-knee region visible instead
+   of just stretching the makespan as the closed loop does. *)
+let run_open_one ~mode ~workers ~rate ~duration_s ~seed cfg =
+  let server =
+    Server.create ~mode ~workers ~shards:workers ~slab_mib:cfg.c_slab_mib
+      ~buckets:cfg.c_buckets ()
+  in
+  Server.prefill server ~items:cfg.c_items ~value_size:cfg.c_value_size;
+  (* Accept deadline scaled to the window: a saturated server must be
+     able to shed load within the run, or drops never register. *)
+  let result =
+    Loadgen.run_scale server ~loop:(Loadgen.Open_loop rate) ~duration_s
+      ~max_delay_s:(duration_s /. 10.0) ~value_size:cfg.c_value_size
+      ~working_set:cfg.c_working_set ~seed ()
+  in
+  let audit =
+    match Server.mpk server with
+    | None -> []
+    | Some mpk ->
+        Mpk_check.Audit.run mpk
+        |> List.map (fun v -> Format.asprintf "%a" Mpk_check.Audit.pp_violation v)
+  in
+  {
+    op_rate = rate;
+    op_result = result;
+    op_audit_violations = audit;
+    op_slabs_ok = Server.slab_invariants server;
+  }
+
+let find_knee points =
+  match points with
+  | [] -> None
+  | first :: _ ->
+      let baseline = Float.max first.op_result.Loadgen.p99_cycles 1.0 in
+      let saturated p =
+        let r = p.op_result in
+        r.Loadgen.p99_cycles > 2.0 *. baseline
+        || float_of_int r.Loadgen.s_dropped_conns
+           > 0.01 *. float_of_int (max 1 r.Loadgen.s_offered_conns)
+      in
+      List.find_opt saturated points |> Option.map (fun p -> p.op_rate)
+
+let run_open ~mode ~workers ~rates ?(smoke = false) ?(seed = 0xC0FEL) () =
+  if workers < 1 then invalid_arg "Scale.run_open: workers must be >= 1";
+  if rates = [] || List.exists (fun r -> r < 1) rates then
+    invalid_arg "Scale.run_open: rates must be a non-empty list of rates >= 1";
+  let cfg = config ~smoke in
+  (* A short measured window keeps the sweep cheap: offered load is
+     [rate * duration], and the knee is a property of the rate, not of
+     how long we hold it. *)
+  let duration_s = if smoke then 0.02 else 0.1 in
+  let points =
+    List.sort_uniq compare rates
+    |> List.map (fun rate -> run_open_one ~mode ~workers ~rate ~duration_s ~seed cfg)
+  in
+  { os_cores = workers; os_duration_s = duration_s; os_points = points;
+    os_knee = find_knee points }
+
 let publish_metrics ~cores (r : Loadgen.scale_result) per_core_ipis =
   Array.iteri
     (fun i busy ->
@@ -119,7 +199,7 @@ let publish_metrics ~cores (r : Loadgen.scale_result) per_core_ipis =
         (float_of_int received))
     per_core_ipis
 
-let run ~mode ~cores ?(smoke = false) ?(seed = 0xC0FEL) () =
+let run ~mode ~cores ?(open_rates = []) ?(smoke = false) ?(seed = 0xC0FEL) () =
   let cfg = config ~smoke in
   let points =
     List.map
@@ -144,7 +224,17 @@ let run ~mode ~cores ?(smoke = false) ?(seed = 0xC0FEL) () =
         })
       cores
   in
-  { mode; closed_conns = cfg.c_conns; open_rate = None; seed; smoke; points }
+  let open_loop =
+    match open_rates with
+    | [] -> None
+    | rates ->
+        (* Sweep arrival rates at the widest machine of the closed-loop
+           run: the knee of interest is the one batching is supposed to
+           push right at max parallelism. *)
+        let workers = List.fold_left max 1 cores in
+        Some (run_open ~mode ~workers ~rates ~smoke ~seed ())
+  in
+  { mode; closed_conns = cfg.c_conns; seed; smoke; points; open_loop }
 
 let result_json (r : Loadgen.scale_result) =
   Json.Obj
@@ -191,16 +281,38 @@ let point_json p =
       ("slabs_ok", Json.Bool p.slabs_ok);
     ]
 
-let to_json r =
+let open_point_json p =
   Json.Obj
     [
-      ("bench", Json.String "scale");
-      ("mode", Json.String (Server.mode_name r.mode));
-      ("closed_conns", Json.Int r.closed_conns);
-      ("seed", Json.String (Printf.sprintf "0x%Lx" r.seed));
-      ("smoke", Json.Bool r.smoke);
-      ("points", Json.List (List.map point_json r.points));
+      ("rate", Json.Int p.op_rate);
+      ("result", result_json p.op_result);
+      ( "audit_violations",
+        Json.List (List.map (fun m -> Json.String m) p.op_audit_violations) );
+      ("slabs_ok", Json.Bool p.op_slabs_ok);
     ]
+
+let open_sweep_json s =
+  Json.Obj
+    [
+      ("cores", Json.Int s.os_cores);
+      ("duration_s", Json.Float s.os_duration_s);
+      ("points", Json.List (List.map open_point_json s.os_points));
+      ("knee_rate", match s.os_knee with Some r -> Json.Int r | None -> Json.Null);
+    ]
+
+let to_json r =
+  Json.Obj
+    ([
+       ("bench", Json.String "scale");
+       ("mode", Json.String (Server.mode_name r.mode));
+       ("closed_conns", Json.Int r.closed_conns);
+       ("seed", Json.String (Printf.sprintf "0x%Lx" r.seed));
+       ("smoke", Json.Bool r.smoke);
+       ("points", Json.List (List.map point_json r.points));
+     ]
+    @ match r.open_loop with
+      | None -> []
+      | Some s -> [ ("open_loop", open_sweep_json s) ])
 
 (* Validation shared by `mpkctl scale` and CI: the measured curve must
    have every audited invariant hold, every slab consistent, and the
@@ -223,3 +335,21 @@ let problems r =
       if p.batched.Loadgen.s_requests = 0 then add "cores=%d: no requests completed" p.cores;
       List.rev !issues)
     r.points
+  @
+  match r.open_loop with
+  | None -> []
+  | Some s ->
+      List.concat_map
+        (fun p ->
+          let issues = ref [] in
+          let add fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
+          if p.op_audit_violations <> [] then
+            add "open-loop rate=%d: %d auditor invariant violation(s): %s" p.op_rate
+              (List.length p.op_audit_violations)
+              (String.concat "; " p.op_audit_violations);
+          if not p.op_slabs_ok then
+            add "open-loop rate=%d: shard slab invariant failed" p.op_rate;
+          if p.op_result.Loadgen.s_requests = 0 then
+            add "open-loop rate=%d: no requests completed" p.op_rate;
+          List.rev !issues)
+        s.os_points

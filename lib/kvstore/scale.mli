@@ -22,20 +22,61 @@ type point = {
   slabs_ok : bool;
 }
 
+(** One arrival rate of the open-loop sweep. *)
+type open_point = {
+  op_rate : int;  (** offered connections per second *)
+  op_result : Loadgen.scale_result;
+  op_audit_violations : string list;
+  op_slabs_ok : bool;
+}
+
+(** Open-loop latency curve at a fixed core count: offered load is
+    decoupled from service capacity, so past saturation connections
+    drop and tail latency leaves the flat region — the knee. *)
+type open_sweep = {
+  os_cores : int;
+  os_duration_s : float;
+  os_points : open_point list;  (** ascending rate *)
+  os_knee : int option;
+      (** first rate whose p99 exceeds 2x the lowest rate's, or that
+          drops > 1% of offered connections; [None] = knee beyond the
+          swept range *)
+}
+
 type report = {
   mode : Server.mode;
   closed_conns : int;
-  open_rate : int option;
   seed : int64;
   smoke : bool;
   points : point list;
+  open_loop : open_sweep option;
 }
 
 (** [run ~mode ~cores ()] — one point per entry of [cores] (each entry is
     a worker/shard count). [smoke] shrinks the store and the connection
-    count to CI size. Deterministic for a given [seed]. *)
+    count to CI size. Deterministic for a given [seed]. When
+    [open_rates] is non-empty, an open-loop sweep over those arrival
+    rates runs at the largest core count and lands in [report.open_loop]. *)
 val run :
-  mode:Server.mode -> cores:int list -> ?smoke:bool -> ?seed:int64 -> unit -> report
+  mode:Server.mode ->
+  cores:int list ->
+  ?open_rates:int list ->
+  ?smoke:bool ->
+  ?seed:int64 ->
+  unit ->
+  report
+
+(** Standalone open-loop sweep at [workers] cores over [rates]
+    (sorted and deduplicated). Raises [Invalid_argument] on an empty or
+    non-positive rate list. *)
+val run_open :
+  mode:Server.mode ->
+  workers:int ->
+  rates:int list ->
+  ?smoke:bool ->
+  ?seed:int64 ->
+  unit ->
+  open_sweep
 
 val to_json : report -> Mpk_trace.Json.t
 

@@ -23,6 +23,9 @@ type ev =
   | Ipi of { kind : string; target_core : int }
   | Context_switch of { task : int; onto : bool }
   | Signal_delivered of { task : int; signo : int; code : string }
+  | Lock_acquire of { cls : string; excl : bool; actor : int }
+  | Lock_release of { cls : string; excl : bool; actor : int }
+  | Lock_contended of { cls : string; excl : bool; actor : int }
   (* libmpk core *)
   | Cache_hit of { vkey : int; pkey : int }
   | Cache_miss of { vkey : int }
@@ -64,6 +67,9 @@ let kind = function
   | Ipi _ -> "ipi"
   | Context_switch _ -> "context_switch"
   | Signal_delivered _ -> "signal_delivered"
+  | Lock_acquire _ -> "lock_acquire"
+  | Lock_release _ -> "lock_release"
+  | Lock_contended _ -> "lock_contended"
   | Cache_hit _ -> "cache_hit"
   | Cache_miss _ -> "cache_miss"
   | Cache_evict _ -> "cache_evict"
@@ -98,6 +104,16 @@ let args = function
       [ "task", string_of_int task; "dir", (if onto then "in" else "out") ]
   | Signal_delivered { task; signo; code } ->
       [ "task", string_of_int task; "signo", string_of_int signo; "code", code ]
+  | Lock_acquire { cls; excl; actor }
+  | Lock_release { cls; excl; actor }
+  | Lock_contended { cls; excl; actor } ->
+      (* No lock-instance id here: ids are a process-global counter, and
+         trace bytes must be deterministic per seed (coredump dumps). *)
+      [
+        "cls", cls;
+        "mode", (if excl then "excl" else "shared");
+        "actor", string_of_int actor;
+      ]
   | Cache_hit { vkey; pkey } -> [ "vkey", string_of_int vkey; "pkey", string_of_int pkey ]
   | Cache_miss { vkey } | Cache_full { vkey } | Cache_pin { vkey } | Cache_unpin { vkey }
     ->

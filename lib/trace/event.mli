@@ -31,6 +31,9 @@ type ev =
   | Ipi of { kind : string; target_core : int }
   | Context_switch of { task : int; onto : bool }
   | Signal_delivered of { task : int; signo : int; code : string }
+  | Lock_acquire of { cls : string; excl : bool; actor : int }
+  | Lock_release of { cls : string; excl : bool; actor : int }
+  | Lock_contended of { cls : string; excl : bool; actor : int }
   | Cache_hit of { vkey : int; pkey : int }
   | Cache_miss of { vkey : int }
   | Cache_evict of { vkey : int; victim : int; pkey : int }
