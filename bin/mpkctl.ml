@@ -11,7 +11,12 @@
                                  stack consistent
      mpkctl lint [OPTIONS]       static domain-safety analysis of the
                                  case-study apps' libmpk protocols, with
-                                 optional witness replay (--confirm)
+                                 optional witness replay (--confirm);
+                                 --concurrency switches to the kernel
+                                 locking protocol (lockset races,
+                                 lock-order cycles vs dynamic lockdep,
+                                 atomicity windows) with schedule-search
+                                 witness replay
      mpkctl scale [OPTIONS]      kvstore throughput/latency vs core count,
                                  batched do_pkey_sync IPIs vs the
                                  per-update broadcast, auditor-validated
@@ -766,13 +771,96 @@ let program_for app plant =
             double-free, leak; kvstore: unbalanced, toctou)"
            k (app_name app))
 
+(* Print one program's findings (optionally replaying each witness) and
+   return whether any was an Error. [confirm_finding] is Replay.confirm
+   for the sequential apps, Witness.confirm for the concurrency model. *)
+let lint_report ~tag ~confirm ~confirm_finding (p : Mpk_analysis.Ir.program) findings =
+  Printf.printf "== lint %s: %d node(s), %d finding(s) ==\n" tag
+    (Array.length p.Mpk_analysis.Ir.nodes)
+    (List.length findings);
+  List.iter
+    (fun f ->
+      Format.printf "%a@." Mpk_analysis.Lint.pp_finding f;
+      Format.printf "  witness:@.%a" Mpk_analysis.Lint.pp_witness f;
+      if confirm then confirm_finding f)
+    findings;
+  Mpk_analysis.Lint.has_errors findings
+
+(* The concurrency-mode cross-check (ISSUE 9 acceptance): run the
+   torture harness once with the matching plant so dynamic lockdep
+   observes the same protocol, then require every dynamic inversion
+   (both directions of a class pair present in the observed order
+   graph) to lie inside some static lock-order cycle. *)
+let lint_crosscheck plant program =
+  let torture_plant =
+    match plant with
+    | Some `Lock_order -> Mpk_check.Torture.Plant_lock_order
+    | Some `Recycle | Some `Window -> Mpk_check.Torture.Plant_recycle
+    | None -> Mpk_check.Torture.No_plant
+  in
+  let cfg =
+    {
+      Mpk_check.Torture.tasks = 2;
+      ops = 16;
+      slots = 2;
+      seed = 1L;
+      plant = torture_plant;
+    }
+  in
+  let (_ : Mpk_check.Torture.outcome) =
+    Mpk_check.Torture.run_once cfg ~schedule:[] ()
+  in
+  let dyn_edges = Mpk_check.Lockdep.order_edges () in
+  let known = Mpk_kernel.Lock.known_classes () in
+  let unknown_classes =
+    List.filter (fun c -> not (List.mem c known)) Mpk_check.Mm_model.lock_classes
+  in
+  let inversions =
+    List.filter
+      (fun (a, b) -> a < b && List.mem (b, a) dyn_edges)
+      dyn_edges
+  in
+  let cycles = Mpk_analysis.Lint.static_lock_cycles program in
+  let uncovered =
+    List.filter
+      (fun (a, b) ->
+        not (List.exists (fun c -> List.mem a c && List.mem b c) cycles))
+      inversions
+  in
+  Printf.printf "cross-check: dynamic order edges: %s\n"
+    (match dyn_edges with
+    | [] -> "(none)"
+    | es -> String.concat ", " (List.map (fun (a, b) -> a ^ " -> " ^ b) es));
+  Printf.printf "cross-check: dynamic inversions: %d, static cycles: %d\n"
+    (List.length inversions) (List.length cycles);
+  List.iter
+    (fun c ->
+      Printf.printf
+        "cross-check: model lock class %S unknown to the kernel lock layer\n" c)
+    unknown_classes;
+  List.iter
+    (fun (a, b) ->
+      Printf.printf
+        "cross-check: FAIL: dynamic inversion {%s, %s} not covered by any \
+         static lock-order cycle\n"
+        a b)
+    uncovered;
+  if uncovered = [] && unknown_classes = [] then begin
+    Printf.printf "cross-check: static cycle set covers dynamic inversions: ok\n";
+    true
+  end
+  else false
+
 let lint_cmd =
   let doc =
     "Statically analyze the case-study apps' libmpk protocols: key-lifecycle \
      typestate, begin/end balance on all paths, W^X, ERIM-style WRPKRU gadget scan, \
-     and the lazy do_pkey_sync TOCTOU hazard. Exits nonzero on any ERROR finding. \
-     With --confirm, each finding's path witness is replayed on the simulator with \
-     the invariant auditor as oracle and classified CONFIRMED or UNREPRODUCED."
+     and the lazy do_pkey_sync TOCTOU hazard. With --concurrency, analyze the \
+     kernel's per-VMA locking protocol instead: Eraser-style lockset races, \
+     all-paths lock-order cycles (cross-checked against dynamic lockdep), and \
+     read-check-act atomicity windows; --confirm then compiles each witness to a \
+     torture-harness schedule and searches for a confirming interleaving. Exits \
+     nonzero on any ERROR finding."
   in
   let app_conv =
     Arg.enum [ "jit", Jit; "secstore", Secstore; "kvstore", Kvstore ]
@@ -789,8 +877,9 @@ let lint_cmd =
       & opt (some string) None
       & info [ "plant" ] ~docv:"KIND"
           ~doc:
-            "plant a known violation in the model (requires --app): jit: wx, gadget; \
-             secstore: uaf, double-free, leak; kvstore: unbalanced, toctou")
+            "plant a known violation in the model (requires --app or --concurrency): \
+             jit: wx, gadget; secstore: uaf, double-free, leak; kvstore: unbalanced, \
+             toctou; concurrency: recycle, lock-order, window")
   in
   let confirm =
     Arg.(
@@ -798,46 +887,122 @@ let lint_cmd =
       & info [ "confirm" ]
           ~doc:"replay each finding's witness on the simulator and classify it")
   in
-  let run app plant confirm =
-    if plant <> None && app = None then begin
-      Printf.eprintf "mpkctl: lint: --plant requires --app\n";
-      2
-    end
-    else begin
-      let apps = match app with Some a -> [ a ] | None -> [ Jit; Secstore; Kvstore ] in
-      let programs =
-        List.map (fun a -> Result.map (fun p -> (a, p)) (program_for a plant)) apps
-      in
-      match List.filter_map (function Error e -> Some e | Ok _ -> None) programs with
-      | e :: _ ->
-          Printf.eprintf "mpkctl: lint: %s\n" e;
-          2
-      | [] ->
-          let any_error = ref false in
-          List.iter
-            (fun (a, p) ->
-              let findings = Mpk_analysis.Lint.analyze p in
-              Printf.printf "== lint %s: %d node(s), %d finding(s) ==\n" (app_name a)
-                (Array.length p.Mpk_analysis.Ir.nodes)
-                (List.length findings);
-              List.iter
-                (fun f ->
-                  Format.printf "%a@." Mpk_analysis.Lint.pp_finding f;
-                  Format.printf "  witness:@.%a" Mpk_analysis.Lint.pp_witness f;
-                  if confirm then
-                    Format.printf "  replay: %a@." Mpk_check.Replay.pp_outcome
-                      (Mpk_check.Replay.confirm f))
-                findings;
-              if Mpk_analysis.Lint.has_errors findings then any_error := true)
-            (List.map Result.get_ok programs);
-          if !any_error then begin
-            Printf.eprintf "mpkctl: lint: ERROR finding(s) present\n";
-            1
-          end
-          else 0
-    end
+  let concurrency =
+    Arg.(
+      value & flag
+      & info [ "concurrency" ]
+          ~doc:
+            "analyze the kernel per-VMA locking protocol (lockset, lock-order, \
+             atomicity passes) instead of the case-study apps")
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ app_arg $ plant $ confirm)
+  let pass_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pass" ] ~docv:"NAME"
+          ~doc:"run only the named pass (see $(b,--pass help) for the list)")
+  in
+  let run app plant confirm concurrency pass =
+    let passes_or_err =
+      match pass with
+      | None -> Ok None
+      | Some "help" | Some "list" ->
+          Printf.printf "passes: %s\n"
+            (String.concat ", " Mpk_analysis.Lint.pass_names);
+          Error 0
+      | Some name when List.mem name Mpk_analysis.Lint.pass_names -> Ok (Some [ name ])
+      | Some name ->
+          Printf.eprintf "mpkctl: lint: unknown pass %S (valid: %s)\n" name
+            (String.concat ", " Mpk_analysis.Lint.pass_names);
+          Error 2
+    in
+    match passes_or_err with
+    | Error code -> code
+    | Ok passes_filter -> (
+        let analyze ~default_passes p =
+          let passes = Option.value passes_filter ~default:default_passes in
+          Mpk_analysis.Lint.analyze_with ~passes p
+        in
+        if concurrency then begin
+          if app <> None then begin
+            Printf.eprintf "mpkctl: lint: --concurrency does not take --app\n";
+            2
+          end
+          else
+            match Option.map Mpk_check.Mm_model.plant_of_string plant with
+            | Some None ->
+                Printf.eprintf
+                  "mpkctl: lint: unknown concurrency plant %S (valid: recycle, \
+                   lock-order, window)\n"
+                  (Option.get plant);
+                2
+            | (None | Some (Some _)) as outer ->
+                let mplant = Option.join outer in
+                let p = Mpk_check.Mm_model.program ?plant:mplant () in
+                let findings = analyze ~default_passes:Mpk_analysis.Lint.pass_names p in
+                let tag =
+                  "concurrency"
+                  ^ match mplant with
+                    | None -> ""
+                    | Some pl -> "+" ^ Mpk_check.Mm_model.plant_to_string pl
+                in
+                let any_error =
+                  lint_report ~tag ~confirm
+                    ~confirm_finding:(fun f ->
+                      Format.printf "  replay: %a@." Mpk_check.Witness.pp_outcome
+                        (Mpk_check.Witness.confirm f))
+                    p findings
+                in
+                let covered = lint_crosscheck mplant p in
+                if any_error then begin
+                  Printf.eprintf "mpkctl: lint: ERROR finding(s) present\n";
+                  1
+                end
+                else if not covered then begin
+                  Printf.eprintf "mpkctl: lint: lockdep cross-check failed\n";
+                  1
+                end
+                else 0
+        end
+        else if plant <> None && app = None then begin
+          Printf.eprintf "mpkctl: lint: --plant requires --app or --concurrency\n";
+          2
+        end
+        else begin
+          let apps = match app with Some a -> [ a ] | None -> [ Jit; Secstore; Kvstore ] in
+          let programs =
+            List.map (fun a -> Result.map (fun p -> (a, p)) (program_for a plant)) apps
+          in
+          match List.filter_map (function Error e -> Some e | Ok _ -> None) programs with
+          | e :: _ ->
+              Printf.eprintf "mpkctl: lint: %s\n" e;
+              2
+          | [] ->
+              let any_error = ref false in
+              List.iter
+                (fun (a, p) ->
+                  let findings =
+                    analyze
+                      ~default_passes:(List.map fst Mpk_analysis.Lint.classic_passes)
+                      p
+                  in
+                  if
+                    lint_report ~tag:(app_name a) ~confirm
+                      ~confirm_finding:(fun f ->
+                        Format.printf "  replay: %a@." Mpk_check.Replay.pp_outcome
+                          (Mpk_check.Replay.confirm f))
+                      p findings
+                  then any_error := true)
+                (List.map Result.get_ok programs);
+              if !any_error then begin
+                Printf.eprintf "mpkctl: lint: ERROR finding(s) present\n";
+                1
+              end
+              else 0
+        end)
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ app_arg $ plant $ confirm $ concurrency $ pass_arg)
 
 (* -------- coredump: crash forensics for protected memory -------- *)
 

@@ -86,6 +86,24 @@ module Interval = struct
   let to_string (lo, hi) = if lo = hi then string_of_int lo else Printf.sprintf "[%d,%d]" lo hi
 end
 
+(* --- must/may set pairs, for held-lock and thread-liveness domains --- *)
+
+module MustMay (Ord : Set.OrderedType) = struct
+  module S = Set.Make (Ord)
+
+  (* [must] = members on every path to here, [may] = on some path. Entry
+     states are exact (must = may); joins intersect [must] and union
+     [may], so over a finite universe the lattice has finite height. *)
+  type t = { must : S.t; may : S.t }
+
+  let exact s = { must = s; may = s }
+  let empty = exact S.empty
+  let equal a b = S.equal a.must b.must && S.equal a.may b.may
+  let join a b = { must = S.inter a.must b.must; may = S.union a.may b.may }
+  let add x t = { must = S.add x t.must; may = S.add x t.may }
+  let remove x t = { must = S.remove x t.must; may = S.remove x t.may }
+end
+
 (* --- int-keyed maps with a default, for per-vkey state --- *)
 
 module VMap = struct

@@ -38,6 +38,32 @@ let insn_to_string = function
   | I_br_trusted -> "br-trusted"
   | I_ret -> "ret"
 
+(* --- locks and shared kernel locations (concurrency analysis) --- *)
+
+(* Lock identity is class + instance, mirroring lib/kernel/lock.ml: the
+   classes are the kernel's ("mm_lock", "vma_lock"), and the instance
+   distinguishes e.g. the per-VMA locks of different slots. The lockset
+   pass works over full lockrefs; the lock-order pass projects onto
+   classes, exactly like lockdep. *)
+type lockref = { lcls : string; linst : int }
+
+let lockref_to_string l =
+  if l.linst = 0 then l.lcls else Printf.sprintf "%s#%d" l.lcls l.linst
+
+type lmode = Lk_shared | Lk_excl
+
+let lmode_to_string = function Lk_shared -> "shared" | Lk_excl -> "excl"
+
+(* Shared kernel state the concurrency passes track accesses to. These
+   are *kernel-internal* locations (protected by locks), as opposed to
+   Read/Write's client data accesses (protected by MPK domains). *)
+type loc = L_vma of int | L_pkey_bitmap | L_key_cache of int
+
+let loc_to_string = function
+  | L_vma s -> Printf.sprintf "vma[%d]" s
+  | L_pkey_bitmap -> "pkey_bitmap"
+  | L_key_cache i -> Printf.sprintf "key_cache[%d]" i
+
 (* --- operations --- *)
 
 type op =
@@ -52,6 +78,10 @@ type op =
   | Emit of { vkey : int; code : insn list }  (* JIT: write an instruction stream *)
   | Spawn of { tid : int }  (* start thread [tid] (its CFG is in the program) *)
   | Join of { tid : int }  (* wait for thread [tid] *)
+  | Lock of { lk : lockref; lmode : lmode }  (* kernel lock acquire *)
+  | Unlock of { lk : lockref; lmode : lmode }  (* kernel lock release *)
+  | Load of { loc : loc }  (* read of shared kernel state *)
+  | Store of { loc : loc }  (* write of shared kernel state *)
   | Label of string  (* structural no-op: branch points, loop heads, comments *)
 
 let op_to_string = function
@@ -69,6 +99,12 @@ let op_to_string = function
         (String.concat "; " (List.map insn_to_string code))
   | Spawn { tid } -> Printf.sprintf "spawn t%d" tid
   | Join { tid } -> Printf.sprintf "join t%d" tid
+  | Lock { lk; lmode } ->
+      Printf.sprintf "lock %s %s" (lockref_to_string lk) (lmode_to_string lmode)
+  | Unlock { lk; lmode } ->
+      Printf.sprintf "unlock %s %s" (lockref_to_string lk) (lmode_to_string lmode)
+  | Load { loc } -> Printf.sprintf "load %s" (loc_to_string loc)
+  | Store { loc } -> Printf.sprintf "store %s" (loc_to_string loc)
   | Label s -> Printf.sprintf "# %s" s
 
 (* --- control-flow graph --- *)
@@ -216,6 +252,38 @@ let of_trace ~name steps =
     @ List.map (fun tid -> Op (Join { tid })) tids
   in
   build ~name ~main ~threads:(List.map (fun tid -> tid, ops_of tid) tids) ()
+
+(* --- lifting lock traces into analyzable programs --- *)
+
+(* Trace events carry the lock *class* but deliberately no instance id
+   (event.ml: instance ids come from a process-global counter and would
+   make trace bytes depend on process history), so lifted locks collapse
+   to instance 0 of their class. That is exactly the granularity the
+   lock-order pass needs — its graph is built over classes, like
+   lockdep's — and a sound coarsening for the lockset pass: distinct
+   instances of one class become one abstract lock, so a lifted lockset
+   only ever over-approximates the consistently-held set. Lock actors
+   are core ids in practice; an event with no core context (actor -1,
+   kernel metadata walks) is attributed to the main thread. *)
+let lift_lock_events (events : Mpk_trace.Event.t list) =
+  List.filter_map
+    (fun (e : Mpk_trace.Event.t) ->
+      let lift ctor cls excl actor =
+        let lk = { lcls = cls; linst = 0 } in
+        let lmode = if excl then Lk_excl else Lk_shared in
+        Some (max actor 0, ctor lk lmode)
+      in
+      match e.Mpk_trace.Event.ev with
+      | Mpk_trace.Event.Lock_acquire { cls; excl; actor } ->
+          lift (fun lk lmode -> Lock { lk; lmode }) cls excl actor
+      | Mpk_trace.Event.Lock_release { cls; excl; actor } ->
+          lift (fun lk lmode -> Unlock { lk; lmode }) cls excl actor
+      | _ -> None)
+    events
+
+(* A real execution's lock trace as a straight-line program: what
+   `mpkctl torture --trace`-style runs feed the static passes. *)
+let of_trace_events ~name events = of_trace ~name (lift_lock_events events)
 
 (* --- pretty-printing --- *)
 

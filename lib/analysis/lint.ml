@@ -50,6 +50,10 @@ type detail =
   | Wx_exec_writable of { vkey : int; window : bool }
   | Unsafe_wrpkru of { vkey : int; offset : int }
   | Toctou of { vkey : int; victim : int; access : access }
+  | Race of { loc : Ir.loc; t1 : int; t2 : int; write : bool }
+  | Deadlock of { cycle : string list }  (* lock classes, cyclically ordered *)
+  | Atomicity of { loc : Ir.loc; dropped : Ir.lockref }
+  | Unlock_unheld of { lk : Ir.lockref }
   | Maybe of string  (* imprecision-only findings (joined states) *)
 
 type step = { stid : int; sop : Ir.op }
@@ -703,13 +707,491 @@ module Toctou = struct
       (Dataflow.reached p r 0)
 end
 
+(* --- passes 6–8: concurrency (lockset, lock order, atomicity) --- *)
+
+module Concurrency = struct
+  (* One shared per-thread abstract interpretation feeds three passes:
+
+     - lockset ("lockset"): Eraser's discipline — for every shared
+       kernel location, the set of locks held at *every* access must be
+       non-empty across all tasks reachable from Spawn. Two accesses
+       from may-concurrent threads with disjoint locksets, at least one
+       a Store, are a race; the finding carries a two-task witness (one
+       entry-to-access path per thread).
+
+     - lock order ("lockorder"): the may-happen lock graph — at each
+       Lock node, every class that *may* be held on some CFG path to it
+       contributes a held→acquired edge, so the graph covers all paths,
+       not just executed ones. Cycles are potential deadlocks; the
+       dynamic lockdep order graph (Lockdep.order_edges) must be covered
+       by this analysis on the same program.
+
+     - atomicity ("atomicity"): read–check–act windows — a Load made
+       under locks is an observation; releasing any of those locks makes
+       it stale; a Store to the location while the observation is stale
+       mutates on the strength of a check another task may have
+       invalidated in between (the static generalization of the PR 4
+       TOCTOU lint, at lock rather than domain granularity). *)
+
+  module Held = Dataflow.MustMay (struct
+    type t = Ir.lockref
+
+    let compare = compare
+  end)
+
+  module LSet = Held.S
+  module LocMap = Map.Make (struct
+    type t = Ir.loc
+
+    let compare = compare
+  end)
+
+  let lset_to_string s =
+    if LSet.is_empty s then "{}"
+    else
+      "{" ^ String.concat "," (List.map Ir.lockref_to_string (LSet.elements s)) ^ "}"
+
+  (* Read–check–act status per location. *)
+  type obs = Clean | Observed of LSet.t | Stale of Ir.lockref
+
+  type cstate = { held : Held.t; obs : obs LocMap.t }
+
+  let init = { held = Held.empty; obs = LocMap.empty }
+  let obs_d loc m = Option.value ~default:Clean (LocMap.find_opt loc m)
+
+  let obs_join a b =
+    match a, b with
+    | Stale l, _ | _, Stale l -> Stale l
+    | Observed x, Observed y ->
+        let i = LSet.inter x y in
+        if LSet.is_empty i then Clean else Observed i
+    | (Observed _ as o), Clean | Clean, (Observed _ as o) -> o
+    | Clean, Clean -> Clean
+
+  let equal a b =
+    Held.equal a.held b.held
+    &&
+    let keys m = LocMap.fold (fun k _ acc -> k :: acc) m [] in
+    List.for_all
+      (fun k -> obs_d k a.obs = obs_d k b.obs)
+      (List.sort_uniq compare (keys a.obs @ keys b.obs))
+
+  let join a b =
+    {
+      held = Held.join a.held b.held;
+      obs =
+        LocMap.merge
+          (fun _ x y ->
+            Some
+              (obs_join
+                 (Option.value ~default:Clean x)
+                 (Option.value ~default:Clean y)))
+          a.obs b.obs;
+    }
+
+  let transfer (n : Ir.node) st =
+    match n.Ir.op with
+    | Ir.Lock { lk; _ } -> { st with held = Held.add lk st.held }
+    | Ir.Unlock { lk; _ } ->
+        let obs =
+          LocMap.map
+            (function Observed s when LSet.mem lk s -> Stale lk | o -> o)
+            st.obs
+        in
+        { held = Held.remove lk st.held; obs }
+    | Ir.Load { loc } ->
+        let o =
+          if LSet.is_empty st.held.Held.must then Clean
+          else Observed st.held.Held.must
+        in
+        { st with obs = LocMap.add loc o st.obs }
+    | Ir.Store { loc } -> { st with obs = LocMap.add loc Clean st.obs }
+    | _ -> st
+
+  (* -- may-concurrency between threads, from main's Spawn/Join shape -- *)
+
+  module ISet = Set.Make (Int)
+
+  type conc = {
+    live_may_at : int -> ISet.t;  (* main node id -> threads possibly live *)
+    spawn_nodes : (int * int) list;  (* tid, main node id *)
+  }
+
+  let concurrency p =
+    let main = Ir.main_thread p in
+    let equal (am, aM) (bm, bM) = ISet.equal am bm && ISet.equal aM bM in
+    let join (am, aM) (bm, bM) = ISet.inter am bm, ISet.union aM bM in
+    let transfer (n : Ir.node) (must, may) =
+      match n.Ir.op with
+      | Ir.Spawn { tid } -> ISet.add tid must, ISet.add tid may
+      | Ir.Join { tid } -> ISet.remove tid must, ISet.remove tid may
+      | _ -> must, may
+    in
+    let r =
+      Dataflow.forward p ~entry:main.Ir.entry
+        ~init:(ISet.empty, ISet.empty)
+        ~equal ~join ~transfer
+    in
+    {
+      live_may_at =
+        (fun id ->
+          match Dataflow.state r id with Some (_, may) -> may | None -> ISet.empty);
+      spawn_nodes =
+        Dataflow.reached p r 0
+        |> List.filter_map (fun (n : Ir.node) ->
+               match n.Ir.op with
+               | Ir.Spawn { tid } -> Some (tid, n.Ir.id)
+               | _ -> None);
+    }
+
+  (* May thread [a]'s access at [anode] run concurrently with thread
+     [b]'s access at [bnode]? A main (tid 0) access overlaps exactly the
+     threads possibly live at that main node — pre-spawn and post-join
+     accesses race with nobody; two spawned threads overlap when either
+     is possibly live at the other's spawn point. *)
+  let may_overlap conc ~a ~anode ~b ~bnode =
+    if a = b then false
+    else if a = 0 then ISet.mem b (conc.live_may_at anode)
+    else if b = 0 then ISet.mem a (conc.live_may_at bnode)
+    else
+      List.exists
+        (fun (tid, id) ->
+          (tid = a && ISet.mem b (conc.live_may_at id))
+          || (tid = b && ISet.mem a (conc.live_may_at id)))
+        conc.spawn_nodes
+
+  (* -- the shared sweep -- *)
+
+  type acc = {
+    a_tid : int;
+    a_node : int;
+    a_loc : Ir.loc;
+    a_kind : access;
+    a_must : LSet.t;
+    a_may : LSet.t;
+    a_witness : step list;  (* prefix + path, ready for a finding *)
+    a_path : step list;  (* this thread's path only (for 2nd witness half) *)
+  }
+
+  type sweep = {
+    accesses : acc list;
+    edges : ((string * string) * (int * int * step list)) list;
+        (* class edge -> representative (tid, node, witness) *)
+    findings : finding list;  (* same-class nesting, atomicity, unlock-unheld *)
+  }
+
+  let sweep p =
+    let runs =
+      thread_runs p ~init_main:init ~derive_init:(fun _ -> init) ~equal ~join
+        ~transfer
+    in
+    let accesses = ref [] in
+    let edges = ref [] in
+    let findings = ref [] in
+    List.iter
+      (fun (tid, r, prefix) ->
+        Dataflow.reached p r tid
+        |> List.iter (fun (n : Ir.node) ->
+               match Dataflow.state r n.Ir.id with
+               | None -> ()
+               | Some st ->
+                   let path =
+                     List.map
+                       (fun id -> { stid = tid; sop = (Ir.node p id).Ir.op })
+                       (Dataflow.path_to r n.Ir.id)
+                   in
+                   let witness () = prefix @ path in
+                   let access kind loc =
+                     accesses :=
+                       {
+                         a_tid = tid;
+                         a_node = n.Ir.id;
+                         a_loc = loc;
+                         a_kind = kind;
+                         a_must = st.held.Held.must;
+                         a_may = st.held.Held.may;
+                         a_witness = witness ();
+                         a_path = path;
+                       }
+                       :: !accesses
+                   in
+                   (match n.Ir.op with
+                   | Ir.Load { loc } -> access A_read loc
+                   | Ir.Store { loc } -> (
+                       access A_write loc;
+                       match obs_d loc st.obs with
+                       | Stale dropped ->
+                           findings :=
+                             mk ~pass:"atomicity" ~severity:Error
+                               ~detail:(Atomicity { loc; dropped })
+                               ~tid ~node:n
+                               ~message:
+                                 (Printf.sprintf
+                                    "read–check–act window: %s was read under %s, \
+                                     the lock was dropped, and this store still \
+                                     acts on that check — another task can \
+                                     invalidate it in the window"
+                                    (Ir.loc_to_string loc)
+                                    (Ir.lockref_to_string dropped))
+                               ~witness
+                             :: !findings
+                       | Clean | Observed _ -> ())
+                   | Ir.Lock { lk; _ } ->
+                       LSet.iter
+                         (fun h ->
+                           if h.Ir.lcls = lk.Ir.lcls then begin
+                             if h <> lk then
+                               findings :=
+                                 mk ~pass:"lockorder" ~severity:Warning
+                                   ~detail:
+                                     (Maybe "same-class nesting needs annotation")
+                                   ~tid ~node:n
+                                   ~message:
+                                     (Printf.sprintf
+                                        "acquire of %s while already holding %s: \
+                                         same-class nesting (lockdep would demand \
+                                         an ordering annotation)"
+                                        (Ir.lockref_to_string lk)
+                                        (Ir.lockref_to_string h))
+                                   ~witness
+                                 :: !findings
+                           end
+                           else if
+                             not
+                               (List.mem_assoc
+                                  (h.Ir.lcls, lk.Ir.lcls)
+                                  !edges)
+                           then
+                             edges :=
+                               ((h.Ir.lcls, lk.Ir.lcls), (tid, n.Ir.id, witness ()))
+                               :: !edges)
+                         st.held.Held.may
+                   | Ir.Unlock { lk; _ } ->
+                       if not (LSet.mem lk st.held.Held.may) then
+                         findings :=
+                           mk ~pass:"lockset" ~severity:Warning
+                             ~detail:(Unlock_unheld { lk }) ~tid ~node:n
+                             ~message:
+                               (Printf.sprintf
+                                  "release of %s which is not held on any path here"
+                                  (Ir.lockref_to_string lk))
+                             ~witness
+                           :: !findings
+                   | _ -> ())))
+      runs;
+    { accesses = List.rev !accesses; edges = List.rev !edges; findings = List.rev !findings }
+
+  (* -- lockset races -- *)
+
+  let severity_rank' = function Error -> 0 | Warning -> 1 | Info -> 2
+
+  let races p sw =
+    let conc = concurrency p in
+    let pairs = ref [] in
+    List.iter
+      (fun x ->
+        List.iter
+          (fun y ->
+            if
+              x.a_loc = y.a_loc
+              && x.a_tid < y.a_tid
+              && (x.a_kind = A_write || y.a_kind = A_write)
+              && LSet.is_empty (LSet.inter x.a_must y.a_must)
+              && may_overlap conc ~a:x.a_tid ~anode:x.a_node ~b:y.a_tid
+                   ~bnode:y.a_node
+            then pairs := (x, y) :: !pairs)
+          sw.accesses)
+      sw.accesses;
+    (* The victim (fewer locks held) anchors the finding; the second
+       thread's path is appended so the witness covers both tasks. *)
+    let to_finding (x, y) =
+      let victim, other =
+        if LSet.cardinal x.a_must <= LSet.cardinal y.a_must then x, y else y, x
+      in
+      let definite = LSet.is_empty (LSet.inter x.a_may y.a_may) in
+      let severity = if definite then Error else Warning in
+      let detail =
+        if definite then
+          Race
+            {
+              loc = x.a_loc;
+              t1 = victim.a_tid;
+              t2 = other.a_tid;
+              write = victim.a_kind = A_write || other.a_kind = A_write;
+            }
+        else Maybe "path-dependent locking discipline"
+      in
+      {
+        pass = "lockset";
+        severity;
+        detail;
+        tid = victim.a_tid;
+        node = victim.a_node;
+        message =
+          Printf.sprintf
+            "%s race on %s: t%d %ss it holding %s while t%d %ss it holding %s — \
+             no common lock%s, so an adversarial schedule interleaves them \
+             (Eraser lockset empty)"
+            (if definite then "data" else "possible")
+            (Ir.loc_to_string x.a_loc) victim.a_tid
+            (access_to_string victim.a_kind)
+            (lset_to_string victim.a_must)
+            other.a_tid
+            (access_to_string other.a_kind)
+            (lset_to_string other.a_must)
+            (if definite then "" else " on some path");
+        witness = victim.a_witness @ other.a_path;
+      }
+    in
+    (* one finding per (loc, thread pair), most severe first *)
+    let all = List.map to_finding !pairs in
+    let key f =
+      match f.detail with
+      | Race { loc; t1; t2; _ } -> Some (loc, min t1 t2, max t1 t2)
+      | _ -> None
+    in
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun f ->
+        match key f with
+        | None ->
+            (* keep at most one Maybe per (loc, pair) too, keyed by message *)
+            if Hashtbl.mem seen (`Msg f.message) then false
+            else begin
+              Hashtbl.replace seen (`Msg f.message) ();
+              true
+            end
+        | Some k ->
+            if Hashtbl.mem seen (`Race k) then false
+            else begin
+              Hashtbl.replace seen (`Race k) ();
+              true
+            end)
+      (List.stable_sort
+         (fun a b -> compare (severity_rank' a.severity) (severity_rank' b.severity))
+         all)
+
+  (* -- static lock-order cycles -- *)
+
+  (* DFS over the class graph; cycles are canonicalized (rotated so the
+     least class leads) and deduplicated. *)
+  let find_cycles edges =
+    let succs a =
+      List.filter_map (fun ((x, y), _) -> if x = a then Some y else None) edges
+      |> List.sort compare
+    in
+    let nodes =
+      List.concat_map (fun ((a, b), _) -> [ a; b ]) edges |> List.sort_uniq compare
+    in
+    let cycles = ref [] in
+    let canon c =
+      let m = List.fold_left min (List.hd c) c in
+      let rec rot = function
+        | x :: rest when x <> m -> rot (rest @ [ x ])
+        | l -> l
+      in
+      rot c
+    in
+    let color = Hashtbl.create 8 in
+    let rec visit path a =
+      match Hashtbl.find_opt color a with
+      | Some 2 -> ()
+      | Some 1 ->
+          let rec suffix = function
+            | [] -> []
+            | x :: _ when x = a -> [ x ]
+            | x :: rest -> x :: suffix rest
+          in
+          let c = canon (List.rev (suffix path)) in
+          if not (List.mem c !cycles) then cycles := c :: !cycles
+      | _ ->
+          Hashtbl.replace color a 1;
+          List.iter (visit (a :: path)) (succs a);
+          Hashtbl.replace color a 2
+    in
+    List.iter (visit []) nodes;
+    List.rev !cycles
+
+  let deadlocks sw =
+    find_cycles sw.edges
+    |> List.map (fun cycle ->
+           (* witness: one representative acquisition path per edge of
+              the cycle, typically from different threads *)
+           let edge_wits =
+             let rec arcs = function
+               | a :: (b :: _ as rest) -> (a, b) :: arcs rest
+               | [ last ] -> [ last, List.hd cycle ]
+               | [] -> []
+             in
+             List.filter_map (fun e -> List.assoc_opt e sw.edges) (arcs cycle)
+           in
+           let tid, node =
+             match edge_wits with (t, n, _) :: _ -> t, n | [] -> 0, 0
+           in
+           {
+             pass = "lockorder";
+             severity = Error;
+             detail = Deadlock { cycle };
+             tid;
+             node;
+             message =
+               Printf.sprintf
+                 "lock-order cycle %s exists across CFG paths: two tasks taking \
+                  the classes in opposite order deadlock under an adversarial \
+                  schedule"
+                 (String.concat " -> " (cycle @ [ List.hd cycle ]));
+             witness = List.concat_map (fun (_, _, w) -> w) edge_wits;
+           })
+
+  let run p =
+    let sw = sweep p in
+    races p sw @ deadlocks sw @ sw.findings
+
+  (* The class-level order graph and its cycles, for cross-checking
+     against dynamic lockdep observations (Mpk_check.Lockdep). *)
+  let order_edges p = List.map fst (sweep p).edges |> List.sort compare
+  let cycles p = find_cycles (sweep p).edges
+end
+
 (* --- driver --- *)
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
-let analyze p =
-  Typestate.run p @ Balance.run p @ Wx.run p @ Gadget.run p @ Toctou.run p
-  |> List.sort (fun a b ->
-         compare
-           (severity_rank a.severity, a.pass, a.node)
-           (severity_rank b.severity, b.pass, b.node))
+let classic_passes =
+  [
+    "typestate", Typestate.run;
+    "balance", Balance.run;
+    "wx", Wx.run;
+    "gadget", Gadget.run;
+    "toctou", Toctou.run;
+  ]
+
+let concurrency_passes = [ "lockset"; "lockorder"; "atomicity" ]
+let pass_names = List.map fst classic_passes @ concurrency_passes
+
+(* Stable order — severity, then tid, then node (then pass/message as
+   final tie-breaks) — so CI diffs of lint output are deterministic. *)
+let sort_findings fs =
+  List.sort
+    (fun a b ->
+      compare
+        (severity_rank a.severity, a.tid, a.node, a.pass, a.message)
+        (severity_rank b.severity, b.tid, b.node, b.pass, b.message))
+    fs
+
+let analyze_with ~passes p =
+  let wanted n = List.mem n passes in
+  let classic =
+    List.concat_map (fun (n, f) -> if wanted n then f p else []) classic_passes
+  in
+  let conc =
+    if List.exists wanted concurrency_passes then
+      Concurrency.run p |> List.filter (fun f -> wanted f.pass)
+    else []
+  in
+  sort_findings (classic @ conc)
+
+let analyze p = analyze_with ~passes:pass_names p
+let analyze_concurrency p = analyze_with ~passes:concurrency_passes p
+let static_lock_edges = Concurrency.order_edges
+let static_lock_cycles = Concurrency.cycles

@@ -135,6 +135,13 @@ let enabled () = !enabled_flag
 
 let findings () = List.rev !findings_rev
 
+(* The class-level order graph as observed dynamically: "while holding
+   A, attempted B". Exported so the static lock-order pass can check
+   that its all-paths graph covers what a run actually witnessed,
+   instead of re-deriving the edges from raw lock events. *)
+let order_edges () =
+  Hashtbl.fold (fun e () acc -> e :: acc) edges [] |> List.sort compare
+
 (* --- quiescent checks --- *)
 
 (* Full-graph cycle sweep: pairwise detection above only catches

@@ -40,6 +40,13 @@ val reset : unit -> unit
 val findings : unit -> finding list
 (** Findings recorded so far, oldest first. *)
 
+val order_edges : unit -> (string * string) list
+(** The class-level lock-order graph observed so far — [(a, b)] means
+    "while holding class [a], some actor attempted class [b]" — sorted.
+    Survives {!disable}, like findings, until the next {!enable}. The
+    static lock-order pass ({!Mpk_analysis.Lint}) cross-checks its
+    all-paths graph against these dynamic observations. *)
+
 val check_quiescent : unit -> finding list
 (** Run the end-of-run checks (held-lock/refcount leaks, mmgrab
     balance, full cycle sweep) and return all findings. Call only when

@@ -100,6 +100,12 @@ let exec_step env (s : Lint.step) =
         Hashtbl.replace env.tasks tid
           (Proc.spawn env.proc ~inherit_from:t ~core_id:tid ())
   | Ir.Join { tid = _ } | Ir.Label _ -> ()
+  | Ir.Lock _ | Ir.Unlock _ | Ir.Load _ | Ir.Store _ ->
+      (* kernel-internal protocol steps: the live API takes its own
+         locks around its own shared state, so a witness can't drive
+         them individually — Witness compiles these to torture fibers
+         instead *)
+      ()
 
 (* --- oracles --- *)
 
@@ -339,6 +345,15 @@ let confirm (f : Lint.finding) =
                 "no stale-rights window (work_pending=%d, stale=%b)"
                 (Task.work_pending vt) stale;
           }
+    (* -- concurrency findings need an interleaving, not a straight-line
+       replay: Witness.confirm compiles them to torture schedules -- *)
+    | Lint.Race _ | Lint.Deadlock _ | Lint.Atomicity _ | Lint.Unlock_unheld _ ->
+        {
+          verdict = Unreproduced;
+          note =
+            "concurrency finding: needs an adversarial schedule — replay it \
+             with Witness.confirm";
+        }
     (* -- imprecision findings have no single concrete failure -- *)
     | Lint.Maybe _ ->
         ignore (split_last f.Lint.witness);

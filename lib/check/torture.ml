@@ -154,8 +154,12 @@ type outcome = {
 
 exception Torture_failure of string
 
-let run_once ?(trace = false) cfg ~schedule () =
-  let tasks = max 1 cfg.tasks in
+let run_once ?(trace = false) ?fiber_ops cfg ~schedule () =
+  let tasks =
+    match fiber_ops with
+    | Some a -> max 1 (Array.length a)
+    | None -> max 1 cfg.tasks
+  in
   let op_count = max 1 cfg.ops in
   let slot_count = max 1 cfg.slots in
   Mpk_faultinj.reset ();
@@ -182,16 +186,25 @@ let run_once ?(trace = false) cfg ~schedule () =
   (* Shared slot table: the ops of different fibers collide on these
      slots, which is where the mmap/munmap/lookup races come from. *)
   let slots = Array.make slot_count None in
-  let base = Mpk_util.Prng.create ~seed:cfg.seed in
   let fiber_ops =
-    Array.init tasks (fun _ ->
-        gen_ops (Mpk_util.Prng.split base) ~ops:op_count ~slots:slot_count)
+    (* An explicit per-fiber op list (witness replay) takes the ops as
+       given — no seed-derived traffic, no plant-op insertion; the only
+       plant effect that still applies is Plant_recycle's disabled
+       re-validation below. *)
+    match fiber_ops with
+    | Some a -> a
+    | None ->
+        let base = Mpk_util.Prng.create ~seed:cfg.seed in
+        let a =
+          Array.init tasks (fun _ ->
+              gen_ops (Mpk_util.Prng.split base) ~ops:op_count ~slots:slot_count)
+        in
+        (match cfg.plant with
+        | Plant_lock_order -> a.(0) <- insert_mid a.(0) Op_plant_lock_order
+        | Plant_release_held -> a.(0) <- insert_mid a.(0) Op_plant_release_held
+        | No_plant | Plant_recycle -> ());
+        a
   in
-  (match cfg.plant with
-  | Plant_lock_order -> fiber_ops.(0) <- insert_mid fiber_ops.(0) Op_plant_lock_order
-  | Plant_release_held ->
-      fiber_ops.(0) <- insert_mid fiber_ops.(0) Op_plant_release_held
-  | No_plant | Plant_recycle -> ());
   (* The planted protocol bug: lookups skip the recycle re-validation. *)
   Vma.set_recycle_check (cfg.plant <> Plant_recycle);
   let switches : (int, int) Hashtbl.t = Hashtbl.create 64 in

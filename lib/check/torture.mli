@@ -44,6 +44,19 @@ type schedule = (int * int) list
 val schedule_to_string : schedule -> string
 val schedule_of_string : string -> (schedule, string) result
 
+(** One fiber operation over the shared slot table. Normally generated
+    from the seed; witness replay ({!Mpk_check.Witness}) passes explicit
+    per-fiber op lists instead. *)
+type op =
+  | Op_mmap of { slot : int; pages : int; ro : bool }
+      (** map (remapping an occupied slot first unmaps it — the churn
+          that feeds the typesafe free-list with recycles) *)
+  | Op_munmap of { slot : int }
+  | Op_lookup of { slot : int; off : int }
+  | Op_protect of { slot : int; ro : bool }
+  | Op_plant_lock_order  (** acquire vma→mm against the established order *)
+  | Op_plant_release_held  (** release the mm lock without holding it *)
+
 type outcome = {
   ok : bool;
   reason : string option;  (** first failure, when not [ok] *)
@@ -56,8 +69,13 @@ type outcome = {
 }
 
 (** One deterministic run. [trace] additionally records events into the
-    tracer ring (cycle totals are unaffected by tracing). *)
-val run_once : ?trace:bool -> config -> schedule:schedule -> unit -> outcome
+    tracer ring (cycle totals are unaffected by tracing). [fiber_ops]
+    overrides the seed-generated traffic with one explicit op list per
+    fiber (fiber count then comes from the array, not [cfg.tasks], and
+    no plant op is inserted — though [Plant_recycle] still disables the
+    lookup re-validation); this is how compiled witnesses replay. *)
+val run_once :
+  ?trace:bool -> ?fiber_ops:op list array -> config -> schedule:schedule -> unit -> outcome
 
 type report = {
   cfg : config;

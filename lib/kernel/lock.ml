@@ -33,8 +33,18 @@ exception Would_block of string
 
 let next_id = ref 0
 
+(* Class registry: every class ever constructed. Tools that model the
+   lock hierarchy (the static concurrency analyzer's protocol programs)
+   validate their class names against this, so a model can't silently
+   drift from the kernel's real classes. *)
+let classes : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let known_classes () =
+  Hashtbl.fold (fun c () acc -> c :: acc) classes [] |> List.sort compare
+
 let make ~cls =
   incr next_id;
+  Hashtbl.replace classes cls ();
   { id = !next_id; cls; writer = None; write_depth = 0; readers = [] }
 
 let id t = t.id

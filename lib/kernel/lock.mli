@@ -32,6 +32,10 @@ val make : cls:string -> t
 val id : t -> int
 val cls : t -> string
 
+val known_classes : unit -> string list
+(** Every class a lock was ever constructed with, sorted. The static
+    concurrency analyzer validates its protocol models against this. *)
+
 val set_hook : (event -> unit) -> unit
 (** Install the lockdep recorder. Exactly one hook; [clear_hook]
     restores the no-op. *)

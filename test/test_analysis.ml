@@ -374,6 +374,275 @@ let test_stress_trace_ir () =
   (* the analyzer runs on the re-emitted trace without blowing up *)
   ignore (Lint.analyze p : Lint.finding list)
 
+(* --- dataflow engine edge cases --- *)
+
+let test_widening_terminates () =
+  (* An unbalanced loop drives the saturating interval domain to its
+     cap; the fixpoint must still terminate (finite-height domain) and
+     the balance pass must flag the drift rather than diverge. *)
+  let open Ir in
+  let p =
+    build ~name:"drift"
+      ~main:
+        [
+          op (Mmap { vkey = 1; pages = 1; prot = Perm.rw });
+          Loop ("drift", [ op (Begin { vkey = 1; prot = Perm.rw }) ]);
+          op (Free { vkey = 1 });
+        ]
+      ()
+  in
+  let fs = Lint.analyze p in
+  expect_detail "balance" (function Lint.Unbalanced _ -> true | _ -> false) fs
+
+let test_unreachable_node_state () =
+  (* Nodes of a thread never spawned from the analyzed entry are not
+     reached by the fixpoint: their post-state is None, not init. *)
+  let open Ir in
+  let p =
+    build ~name:"unreachable"
+      ~main:[ op (Read { vkey = 1 }) ]
+      ~threads:[ (1, [ op (Write { vkey = 1 }) ]) ]
+      ()
+  in
+  let main = main_thread p in
+  let r =
+    Dataflow.forward p ~entry:main.entry ~init:0 ~equal:Int.equal ~join:max
+      ~transfer:(fun _ s -> s + 1)
+  in
+  List.iter
+    (fun (n : node) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "thread-1 node %d unreachable" n.id)
+        true
+        (Dataflow.state r n.id = None))
+    (thread_nodes p 1);
+  Alcotest.(check bool) "main entry reached" true
+    (Dataflow.state r main.entry <> None)
+
+let test_spawn_empty_thread () =
+  (* Spawning a thread with an empty body must build, analyze clean,
+     and thread_runs must not choke on the trivial CFG. *)
+  let open Ir in
+  let p =
+    build ~name:"empty-thread"
+      ~main:[ op (Spawn { tid = 1 }); op (Join { tid = 1 }) ]
+      ~threads:[ (1, []) ]
+      ()
+  in
+  expect_clean "spawn of an empty thread" (Lint.analyze p)
+
+(* --- concurrency passes: lockset, lock-order, atomicity --- *)
+
+let lk cls = { Ir.lcls = cls; linst = 0 }
+
+let locked_access ?(mode = Ir.Lk_excl) cls body =
+  Ir.op (Ir.Lock { lk = lk cls; lmode = mode })
+  :: (body @ [ Ir.op (Ir.Unlock { lk = lk cls; lmode = mode }) ])
+
+let test_lockset_micro () =
+  let open Ir in
+  (* t1 writes vma[0] under the lock, t2 reads it bare: empty
+     intersection, both live between spawn and join -> Race. *)
+  let racy =
+    micro "racy"
+      [ op (Spawn { tid = 1 }); op (Spawn { tid = 2 });
+        op (Join { tid = 1 }); op (Join { tid = 2 }) ]
+      ~threads:
+        [
+          (1, locked_access "mm_lock" [ op (Store { loc = L_vma 0 }) ]);
+          (2, [ op (Load { loc = L_vma 0 }) ]);
+        ]
+  in
+  let fs = Lint.analyze racy in
+  expect_detail "race" (function Lint.Race _ -> true | _ -> false) fs;
+  Alcotest.(check bool) "race is an error" true (errors fs <> []);
+  (* same program with the reader locked too: silent *)
+  let clean =
+    micro "locked"
+      [ op (Spawn { tid = 1 }); op (Spawn { tid = 2 });
+        op (Join { tid = 1 }); op (Join { tid = 2 }) ]
+      ~threads:
+        [
+          (1, locked_access "mm_lock" [ op (Store { loc = L_vma 0 }) ]);
+          (2, locked_access ~mode:Lk_shared "mm_lock" [ op (Load { loc = L_vma 0 }) ]);
+        ]
+  in
+  expect_clean "common-lock discipline" (Lint.analyze clean)
+
+let test_no_race_outside_spawn_window () =
+  (* Main's unlocked writes before the spawn and after the join are not
+     concurrent with the thread: no finding. *)
+  let open Ir in
+  let p =
+    micro "window"
+      ([ op (Store { loc = L_vma 0 }); op (Spawn { tid = 1 }); op (Join { tid = 1 }) ]
+      @ [ op (Store { loc = L_vma 0 }) ])
+      ~threads:[ (1, locked_access "mm_lock" [ op (Load { loc = L_vma 0 }) ]) ]
+  in
+  expect_clean "pre-spawn/post-join accesses" (Lint.analyze p)
+
+let test_lockorder_micro () =
+  let open Ir in
+  let p =
+    micro "abba"
+      [ op (Spawn { tid = 1 }); op (Spawn { tid = 2 });
+        op (Join { tid = 1 }); op (Join { tid = 2 }) ]
+      ~threads:
+        [
+          (1, locked_access "a_lock" (locked_access "b_lock" []));
+          (2, locked_access "b_lock" (locked_access "a_lock" []));
+        ]
+  in
+  let fs = Lint.analyze p in
+  expect_detail "deadlock cycle" (function Lint.Deadlock _ -> true | _ -> false) fs;
+  (* consistent order in both threads: silent *)
+  let clean =
+    micro "abab"
+      [ op (Spawn { tid = 1 }); op (Spawn { tid = 2 });
+        op (Join { tid = 1 }); op (Join { tid = 2 }) ]
+      ~threads:
+        [
+          (1, locked_access "a_lock" (locked_access "b_lock" []));
+          (2, locked_access "a_lock" (locked_access "b_lock" []));
+        ]
+  in
+  expect_clean "consistent order" (Lint.analyze clean)
+
+let test_atomicity_micro () =
+  let open Ir in
+  let p =
+    micro "rca"
+      (locked_access ~mode:Lk_shared "mm_lock" [ op (Load { loc = L_vma 0 }) ]
+      @ locked_access "mm_lock" [ op (Store { loc = L_vma 0 }) ])
+  in
+  let fs = Lint.analyze p in
+  expect_detail "atomicity window" (function Lint.Atomicity _ -> true | _ -> false) fs;
+  (* check and act under one hold: silent *)
+  let clean =
+    micro "atomic"
+      (locked_access "mm_lock"
+         [ op (Load { loc = L_vma 0 }); op (Store { loc = L_vma 0 }) ])
+  in
+  expect_clean "single critical section" (Lint.analyze clean)
+
+let test_unlock_unheld_micro () =
+  let open Ir in
+  let fs =
+    Lint.analyze
+      (micro "unheld" [ op (Unlock { lk = lk "mm_lock"; lmode = Lk_excl }) ])
+  in
+  expect_detail "unlock-unheld" (function Lint.Unlock_unheld _ -> true | _ -> false) fs
+
+let test_pass_filter () =
+  let open Ir in
+  let p =
+    micro "abba"
+      [ op (Spawn { tid = 1 }); op (Spawn { tid = 2 });
+        op (Join { tid = 1 }); op (Join { tid = 2 }) ]
+      ~threads:
+        [
+          (1, locked_access "a_lock" (locked_access "b_lock" []));
+          (2, locked_access "b_lock" (locked_access "a_lock" []));
+        ]
+  in
+  expect_clean "lockset-only run hides the cycle"
+    (Lint.analyze_with ~passes:[ "lockset" ] p);
+  expect_detail "lockorder-only run finds it"
+    (function Lint.Deadlock _ -> true | _ -> false)
+    (Lint.analyze_with ~passes:[ "lockorder" ] p);
+  Alcotest.(check bool) "pass registry lists all eight" true
+    (List.length Lint.pass_names = 8)
+
+let test_finding_order_stable () =
+  (* analyze output is sorted severity-then-tid-then-node: ranks must be
+     non-decreasing, so CI diffs of lint output are stable. *)
+  let fs = Lint.analyze (Mpk_check.Mm_model.program ~plant:`Recycle ()) in
+  let rank f =
+    ( (match f.Lint.severity with Lint.Error -> 0 | Lint.Warning -> 1 | Lint.Info -> 2),
+      f.Lint.tid, f.Lint.node )
+  in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> rank a <= rank b && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (non_decreasing fs)
+
+(* --- the mm protocol model --- *)
+
+let test_mm_model_clean () =
+  expect_clean "clean mm protocol (all passes)"
+    (Lint.analyze (Mpk_check.Mm_model.program ()))
+
+let test_mm_model_plants () =
+  let expect_plant plant what pred =
+    let fs = Lint.analyze (Mpk_check.Mm_model.program ~plant ()) in
+    expect_detail what pred fs;
+    Alcotest.(check int)
+      (Printf.sprintf "exactly one error for %s" what)
+      1 (List.length (errors fs))
+  in
+  expect_plant `Recycle "race" (function Lint.Race _ -> true | _ -> false);
+  expect_plant `Lock_order "deadlock" (function Lint.Deadlock _ -> true | _ -> false);
+  expect_plant `Window "atomicity" (function Lint.Atomicity _ -> true | _ -> false)
+
+let test_mm_model_static_order () =
+  (* The clean protocol's may-held graph is exactly mm_lock -> vma_lock,
+     acyclic; the lock-order plant adds the reverse edge and one cycle. *)
+  let clean = Mpk_check.Mm_model.program () in
+  Alcotest.(check (list (pair string string)))
+    "clean edges"
+    [ ("mm_lock", "vma_lock") ]
+    (Lint.static_lock_edges clean);
+  Alcotest.(check int) "clean is acyclic" 0
+    (List.length (Lint.static_lock_cycles clean));
+  let planted = Mpk_check.Mm_model.program ~plant:`Lock_order () in
+  Alcotest.(check bool) "planted has the reverse edge" true
+    (List.mem ("vma_lock", "mm_lock") (Lint.static_lock_edges planted));
+  Alcotest.(check int) "planted has one cycle" 1
+    (List.length (Lint.static_lock_cycles planted))
+
+(* --- lifting kernel lock trace events --- *)
+
+let test_lift_lock_events () =
+  let open Mpk_trace in
+  let mk seq ev = { Event.seq; ts = 0.0; core = 0; task = 0; span = 0; ev } in
+  let evs =
+    [
+      mk 0 (Event.Lock_acquire { cls = "mm_lock"; excl = true; actor = 0 });
+      mk 1 (Event.Lock_acquire { cls = "vma_lock"; excl = false; actor = 1 });
+      mk 2 (Event.Lock_release { cls = "vma_lock"; excl = false; actor = 1 });
+      mk 3 (Event.Lock_release { cls = "mm_lock"; excl = true; actor = 0 });
+      mk 4 (Event.Marker { name = "not a lock event" });
+    ]
+  in
+  let p = Ir.of_trace_events ~name:"lifted" evs in
+  Alcotest.(check int) "two threads" 2 (List.length p.Ir.threads);
+  (* node ids are not program order (the builder lowers back-to-front):
+     walk the Seq chain from the thread entry. *)
+  let ops tid =
+    let t = Option.get (Ir.find_thread p tid) in
+    let rec go id acc =
+      let n = Ir.node p id in
+      let acc =
+        match n.Ir.op with
+        | (Ir.Lock _ | Ir.Unlock _) as o -> Ir.op_to_string o :: acc
+        | _ -> acc
+      in
+      match n.Ir.succs with (Ir.Seq, next) :: _ -> go next acc | _ -> List.rev acc
+    in
+    go t.Ir.entry []
+  in
+  Alcotest.(check (list string))
+    "main got the mm_lock pair"
+    [ "lock mm_lock excl"; "unlock mm_lock excl" ]
+    (ops 0);
+  Alcotest.(check (list string))
+    "thread 1 got the vma_lock pair"
+    [ "lock vma_lock shared"; "unlock vma_lock shared" ]
+    (ops 1);
+  (* the lifted program is analyzable and clean *)
+  expect_clean "lifted trace" (Lint.analyze p)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -382,6 +651,27 @@ let () =
           Alcotest.test_case "interval domain saturates" `Quick test_interval;
           Alcotest.test_case "fixpoint on a balanced loop" `Quick test_fixpoint_on_loop;
           Alcotest.test_case "of_trace spawns and joins" `Quick test_of_trace_shape;
+          Alcotest.test_case "widening terminates on an unbalanced loop" `Quick
+            test_widening_terminates;
+          Alcotest.test_case "unreachable nodes have no state" `Quick
+            test_unreachable_node_state;
+          Alcotest.test_case "spawn of an empty thread" `Quick test_spawn_empty_thread;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "lockset race" `Quick test_lockset_micro;
+          Alcotest.test_case "no race outside the spawn window" `Quick
+            test_no_race_outside_spawn_window;
+          Alcotest.test_case "AB/BA lock-order cycle" `Quick test_lockorder_micro;
+          Alcotest.test_case "read-check-act window" `Quick test_atomicity_micro;
+          Alcotest.test_case "unlock of an unheld lock" `Quick test_unlock_unheld_micro;
+          Alcotest.test_case "--pass filter" `Quick test_pass_filter;
+          Alcotest.test_case "finding order is stable" `Quick test_finding_order_stable;
+          Alcotest.test_case "mm protocol model is clean" `Quick test_mm_model_clean;
+          Alcotest.test_case "mm protocol plants found" `Quick test_mm_model_plants;
+          Alcotest.test_case "static lock-order graph" `Quick test_mm_model_static_order;
+          Alcotest.test_case "kernel lock events lift to IR" `Quick
+            test_lift_lock_events;
         ] );
       ( "passes",
         [

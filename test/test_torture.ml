@@ -202,6 +202,81 @@ let test_lockdep_leak_at_quiescence () =
       Alcotest.(check bool) "held lock at quiescence is a leak" true (leaks <> []);
       Lock.release l Lock.Shared ~actor:2)
 
+(* --- explicit fiber ops (witness replay's entry point) --- *)
+
+let test_fiber_ops_deterministic () =
+  let fiber_ops =
+    [|
+      [ Torture.Op_mmap { slot = 0; pages = 1; ro = false } ];
+      [ Torture.Op_lookup { slot = 0; off = 0 }; Torture.Op_lookup { slot = 0; off = 0 } ];
+      [ Torture.Op_mmap { slot = 0; pages = 1; ro = false } ];
+    |]
+  in
+  let schedule = [ (7, 2) ] in
+  let a = Torture.run_once ~fiber_ops cfg ~schedule () in
+  let b = Torture.run_once ~fiber_ops cfg ~schedule () in
+  Alcotest.(check string)
+    "identical outcome" (outcome_fingerprint a) (outcome_fingerprint b);
+  Alcotest.(check int) "fiber count from the array, not cfg.tasks" 4
+    a.Torture.ops_applied
+
+let test_order_edges_observed () =
+  let c = { cfg with Torture.tasks = 2; ops = 16; slots = 2 } in
+  let (_ : Torture.outcome) = Torture.run_once c ~schedule:[] () in
+  let edges = Lockdep.order_edges () in
+  Alcotest.(check bool) "mm_lock -> vma_lock observed" true
+    (List.mem ("mm_lock", "vma_lock") edges);
+  Alcotest.(check bool) "no inversion on the clean protocol" false
+    (List.mem ("vma_lock", "mm_lock") edges)
+
+(* --- static findings replay to dynamic confirmation --- *)
+
+module Lint = Mpk_analysis.Lint
+module Mm_model = Mpk_check.Mm_model
+module Witness = Mpk_check.Witness
+
+let error_findings plant =
+  Lint.analyze (Mm_model.program ~plant ())
+  |> List.filter (fun f -> f.Lint.severity = Lint.Error)
+
+let expect_confirmed plant =
+  match error_findings plant with
+  | [] -> Alcotest.fail (Mm_model.plant_to_string plant ^ ": no error finding")
+  | f :: _ ->
+      let o = Witness.confirm f in
+      Alcotest.(check string)
+        (Mm_model.plant_to_string plant ^ " witness confirms")
+        "CONFIRMED"
+        (Mpk_check.Replay.verdict_to_string o.Witness.verdict);
+      Alcotest.(check bool) "a confirming schedule is returned" true
+        (o.Witness.schedule <> None)
+
+let test_witness_confirms_recycle () = expect_confirmed `Recycle
+let test_witness_confirms_lock_order () = expect_confirmed `Lock_order
+let test_witness_confirms_window () = expect_confirmed `Window
+
+let test_static_covers_dynamic_inversions () =
+  (* ISSUE 9 acceptance: on the planted lock-order program, the static
+     cycle set must cover every inversion dynamic lockdep observes. *)
+  let c =
+    { cfg with Torture.tasks = 2; ops = 16; slots = 2; plant = Torture.Plant_lock_order }
+  in
+  let (_ : Torture.outcome) = Torture.run_once c ~schedule:[] () in
+  let edges = Lockdep.order_edges () in
+  let inversions =
+    List.filter (fun (a, b) -> a < b && List.mem (b, a) edges) edges
+  in
+  Alcotest.(check bool) "the plant produced a dynamic inversion" true
+    (inversions <> []);
+  let cycles = Lint.static_lock_cycles (Mm_model.program ~plant:`Lock_order ()) in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "static cycle covers {%s, %s}" a b)
+        true
+        (List.exists (fun c -> List.mem a c && List.mem b c) cycles))
+    inversions
+
 let () =
   Alcotest.run "torture"
     [
@@ -229,6 +304,21 @@ let () =
         [
           Alcotest.test_case "full sweep: zero findings, recycling exercised"
             `Quick test_clean_sweep_zero_findings;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "explicit fiber ops are deterministic" `Quick
+            test_fiber_ops_deterministic;
+          Alcotest.test_case "lock-order graph observed dynamically" `Quick
+            test_order_edges_observed;
+          Alcotest.test_case "planted race confirms via schedule search" `Slow
+            test_witness_confirms_recycle;
+          Alcotest.test_case "planted inversion confirms via lockdep" `Quick
+            test_witness_confirms_lock_order;
+          Alcotest.test_case "planted window confirms via schedule search" `Slow
+            test_witness_confirms_window;
+          Alcotest.test_case "static cycles cover dynamic inversions" `Quick
+            test_static_covers_dynamic_inversions;
         ] );
       ( "lockdep",
         [
