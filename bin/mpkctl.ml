@@ -20,6 +20,14 @@
      mpkctl scale [OPTIONS]      kvstore throughput/latency vs core count,
                                  batched do_pkey_sync IPIs vs the
                                  per-update broadcast, auditor-validated
+     mpkctl profile ID           one experiment under the cycle-attribution
+                                 profiler, exactness-checked; `profile diff`
+                                 prints the per-frame delta against a
+                                 committed BENCH baseline
+     mpkctl bench run|diff       multi-trial seed-varied baselines
+                                 (BENCH_<id>.json) and the noise-aware
+                                 regression gate with differential cycle
+                                 attribution (--plant for gate self-tests)
 
    Every subcommand returns an explicit exit code through [Cmd.eval']:
    0 success, 1 a check failed (invariant violation, ERROR finding),
@@ -273,25 +281,20 @@ let trace_stress_scenario () =
   let ops = Mpk_check.Stress.gen_ops cfg 300 in
   ignore (Mpk_check.Stress.run cfg ops)
 
-(* Write [content] to [path], then prove the file round-trips through the
-   strict JSON parser and holds a non-empty traceEvents array. *)
+(* Every JSON artifact goes through Bench.Io: serialize, strict re-parse,
+   schema-check, and only then write — shared by the profile, scale,
+   trace and bench paths. *)
 let write_validated_perfetto path events =
-  let content = Mpk_trace.Export.perfetto_string ~indent:1 events in
-  let oc = open_out path in
-  output_string oc content;
-  close_out oc;
-  match Mpk_trace.Json.parse content with
+  match
+    Mpk_bench.Io.write_string ~path Mpk_bench.Io.Perfetto
+      (Mpk_trace.Export.perfetto_string ~indent:1 events)
+  with
+  | Ok () ->
+      Printf.printf "wrote %s (%d trace events)\n" path (List.length events);
+      true
   | Error e ->
-      Printf.eprintf "mpkctl: %s: perfetto export does not re-parse: %s\n" path e;
+      Printf.eprintf "mpkctl: %s: %s\n" path e;
       false
-  | Ok j -> (
-      match Option.bind (Mpk_trace.Json.member "traceEvents" j) Mpk_trace.Json.to_list with
-      | Some (_ :: _) ->
-          Printf.printf "wrote %s (%d trace events)\n" path (List.length events);
-          true
-      | Some [] | None ->
-          Printf.eprintf "mpkctl: %s: perfetto export has no traceEvents\n" path;
-          false)
 
 let trace_cmd =
   let doc =
@@ -356,14 +359,7 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ scenario $ out $ last)
 
-let profile_cmd =
-  let doc =
-    "Run one experiment under the cycle-attribution profiler: every Cpu.charge is \
-     attributed to a labeled node under the enclosing spans. Prints the experiment \
-     output and the attribution tree, checks that the attributed total equals the \
-     machine's cycle counter exactly (bit-for-bit float equality), and writes \
-     per-figure metrics JSON. Exits 1 on attribution mismatch or invalid export."
-  in
+let profile_run_term =
   let id =
     Arg.(
       required
@@ -374,7 +370,8 @@ let profile_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"metrics JSON output (default BENCH_$(docv).json)")
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"metrics JSON output (default PROFILE_$(docv).json)")
   in
   let perfetto_out =
     Arg.(
@@ -397,7 +394,7 @@ let profile_cmd =
         2
     | Some e ->
         let json_path =
-          match json_out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" id
+          match json_out with Some p -> p | None -> Printf.sprintf "PROFILE_%s.json" id
         in
         Mpk_trace.Metrics.reset ();
         Mpk_trace.Tracer.clear ();
@@ -431,17 +428,13 @@ let profile_cmd =
               "metrics", Mpk_trace.Metrics.export_json ();
             ]
         in
-        let content = Mpk_trace.Json.to_string ~indent:1 json in
         let json_ok =
-          match Mpk_trace.Json.parse content with
-          | Ok _ ->
-              let oc = open_out json_path in
-              output_string oc content;
-              close_out oc;
+          match Mpk_bench.Io.write ~path:json_path Mpk_bench.Io.Profile json with
+          | Ok () ->
               Printf.printf "wrote %s\n" json_path;
               true
           | Error err ->
-              Printf.eprintf "mpkctl: profile: metrics export does not re-parse: %s\n" err;
+              Printf.eprintf "mpkctl: profile: %s\n" err;
               false
         in
         (match folded_out with
@@ -462,8 +455,104 @@ let profile_cmd =
         in
         if exact && json_ok && perfetto_ok then 0 else 1
   in
-  Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ id $ json_out $ perfetto_out $ folded_out)
+  Term.(const run $ id $ json_out $ perfetto_out $ folded_out)
+
+(* Shared by `profile diff` and `bench diff`: parse LABEL:CYCLES. *)
+let plant_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg "expected LABEL:CYCLES, e.g. wrpkru:40")
+    | Some i -> (
+        let label = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt rest with
+        | Some extra when Float.is_finite extra && extra >= 0.0 && label <> "" ->
+            Ok (label, extra)
+        | Some _ | None ->
+            Error (`Msg "expected LABEL:CYCLES with finite CYCLES >= 0"))
+  in
+  Arg.conv (parse, fun fmt (l, c) -> Format.fprintf fmt "%s:%g" l c)
+
+let plant_arg =
+  Arg.(
+    value
+    & opt (some plant_conv) None
+    & info [ "plant" ] ~docv:"LABEL:CYCLES"
+        ~doc:
+          "inject $(i,CYCLES) extra cycles into every charge carrying \
+           $(i,LABEL) — a self-test that the diff catches and correctly \
+           attributes a real slowdown (e.g. $(b,wrpkru:40))")
+
+let with_plant plant f =
+  match plant with
+  | None -> f ()
+  | Some p ->
+      Mpk_hw.Cpu.set_plant_slowdown (Some p);
+      Fun.protect ~finally:(fun () -> Mpk_hw.Cpu.set_plant_slowdown None) f
+
+let profile_diff_cmd =
+  let doc =
+    "Differential profiling: re-run one benchmark scenario at the committed \
+     baseline's seed and align the fresh attribution tree against the baseline's \
+     by label path, reporting per-node self/total-cycle and call-count deltas \
+     (added/removed/renamed nodes flagged explicitly). Exits 2 when the baseline \
+     is missing or malformed."
+  in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"bench id: fig8, table1, scale or fig14")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"baseline bench report (default BENCH_$(i,ID).json)")
+  in
+  let run id baseline plant =
+    let path =
+      match baseline with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" id
+    in
+    match
+      Result.bind (Mpk_bench.Io.read ~path Mpk_bench.Io.Bench) Mpk_bench.Runner.of_json
+    with
+    | Error e ->
+        Printf.eprintf "mpkctl: profile diff: %s\n" e;
+        2
+    | Ok base -> (
+        let fresh =
+          with_plant plant @@ fun () ->
+          Mpk_bench.Runner.run ~id ~trials:1 ~seed:base.Mpk_bench.Runner.r_seed
+            ~smoke:base.Mpk_bench.Runner.r_smoke
+        in
+        match fresh with
+        | Error e ->
+            Printf.eprintf "mpkctl: profile diff: %s\n" e;
+            1
+        | Ok fresh ->
+            let deltas =
+              Mpk_bench.Tree.diff ~base:base.Mpk_bench.Runner.r_profile
+                ~cur:fresh.Mpk_bench.Runner.r_profile
+            in
+            Printf.printf "profile diff %s vs %s (trial 0, seed %d)\n" id path
+              base.Mpk_bench.Runner.r_seed;
+            print_string (Mpk_bench.Tree.render deltas);
+            0)
+  in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ id $ baseline $ plant_arg)
+
+let profile_cmd =
+  let doc =
+    "Run one experiment under the cycle-attribution profiler: every Cpu.charge is \
+     attributed to a labeled node under the enclosing spans. Prints the experiment \
+     output and the attribution tree, checks that the attributed total equals the \
+     machine's cycle counter exactly (bit-for-bit float equality), and writes \
+     per-figure metrics JSON. Exits 1 on attribution mismatch or invalid export. \
+     The $(b,diff) subcommand compares attribution trees across runs."
+  in
+  Cmd.group ~default:profile_run_term (Cmd.info "profile" ~doc) [ profile_diff_cmd ]
 
 (* --- scale: multi-core throughput/latency curves --- *)
 
@@ -521,7 +610,7 @@ let scale_cmd =
   let json_arg =
     Arg.(
       value
-      & opt string "BENCH_scale.json"
+      & opt string "SCALE_report.json"
       & info [ "json" ] ~docv:"FILE" ~doc:"metrics JSON output")
   in
   let run cores mode smoke seed open_rates json_path =
@@ -586,17 +675,13 @@ let scale_cmd =
                 ]
           | other -> [ "report", other ])
       in
-      let content = Mpk_trace.Json.to_string ~indent:1 json in
       let json_ok =
-        match Mpk_trace.Json.parse content with
-        | Ok _ ->
-            let oc = open_out json_path in
-            output_string oc content;
-            close_out oc;
+        match Mpk_bench.Io.write ~path:json_path Mpk_bench.Io.Scale_report json with
+        | Ok () ->
             Printf.printf "wrote %s\n" json_path;
             true
         | Error err ->
-            Printf.eprintf "mpkctl: scale: export does not re-parse: %s\n" err;
+            Printf.eprintf "mpkctl: scale: %s\n" err;
             false
       in
       if problems = [] && json_ok then 0 else 1
@@ -606,6 +691,243 @@ let scale_cmd =
     Term.(
       const run $ cores_arg $ mode_arg $ smoke_arg $ seed_arg $ open_loop_arg
       $ json_arg)
+
+(* --- bench: multi-trial perf baselines and the noise-aware gate --- *)
+
+let bench_ids_arg =
+  Arg.(
+    value
+    & opt (list string) Mpk_bench.Scenario.ids
+    & info [ "ids" ] ~docv:"ID,ID,..."
+        ~doc:"benchmark ids to run (default: fig8,table1,scale,fig14)")
+
+let check_bench_ids ids =
+  List.filter (fun id -> not (Mpk_bench.Scenario.known id)) ids
+
+let print_bench_report (r : Mpk_bench.Runner.report) =
+  let cy = Mpk_util.Table.float_cell in
+  Printf.printf "bench %s: %d trial%s, base seed %d%s\n" r.Mpk_bench.Runner.r_id
+    r.Mpk_bench.Runner.r_trials
+    (if r.Mpk_bench.Runner.r_trials = 1 then "" else "s")
+    r.Mpk_bench.Runner.r_seed
+    (if r.Mpk_bench.Runner.r_smoke then " (smoke)" else "");
+  print_string
+    (Mpk_util.Table.render
+       ~aligns:Mpk_util.Table.[ Left; Left; Right; Right; Right; Right; Right ]
+       ~header:[ "metric"; "dir"; "mean"; "stddev"; "ci95"; "min"; "max" ]
+       (List.map
+          (fun (ms : Mpk_bench.Runner.metric_stats) ->
+            let s = ms.Mpk_bench.Runner.ms_stats in
+            [
+              ms.Mpk_bench.Runner.ms_name;
+              (match ms.Mpk_bench.Runner.ms_direction with
+              | Mpk_bench.Noise.Lower_better -> "lower"
+              | Mpk_bench.Noise.Higher_better -> "higher");
+              cy s.Mpk_bench.Noise.mean;
+              cy s.Mpk_bench.Noise.stddev;
+              cy s.Mpk_bench.Noise.ci95;
+              cy s.Mpk_bench.Noise.minimum;
+              cy s.Mpk_bench.Noise.maximum;
+            ])
+          r.Mpk_bench.Runner.r_metrics));
+  Printf.printf "\nattribution: %s\n"
+    (if r.Mpk_bench.Runner.r_attribution_exact then "exact" else "MISMATCH")
+
+let bench_run_cmd =
+  let doc =
+    "Re-run each benchmark scenario across --trials seeds under the \
+     cycle-attribution profiler and write BENCH_$(i,ID).json: per-metric \
+     mean/stddev/CI (the baseline's own noise model), the trial-0 attribution \
+     tree, and the metrics-registry export. Exits 1 on a scenario failure, \
+     attribution mismatch, or invalid export."
+  in
+  let trials =
+    Arg.(value & opt int 3 & info [ "trials" ] ~docv:"N" ~doc:"trials per id (>= 1)")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"base seed; trial t runs at SEED+t")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"CI-sized scenarios (committed baselines use this)")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "out-dir" ] ~docv:"DIR" ~doc:"directory for BENCH_*.json")
+  in
+  let run ids trials seed smoke out_dir =
+    match check_bench_ids ids with
+    | _ :: _ as bad ->
+        Printf.eprintf "mpkctl: bench: unknown ids: %s\n" (String.concat ", " bad);
+        2
+    | [] ->
+        if trials < 1 then begin
+          Printf.eprintf "mpkctl: bench: --trials must be >= 1\n";
+          2
+        end
+        else
+          let ok =
+            List.for_all
+              (fun id ->
+                match Mpk_bench.Runner.run ~id ~trials ~seed ~smoke with
+                | Error e ->
+                    Printf.eprintf "mpkctl: bench: %s: %s\n" id e;
+                    false
+                | Ok r -> (
+                    print_bench_report r;
+                    let path = Filename.concat out_dir ("BENCH_" ^ id ^ ".json") in
+                    match
+                      Mpk_bench.Io.write ~path Mpk_bench.Io.Bench
+                        (Mpk_bench.Runner.to_json r)
+                    with
+                    | Ok () ->
+                        Printf.printf "wrote %s\n" path;
+                        r.Mpk_bench.Runner.r_attribution_exact
+                    | Error e ->
+                        Printf.eprintf "mpkctl: bench: %s\n" e;
+                        false))
+              ids
+          in
+          if ok then 0 else 1
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_ids_arg $ trials $ seed $ smoke $ out_dir)
+
+let bench_diff_cmd =
+  let doc =
+    "Noise-aware perf regression gate: re-run each scenario with the trials, seed \
+     and smoke mode recorded in its committed baseline, then compare every metric \
+     against the baseline's noise model — threshold = max(rel-floor * |mean|, \
+     sigma * stddev) — and diff the attribution trees so a regression names the \
+     offending frame. Writes a machine-readable verdict report. Exits 0 when \
+     nothing regressed, 1 on any $(b,regressed) verdict (or metric-set drift), \
+     2 on a missing or malformed baseline."
+  in
+  let baseline_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "baseline" ] ~docv:"DIR" ~doc:"directory holding BENCH_*.json baselines")
+  in
+  let sigma =
+    Arg.(
+      value & opt float 3.0
+      & info [ "threshold-sigma" ] ~docv:"K"
+          ~doc:"flag a metric only beyond K standard deviations of its baseline")
+  in
+  let rel_floor =
+    Arg.(
+      value & opt float 0.01
+      & info [ "rel-floor" ] ~docv:"F"
+          ~doc:
+            "absolute threshold floor as a fraction of the baseline mean — keeps \
+             deterministic (stddev 0) metrics from tripping on sub-percent drift")
+  in
+  let report_arg =
+    Arg.(
+      value & opt string "BENCH_diff.json"
+      & info [ "report" ] ~docv:"FILE" ~doc:"machine-readable diff report output")
+  in
+  let run ids baseline_dir sigma rel_floor plant report_path =
+    match check_bench_ids ids with
+    | _ :: _ as bad ->
+        Printf.eprintf "mpkctl: bench: unknown ids: %s\n" (String.concat ", " bad);
+        2
+    | [] ->
+        if sigma <= 0.0 || rel_floor < 0.0 then begin
+          Printf.eprintf
+            "mpkctl: bench: --threshold-sigma must be > 0 and --rel-floor >= 0\n";
+          2
+        end
+        else begin
+          let usage_error = ref false in
+          let failures = ref false in
+          let diffs =
+            List.filter_map
+              (fun id ->
+                let path = Filename.concat baseline_dir ("BENCH_" ^ id ^ ".json") in
+                match
+                  Result.bind
+                    (Mpk_bench.Io.read ~path Mpk_bench.Io.Bench)
+                    Mpk_bench.Runner.of_json
+                with
+                | Error e ->
+                    Printf.eprintf "mpkctl: bench diff: %s\n" e;
+                    usage_error := true;
+                    None
+                | Ok base -> (
+                    let fresh =
+                      with_plant plant @@ fun () ->
+                      Mpk_bench.Runner.run ~id
+                        ~trials:base.Mpk_bench.Runner.r_trials
+                        ~seed:base.Mpk_bench.Runner.r_seed
+                        ~smoke:base.Mpk_bench.Runner.r_smoke
+                    in
+                    match fresh with
+                    | Error e ->
+                        Printf.eprintf "mpkctl: bench diff: %s: %s\n" id e;
+                        failures := true;
+                        None
+                    | Ok fresh ->
+                        let d =
+                          Mpk_bench.Gate.diff ~baseline:base ~fresh ~sigma ~rel_floor
+                        in
+                        print_string (Mpk_bench.Gate.render d);
+                        print_newline ();
+                        Some d))
+              ids
+          in
+          let regressed =
+            List.exists (fun d -> d.Mpk_bench.Gate.d_regressed) diffs
+          in
+          let report =
+            Mpk_trace.Json.Obj
+              [
+                "schema", Mpk_trace.Json.String "bench-diff/1";
+                "sigma", Mpk_trace.Json.Float sigma;
+                "rel_floor", Mpk_trace.Json.Float rel_floor;
+                ( "planted",
+                  match plant with
+                  | None -> Mpk_trace.Json.Null
+                  | Some (l, c) ->
+                      Mpk_trace.Json.Obj
+                        [
+                          "label", Mpk_trace.Json.String l;
+                          "extra_cycles", Mpk_trace.Json.Float c;
+                        ] );
+                ( "results",
+                  Mpk_trace.Json.List (List.map Mpk_bench.Gate.to_json diffs) );
+                ( "attribution",
+                  Mpk_trace.Json.List
+                    (List.map Mpk_bench.Gate.attribution_json diffs) );
+                "regressed", Mpk_trace.Json.Bool regressed;
+              ]
+          in
+          (match Mpk_bench.Io.write ~path:report_path Mpk_bench.Io.Bench_diff report with
+          | Ok () -> Printf.printf "wrote %s\n" report_path
+          | Error e ->
+              Printf.eprintf "mpkctl: bench diff: %s\n" e;
+              failures := true);
+          if !usage_error then 2
+          else if regressed || !failures then 1
+          else 0
+        end
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const run $ bench_ids_arg $ baseline_dir $ sigma $ rel_floor $ plant_arg
+      $ report_arg)
+
+let bench_cmd =
+  let doc =
+    "Perf regression observatory: multi-trial baselines with per-metric noise \
+     models ($(b,bench run)) and the noise-aware diff/gate against them \
+     ($(b,bench diff))."
+  in
+  Cmd.group (Cmd.info "bench" ~doc) [ bench_run_cmd; bench_diff_cmd ]
 
 (* --- torture: deterministic interleaving explorer --- *)
 
@@ -1240,6 +1562,7 @@ let () =
             trace_cmd;
             profile_cmd;
             scale_cmd;
+            bench_cmd;
             torture_cmd;
             coredump_cmd;
           ]))

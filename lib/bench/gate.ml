@@ -1,0 +1,178 @@
+module J = Mpk_trace.Json
+
+type metric_verdict = {
+  v_name : string;
+  v_direction : Noise.direction;
+  v_baseline : Noise.stats;
+  v_fresh : float;
+  v_delta : float;
+  v_threshold : float;
+  v_verdict : Noise.verdict;
+}
+
+type diff = {
+  d_id : string;
+  d_sigma : float;
+  d_rel_floor : float;
+  d_verdicts : metric_verdict list;
+  d_missing : string list;
+  d_tree : Tree.delta list;
+  d_regressed : bool;
+}
+
+let diff ~(baseline : Runner.report) ~(fresh : Runner.report) ~sigma ~rel_floor =
+  let fresh_mean name =
+    List.find_opt (fun m -> m.Runner.ms_name = name) fresh.Runner.r_metrics
+    |> Option.map (fun m -> m.Runner.ms_stats.Noise.mean)
+  in
+  let verdicts, baseline_only =
+    List.fold_left
+      (fun (vs, missing) (bm : Runner.metric_stats) ->
+        match fresh_mean bm.Runner.ms_name with
+        | None -> vs, ("baseline-only:" ^ bm.Runner.ms_name) :: missing
+        | Some f ->
+            let verdict, threshold =
+              Noise.classify bm.Runner.ms_direction ~baseline:bm.Runner.ms_stats
+                ~fresh:f ~sigma ~rel_floor
+            in
+            ( {
+                v_name = bm.Runner.ms_name;
+                v_direction = bm.Runner.ms_direction;
+                v_baseline = bm.Runner.ms_stats;
+                v_fresh = f;
+                v_delta = f -. bm.Runner.ms_stats.Noise.mean;
+                v_threshold = threshold;
+                v_verdict = verdict;
+              }
+              :: vs,
+              missing ))
+      ([], []) baseline.Runner.r_metrics
+  in
+  let fresh_only =
+    List.filter_map
+      (fun (fm : Runner.metric_stats) ->
+        if
+          List.exists
+            (fun (bm : Runner.metric_stats) -> bm.Runner.ms_name = fm.Runner.ms_name)
+            baseline.Runner.r_metrics
+        then None
+        else Some ("fresh-only:" ^ fm.Runner.ms_name))
+      fresh.Runner.r_metrics
+  in
+  let missing = List.rev baseline_only @ fresh_only in
+  let verdicts = List.rev verdicts in
+  let tree = Tree.diff ~base:baseline.Runner.r_profile ~cur:fresh.Runner.r_profile in
+  {
+    d_id = baseline.Runner.r_id;
+    d_sigma = sigma;
+    d_rel_floor = rel_floor;
+    d_verdicts = verdicts;
+    d_missing = missing;
+    d_tree = tree;
+    d_regressed =
+      missing <> []
+      || (not fresh.Runner.r_attribution_exact)
+      || List.exists (fun v -> v.v_verdict = Noise.Regressed) verdicts;
+  }
+
+(* Attribution shown for a regression: frames whose self cycles grew by
+   more than noise-floor-sized dust. *)
+let hot_frames d = Tree.self_regressions ~min_cycles:0.5 d.d_tree
+
+let render d =
+  let cy = Mpk_util.Table.float_cell in
+  let rows =
+    List.map
+      (fun v ->
+        let s = v.v_baseline in
+        [
+          v.v_name;
+          (match v.v_direction with
+          | Noise.Lower_better -> "lower"
+          | Noise.Higher_better -> "higher");
+          Printf.sprintf "%s ±%s" (cy s.Noise.mean) (cy s.Noise.stddev);
+          cy v.v_fresh;
+          (let s = cy v.v_delta in
+           if v.v_delta >= 0.0 then "+" ^ s else s);
+          (match Tree.pct_change ~base:s.Noise.mean ~cur:v.v_fresh with
+          | None -> "-"
+          | Some p -> Printf.sprintf "%+.2f%%" p);
+          cy v.v_threshold;
+          Noise.verdict_to_string v.v_verdict;
+        ])
+      d.d_verdicts
+  in
+  let table =
+    Mpk_util.Table.render
+      ~aligns:
+        Mpk_util.Table.[ Left; Left; Right; Right; Right; Right; Right; Left ]
+      ~header:
+        [
+          "metric"; "dir"; "baseline"; "fresh"; "delta"; "d%"; "threshold"; "verdict";
+        ]
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "bench diff %s: sigma=%.1f rel_floor=%.2f%%\n" d.d_id d.d_sigma
+       (100.0 *. d.d_rel_floor));
+  Buffer.add_string buf table;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun m -> Buffer.add_string buf (Printf.sprintf "metric-set drift: %s\n" m))
+    d.d_missing;
+  if d.d_regressed then begin
+    Buffer.add_string buf "attribution (self-cycle increases, largest first):\n";
+    match hot_frames d with
+    | [] -> Buffer.add_string buf "  (no frame grew its self cycles)\n"
+    | frames ->
+        List.iter
+          (fun (fr : Tree.delta) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-52s +%.1f cycles (calls %+d)\n"
+                 (Tree.path_string fr)
+                 (fr.Tree.cur_self -. fr.Tree.base_self)
+                 (fr.Tree.cur_calls - fr.Tree.base_calls)))
+          frames
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %s\n" d.d_id
+       (if d.d_regressed then "REGRESSED" else "ok"));
+  Buffer.contents buf
+
+let attribution_json d =
+  J.List
+    (List.map
+       (fun (fr : Tree.delta) ->
+         J.Obj
+           [
+             "path", J.String (Tree.path_string fr);
+             "self_cycle_delta", J.Float (fr.Tree.cur_self -. fr.Tree.base_self);
+             "call_delta", J.Int (fr.Tree.cur_calls - fr.Tree.base_calls);
+           ])
+       (hot_frames d))
+
+let to_json d =
+  J.Obj
+    [
+      "experiment", J.String d.d_id;
+      ( "verdicts",
+        J.List
+          (List.map
+             (fun v ->
+               J.Obj
+                 [
+                   "name", J.String v.v_name;
+                   "direction", J.String (Noise.direction_to_string v.v_direction);
+                   "baseline_mean", J.Float v.v_baseline.Noise.mean;
+                   "baseline_stddev", J.Float v.v_baseline.Noise.stddev;
+                   "fresh", J.Float v.v_fresh;
+                   "delta", J.Float v.v_delta;
+                   "threshold", J.Float v.v_threshold;
+                   "verdict", J.String (Noise.verdict_to_string v.v_verdict);
+                 ])
+             d.d_verdicts) );
+      "metric_set_drift", J.List (List.map (fun s -> J.String s) d.d_missing);
+      "attribution", attribution_json d;
+      "regressed", J.Bool d.d_regressed;
+    ]

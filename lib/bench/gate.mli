@@ -1,0 +1,48 @@
+(** The noise-aware diff behind `mpkctl bench diff`: per-metric verdicts
+    against a committed baseline ({!Noise.classify}), plus a
+    differential attribution tree ({!Tree.diff}) so a regressed metric
+    comes with the frames whose self cycles grew. *)
+
+type metric_verdict = {
+  v_name : string;
+  v_direction : Noise.direction;
+  v_baseline : Noise.stats;
+  v_fresh : float;  (** the fresh run's mean for this metric *)
+  v_delta : float;  (** [v_fresh - v_baseline.mean] *)
+  v_threshold : float;  (** the applied threshold *)
+  v_verdict : Noise.verdict;
+}
+
+type diff = {
+  d_id : string;
+  d_sigma : float;
+  d_rel_floor : float;
+  d_verdicts : metric_verdict list;
+  d_missing : string list;
+      (** metric-set drift, each entry prefixed with [baseline-only:] or
+          [fresh-only:] — drift regresses the gate rather than slipping
+          a metric out of coverage *)
+  d_tree : Tree.delta list;  (** baseline profile vs fresh profile *)
+  d_regressed : bool;
+}
+
+val diff :
+  baseline:Runner.report ->
+  fresh:Runner.report ->
+  sigma:float ->
+  rel_floor:float ->
+  diff
+
+val hot_frames : diff -> Tree.delta list
+(** The frames blamed for a regression: self-cycle increases above a
+    small dust floor, largest first. *)
+
+val render : diff -> string
+(** Human output: verdict table ({!Mpk_util.Table}) plus, when anything
+    regressed, the top self-cycle increases from the attribution diff. *)
+
+val to_json : diff -> Mpk_trace.Json.t
+(** One entry of the [bench-diff/1] report's [results] list. *)
+
+val attribution_json : diff -> Mpk_trace.Json.t
+(** The top self-cycle increases as a JSON list (path, cycle delta). *)

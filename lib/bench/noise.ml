@@ -1,0 +1,60 @@
+type direction = Lower_better | Higher_better
+
+let direction_to_string = function
+  | Lower_better -> "lower_better"
+  | Higher_better -> "higher_better"
+
+let direction_of_string = function
+  | "lower_better" -> Ok Lower_better
+  | "higher_better" -> Ok Higher_better
+  | s -> Error (Printf.sprintf "unknown metric direction %S" s)
+
+type stats = {
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  minimum : float;
+  maximum : float;
+  samples : float list;
+}
+
+let of_samples samples =
+  match samples with
+  | [] -> Error "no samples"
+  | _ when List.exists (fun v -> not (Float.is_finite v)) samples ->
+      Error "non-finite sample"
+  | _ ->
+      let acc = Mpk_util.Stats.create () in
+      List.iter (Mpk_util.Stats.add acc) samples;
+      let n = float_of_int (Mpk_util.Stats.count acc) in
+      let stddev = Mpk_util.Stats.stddev acc in
+      Ok
+        {
+          mean = Mpk_util.Stats.mean acc;
+          stddev;
+          ci95 = 1.96 *. stddev /. sqrt n;
+          minimum = Mpk_util.Stats.minimum acc;
+          maximum = Mpk_util.Stats.maximum acc;
+          samples;
+        }
+
+type verdict = Improved | Unchanged | Regressed
+
+let verdict_to_string = function
+  | Improved -> "improved"
+  | Unchanged -> "unchanged"
+  | Regressed -> "regressed"
+
+let threshold s ~sigma ~rel_floor =
+  Float.max (rel_floor *. Float.abs s.mean) (sigma *. s.stddev)
+
+let classify direction ~baseline ~fresh ~sigma ~rel_floor =
+  let t = threshold baseline ~sigma ~rel_floor in
+  let delta = fresh -. baseline.mean in
+  (* [harmful] is the delta measured in the harmful direction, so one
+     comparison serves both metric polarities. *)
+  let harmful = match direction with Lower_better -> delta | Higher_better -> -.delta in
+  let verdict =
+    if harmful > t then Regressed else if harmful < -.t then Improved else Unchanged
+  in
+  verdict, t

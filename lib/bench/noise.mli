@@ -1,0 +1,52 @@
+(** Per-metric noise model and threshold classification for the perf
+    regression gate.
+
+    Every benchmark metric is measured over N trials with varied
+    workload seeds; the committed baseline stores the resulting sample
+    set, so it carries its own noise model. A fresh value is compared
+    against the baseline with a two-part threshold:
+
+    {ul
+    {- an absolute floor, [rel_floor * |mean|], so deterministic metrics
+       (stddev 0 — the simulator is exact for a fixed seed) don't trip
+       on sub-percent arithmetic drift;}
+    {- a sigma multiple, [sigma * stddev], which widens the band for
+       genuinely noisy metrics in proportion to their measured spread.}}
+
+    The applied threshold is the max of the two. *)
+
+type direction =
+  | Lower_better  (** latencies, cycle counts *)
+  | Higher_better  (** throughputs, speedup ratios *)
+
+val direction_to_string : direction -> string
+val direction_of_string : string -> (direction, string) result
+
+type stats = {
+  mean : float;
+  stddev : float;  (** sample (Bessel-corrected); 0 for a single trial *)
+  ci95 : float;  (** half-width of the 95% CI of the mean *)
+  minimum : float;
+  maximum : float;
+  samples : float list;  (** per-trial values, in trial order *)
+}
+
+val of_samples : float list -> (stats, string) result
+(** Errors on an empty list or any non-finite sample. *)
+
+type verdict = Improved | Unchanged | Regressed
+
+val verdict_to_string : verdict -> string
+
+val threshold : stats -> sigma:float -> rel_floor:float -> float
+
+val classify :
+  direction ->
+  baseline:stats ->
+  fresh:float ->
+  sigma:float ->
+  rel_floor:float ->
+  verdict * float
+(** Verdict plus the threshold that was applied: a delta beyond the
+    threshold in the harmful direction is [Regressed], beyond it the
+    helpful way is [Improved], inside the band is [Unchanged]. *)

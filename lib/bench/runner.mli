@@ -1,0 +1,36 @@
+(** Multi-trial benchmark runner: re-run a scenario across varied seeds
+    under the cycle-attribution profiler, aggregate each metric into a
+    noise model ({!Noise.stats}), and keep the trial-0 attribution tree
+    and metrics-registry export so the whole observability surface lands
+    in one artifact. *)
+
+type metric_stats = {
+  ms_name : string;
+  ms_direction : Noise.direction;
+  ms_stats : Noise.stats;
+}
+
+type report = {
+  r_id : string;
+  r_trials : int;
+  r_seed : int;  (** base seed; trial [t] ran at [r_seed + t] *)
+  r_smoke : bool;
+  r_metrics : metric_stats list;  (** scenario order *)
+  r_attribution_exact : bool;
+      (** every trial's attributed total matched the machine's cycle
+          counter bit-for-bit *)
+  r_profile : Mpk_trace.Prof.snapshot;  (** trial 0 *)
+  r_registry : Mpk_trace.Json.t;  (** trial-0 {!Mpk_trace.Metrics} export *)
+}
+
+val run :
+  id:string -> trials:int -> seed:int -> smoke:bool -> (report, string) result
+(** Errors on an unknown id, [trials < 1], a scenario failure, a
+    non-finite metric, or trials disagreeing on the metric set. *)
+
+val to_json : report -> Mpk_trace.Json.t
+(** The [bench/1] schema ({!Io.Bench}). *)
+
+val of_json : Mpk_trace.Json.t -> (report, string) result
+(** Reload a committed baseline. Stats are recomputed from the stored
+    samples, so hand-edited summary numbers cannot skew the gate. *)

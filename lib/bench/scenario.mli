@@ -1,0 +1,23 @@
+(** The benchmark scenarios behind `mpkctl bench`: one per committed
+    baseline id, each a seed-parameterized re-run of (a slice of) the
+    corresponding paper experiment that returns named metrics.
+
+    The simulator is fully deterministic for a fixed seed, so the noise
+    a baseline carries is real workload variation: trial [t] runs at
+    [seed + t], which re-seeds the hit/miss choice sequence (fig8), the
+    zipfian key stream (scale), and the get/set request mix (fig14).
+    table1 measures fixed instruction sequences and is deterministic by
+    construction — its stddev is legitimately zero, which is exactly
+    what the gate's absolute floor exists for. *)
+
+type metric = { name : string; value : float; direction : Noise.direction }
+
+val ids : string list
+(** [["fig8"; "table1"; "scale"; "fig14"]]. *)
+
+val known : string -> bool
+
+val run : id:string -> seed:int -> smoke:bool -> metric list
+(** Deterministic for a given [(id, seed, smoke)]. Raises
+    [Invalid_argument] on an unknown id; any internal validation
+    failure (e.g. scale auditor violations) raises [Failure]. *)

@@ -142,9 +142,14 @@ val vkey_of_pkey : t -> Pkey.t -> Vkey.t option
     protection domain and must never appear in a dump in the clear. *)
 val group_of_addr : t -> int -> (Vkey.t * Group.t) option
 
-(** Cycles charged per API call for libmpk's userspace bookkeeping
-    (hashmap lookup, internal data structures). *)
-val user_op_cycles : float
+(** Userspace bookkeeping cost model: each API call charges
+    [user_base_cycles] plus [user_lookup_cycles] per vkey-keyed hashmap
+    probe it performs. Most entry points probe three times;
+    [mpk_begin]/[mpk_end] reuse their first (group, slot) probe and
+    charge two. *)
+val user_base_cycles : float
+
+val user_lookup_cycles : float
 
 (** Cumulative API-call counters (observability / experiments). *)
 type stats = {

@@ -12,17 +12,18 @@ let modes = [ Server.Baseline; Server.Domain; Server.Sync; Server.Mprotect_sys ]
 let duration_s = 0.05
 let working_set = 300
 
-let run_mode ?(slab_mib = 1024) mode =
+let run_mode ?(slab_mib = 1024) ?seed ?(conn_rates = conn_rates) mode =
   let srv = Server.create ~mode ~workers:4 ~slab_mib ~buckets:4096 () in
   Server.prefill srv ~items:working_set ~value_size:1024;
   Server.populate_slab srv ~mib:slab_mib;
   List.map
     (fun conn_rate ->
-      let r = Loadgen.run srv ~conn_rate ~duration_s ~working_set ~value_size:1024 () in
+      let r = Loadgen.run srv ~conn_rate ~duration_s ~working_set ~value_size:1024 ?seed () in
       { mode; conn_rate; data_mb_s = r.Loadgen.data_mb_s; unhandled = r.Loadgen.unhandled_conns })
     conn_rates
 
-let points ?slab_mib () = List.concat_map (fun m -> run_mode ?slab_mib m) modes
+let points ?slab_mib ?seed ?conn_rates () =
+  List.concat_map (fun m -> run_mode ?slab_mib ?seed ?conn_rates m) modes
 
 let render ?slab_mib () =
   let pts = points ?slab_mib () in

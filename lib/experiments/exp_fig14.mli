@@ -10,5 +10,18 @@ type point = {
   unhandled : int;
 }
 
-val points : ?slab_mib:int -> unit -> point list
+(** [points ()] sweeps the figure's full grid. `mpkctl bench` passes a
+    smaller [slab_mib], a single [conn_rates] entry, and a per-trial
+    workload [seed] to turn one cell of the figure into a repeatable
+    noisy metric. *)
+val points :
+  ?slab_mib:int -> ?seed:int64 -> ?conn_rates:int list -> unit -> point list
+
+val run_mode :
+  ?slab_mib:int ->
+  ?seed:int64 ->
+  ?conn_rates:int list ->
+  Mpk_kvstore.Server.mode ->
+  point list
+
 val render : ?slab_mib:int -> unit -> string

@@ -21,12 +21,12 @@ let pick_miss mpk next =
 
 let flip i = if i land 1 = 0 then Perm.r else Perm.rw
 
-let run_cell ~hit_rate ~evict_rate ~threads =
+let run_cell ?(mpk_seed = 0x816L) ?(wl_seed = 0x88L) ~hit_rate ~evict_rate ~threads () =
   let env = Env.make ~threads () in
   let task = Env.main env in
   let proc = env.Env.proc in
   let mpk =
-    Libmpk.init ~evict_rate:(float_of_int evict_rate /. 100.0) ~seed:0x816L proc task
+    Libmpk.init ~evict_rate:(float_of_int evict_rate /. 100.0) ~seed:mpk_seed proc task
   in
   for v = 1 to total_groups do
     ignore (Libmpk.mpk_mmap mpk task ~vkey:v ~len:page ~prot:Perm.rw)
@@ -35,7 +35,7 @@ let run_cell ~hit_rate ~evict_rate ~threads =
   for v = 1 to 15 do
     Libmpk.mpk_mprotect mpk task ~vkey:v ~prot:Perm.rw
   done;
-  let prng = Mpk_util.Prng.create ~seed:0x88L in
+  let prng = Mpk_util.Prng.create ~seed:wl_seed in
   let cycles =
     Env.mean_cycles ~reps:ops task (fun i ->
         let vkey =
@@ -55,7 +55,7 @@ let grid () =
     (fun threads ->
       List.concat_map
         (fun evict_rate ->
-          List.map (fun hit_rate -> run_cell ~hit_rate ~evict_rate ~threads) hit_rates)
+          List.map (fun hit_rate -> run_cell ~hit_rate ~evict_rate ~threads ()) hit_rates)
         evict_rates)
     thread_counts
 

@@ -9,6 +9,19 @@ type cell = {
   cycles : float;
 }
 
+(** One grid cell. The seeds default to the figure's fixed values;
+    `mpkctl bench` varies [wl_seed] (the hit/miss choice sequence) and
+    [mpk_seed] (libmpk's internal PRNG) across trials to put a real
+    noise distribution behind each metric. *)
+val run_cell :
+  ?mpk_seed:int64 ->
+  ?wl_seed:int64 ->
+  hit_rate:int ->
+  evict_rate:int ->
+  threads:int ->
+  unit ->
+  cell
+
 val grid : unit -> cell list
 
 (** mprotect latency on the same page with the given thread count. *)

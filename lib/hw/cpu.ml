@@ -30,7 +30,29 @@ let total_ever = ref 0.0
 let total_charged () = !total_ever
 let reset_total_charged () = total_ever := 0.0
 
+(* Planted slowdown: extra cycles injected on one charge label, used by
+   the bench gate's self-test (`mpkctl bench diff --plant`) to prove a
+   real regression would be caught and correctly attributed. The extra
+   cycles flow through the normal accounting below — core clock,
+   [total_ever], profiler — so the attribution exactness check still
+   holds under a plant. *)
+let planted : (string * float) option ref = ref None
+
+let set_plant_slowdown p =
+  (match p with
+  | Some (_, extra) when not (Float.is_finite extra) || extra < 0.0 ->
+      invalid_arg "set_plant_slowdown: extra cycles must be finite and >= 0"
+  | Some _ | None -> ());
+  planted := p
+
+let plant_slowdown () = !planted
+
 let charge ?label t c =
+  let c =
+    match !planted, label with
+    | Some (pl, extra), Some l when String.equal l pl -> c +. extra
+    | _ -> c
+  in
   t.cycles <- t.cycles +. c;
   total_ever := !total_ever +. c;
   if Mpk_trace.Prof.on () then Mpk_trace.Prof.record ?label c;

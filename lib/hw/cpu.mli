@@ -26,6 +26,18 @@ val total_charged : unit -> float
 
 val reset_total_charged : unit -> unit
 
+(** [set_plant_slowdown (Some (label, extra))] arms an artificial
+    slowdown: every subsequent charge carrying exactly [label] costs
+    [extra] additional cycles, on any core. The surcharge travels the
+    normal accounting path (core clock, {!total_charged}, profiler), so
+    cycle attribution stays exact — which is the point: the bench gate's
+    planted-regression self-test must look like a genuine hot-path
+    slowdown, not a bookkeeping anomaly. [None] disarms. Raises
+    [Invalid_argument] on a negative or non-finite surcharge. *)
+val set_plant_slowdown : (string * float) option -> unit
+
+val plant_slowdown : unit -> (string * float) option
+
 (** [measure t f] is [f ()] together with the cycles it consumed. *)
 val measure : t -> (unit -> 'a) -> 'a * float
 

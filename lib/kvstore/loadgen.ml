@@ -13,11 +13,12 @@ type result = {
 }
 
 let run server ~conn_rate ?(duration_s = 1.0) ?(reqs_per_conn = 10) ?(value_size = 1024)
-    ?(working_set = 1000) ?(max_delay_s = 0.1) ?(ghz = 2.4) ?(protocol = false) () =
+    ?(working_set = 1000) ?(max_delay_s = 0.1) ?(ghz = 2.4) ?(protocol = false)
+    ?(seed = 0xFEEDL) () =
   let workers = Server.workers server in
   let n = Array.length workers in
   let cycles_per_s = ghz *. 1e9 in
-  let prng = Mpk_util.Prng.create ~seed:0xFEEDL in
+  let prng = Mpk_util.Prng.create ~seed in
   let start = Array.map (fun w -> Cpu.cycles (Task.core w)) workers in
   let clock i = Cpu.cycles (Task.core workers.(i)) -. start.(i) in
   let offered = int_of_float (float_of_int conn_rate *. duration_s) in

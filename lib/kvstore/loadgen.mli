@@ -31,6 +31,7 @@ val run :
   ?max_delay_s:float ->
   ?ghz:float ->
   ?protocol:bool ->
+  ?seed:int64 ->
   unit ->
   result
 

@@ -70,3 +70,18 @@ type heartbeat_outcome =
     killing the server. *)
 val handle_heartbeat :
   t -> Task.t -> payload:bytes -> claimed_len:int -> heartbeat_outcome
+
+(** {2 Observability}
+
+    Every entry point ([accept], [accept_authenticated], [serve],
+    [handle_heartbeat]) records its end-to-end core cycles into a
+    log-bucket latency histogram — the same instrument the kvstore
+    server carries — so the secstore scale-out can be measured from day
+    one. Rejected heartbeats still record a sample. *)
+
+val latency : t -> Mpk_util.Stats.Histogram.h
+
+(** Key/value stats in the kvstore server's reply shape: request
+    counters plus [latency_samples] and, once any sample exists,
+    [latency_p50_cycles] / [latency_p95_cycles] / [latency_p99_cycles]. *)
+val stats_reply : t -> (string * string) list

@@ -134,3 +134,40 @@ let rec json_of_snapshot s =
       "calls", Json.Int s.calls;
       "children", Json.List (List.map json_of_snapshot s.children);
     ]
+
+(* Inverse of [json_of_snapshot], for reloading committed BENCH_*.json
+   profiles so `mpkctl profile diff` / `bench diff` can align a fresh
+   tree against them. Strict: a malformed node names itself in the
+   error rather than collapsing to a partial tree. *)
+let snapshot_of_json j =
+  let ( let* ) = Result.bind in
+  let num name j =
+    match Option.bind (Json.member name j) Json.to_number with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "profile node: missing or non-numeric %S" name)
+  in
+  let rec node j =
+    let* label =
+      match Option.bind (Json.member "label" j) Json.to_string_opt with
+      | Some l -> Ok l
+      | None -> Error "profile node: missing string \"label\""
+    in
+    let ctx = Result.map_error (fun e -> Printf.sprintf "%s (under %S)" e label) in
+    let* self = ctx (num "self_cycles" j) in
+    let* total = ctx (num "total_cycles" j) in
+    let* calls = ctx (num "calls" j) in
+    let* children =
+      match Option.bind (Json.member "children" j) Json.to_list with
+      | None -> Error (Printf.sprintf "profile node %S: missing children array" label)
+      | Some l ->
+          List.fold_left
+            (fun acc c ->
+              let* acc = acc in
+              let* c = node c in
+              Ok (c :: acc))
+            (Ok []) l
+          |> Result.map List.rev
+    in
+    Ok { label; self; calls = int_of_float calls; total; children }
+  in
+  node j

@@ -57,3 +57,7 @@ val render : unit -> string
 (** Indented text table: total / self / calls per node. *)
 
 val json_of_snapshot : snapshot -> Json.t
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!json_of_snapshot} — reload a committed profile tree for
+    differential comparison. Strict: errors name the offending node. *)

@@ -1,0 +1,376 @@
+(* Tests for the perf regression observatory (lib/bench): attribution
+   tree diffing, the noise-aware threshold model, the benchmark schema
+   validator, runner determinism, and the end-to-end gate verdict on a
+   planted slowdown. *)
+
+module Noise = Mpk_bench.Noise
+module Tree = Mpk_bench.Tree
+module Io = Mpk_bench.Io
+module Runner = Mpk_bench.Runner
+module Gate = Mpk_bench.Gate
+module Prof = Mpk_trace.Prof
+module J = Mpk_trace.Json
+
+let node ?(children = []) label ~self ~calls =
+  let total = self +. List.fold_left (fun a c -> a +. c.Prof.total) 0.0 children in
+  { Prof.label; self; calls; total; children }
+
+let base_tree () =
+  node "root" ~self:0.0 ~calls:0
+    ~children:
+      [
+        node "mpk_begin" ~self:10.0 ~calls:4
+          ~children:
+            [ node "wrpkru" ~self:23.3 ~calls:1; node "libmpk_user" ~self:60.0 ~calls:1 ];
+        node "mpk_end" ~self:5.0 ~calls:2;
+      ]
+
+(* --- Tree diff --- *)
+
+let test_tree_identity () =
+  let t = base_tree () in
+  let deltas = Tree.diff ~base:t ~cur:t in
+  Alcotest.(check int) "4 nodes" 4 (List.length deltas);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "matched" true (d.Tree.status = Tree.Matched);
+      Alcotest.(check (float 0.0)) "self delta zero" 0.0 (d.Tree.cur_self -. d.Tree.base_self);
+      Alcotest.(check (float 0.0))
+        "total delta zero" 0.0
+        (d.Tree.cur_total -. d.Tree.base_total);
+      Alcotest.(check int) "call delta zero" 0 (d.Tree.cur_calls - d.Tree.base_calls))
+    deltas
+
+let find_path deltas p =
+  match List.find_opt (fun d -> d.Tree.path = p) deltas with
+  | Some d -> d
+  | None -> Alcotest.failf "no delta for path %s" (String.concat "/" p)
+
+let test_tree_added_removed () =
+  let base = base_tree () in
+  let cur =
+    node "root" ~self:0.0 ~calls:0
+      ~children:
+        [
+          node "mpk_begin" ~self:10.0 ~calls:4
+            ~children:[ node "wrpkru" ~self:23.3 ~calls:1 ];
+          node "mpk_mprotect" ~self:90.0 ~calls:3
+            ~children:[ node "tlb_flush" ~self:40.0 ~calls:3 ];
+        ]
+  in
+  let deltas = Tree.diff ~base ~cur in
+  let added = find_path deltas [ "mpk_mprotect" ] in
+  Alcotest.(check bool) "added" true (added.Tree.status = Tree.Added);
+  (* an Added row covers its whole subtree: total includes tlb_flush *)
+  Alcotest.(check (float 1e-9)) "added subtree total" 130.0 added.Tree.cur_total;
+  Alcotest.(check (float 0.0)) "added base total" 0.0 added.Tree.base_total;
+  let removed_user = find_path deltas [ "mpk_begin"; "libmpk_user" ] in
+  Alcotest.(check bool) "removed" true (removed_user.Tree.status = Tree.Removed);
+  Alcotest.(check (float 0.0)) "removed cur total" 0.0 removed_user.Tree.cur_total;
+  let removed_end = find_path deltas [ "mpk_end" ] in
+  Alcotest.(check bool) "removed sibling" true (removed_end.Tree.status = Tree.Removed)
+
+let test_tree_renamed () =
+  let base =
+    node "root" ~self:0.0 ~calls:0
+      ~children:[ node "pkey_sync" ~self:42.0 ~calls:7 ]
+  in
+  let cur =
+    node "root" ~self:0.0 ~calls:0
+      ~children:[ node "pkey_sync_batched" ~self:42.0 ~calls:7 ]
+  in
+  match Tree.diff ~base ~cur with
+  | [ d ] ->
+      Alcotest.(check bool) "renamed" true (d.Tree.status = Tree.Renamed "pkey_sync");
+      Alcotest.(check (float 0.0)) "no self delta" 0.0 (d.Tree.cur_self -. d.Tree.base_self)
+  | ds -> Alcotest.failf "expected 1 delta, got %d" (List.length ds)
+
+let test_tree_rename_needs_identical_cost () =
+  (* same shape but different self cycles: not a rename, an add + remove *)
+  let base =
+    node "root" ~self:0.0 ~calls:0 ~children:[ node "a" ~self:10.0 ~calls:1 ]
+  in
+  let cur =
+    node "root" ~self:0.0 ~calls:0 ~children:[ node "b" ~self:11.0 ~calls:1 ]
+  in
+  let deltas = Tree.diff ~base ~cur in
+  Alcotest.(check bool) "b added" true ((find_path deltas [ "b" ]).Tree.status = Tree.Added);
+  Alcotest.(check bool)
+    "a removed" true
+    ((find_path deltas [ "a" ]).Tree.status = Tree.Removed)
+
+let test_pct_change_zero_base () =
+  Alcotest.(check bool) "zero base is None" true (Tree.pct_change ~base:0.0 ~cur:5.0 = None);
+  Alcotest.(check bool)
+    "nonzero base is Some" true
+    (Tree.pct_change ~base:10.0 ~cur:15.0 = Some 50.0)
+
+(* --- Noise model --- *)
+
+let stats_of samples =
+  match Noise.of_samples samples with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "of_samples: %s" e
+
+let test_noise_of_samples () =
+  let s = stats_of [ 10.0; 12.0; 14.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 12.0 s.Noise.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 s.Noise.stddev;
+  Alcotest.(check (float 1e-9)) "min" 10.0 s.Noise.minimum;
+  Alcotest.(check (float 1e-9)) "max" 14.0 s.Noise.maximum;
+  Alcotest.(check bool) "empty errors" true (Result.is_error (Noise.of_samples []));
+  Alcotest.(check bool)
+    "nan errors" true
+    (Result.is_error (Noise.of_samples [ 1.0; Float.nan ]))
+
+let test_classify_deterministic_floor () =
+  (* stddev 0: the relative floor is the only guard. 0.5% drift on a
+     lower-better metric stays unchanged; 2% is regressed. *)
+  let s = stats_of [ 100.0; 100.0; 100.0 ] in
+  let v, _ = Noise.classify Noise.Lower_better ~baseline:s ~fresh:100.5 ~sigma:3.0 ~rel_floor:0.01 in
+  Alcotest.(check bool) "small drift unchanged" true (v = Noise.Unchanged);
+  let v, _ = Noise.classify Noise.Lower_better ~baseline:s ~fresh:102.0 ~sigma:3.0 ~rel_floor:0.01 in
+  Alcotest.(check bool) "2% slower regressed" true (v = Noise.Regressed);
+  let v, _ = Noise.classify Noise.Lower_better ~baseline:s ~fresh:98.0 ~sigma:3.0 ~rel_floor:0.01 in
+  Alcotest.(check bool) "2% faster improved" true (v = Noise.Improved)
+
+let test_classify_sigma_band () =
+  (* noisy metric: mean 100, stddev 10 -> 3-sigma band is +-30, wider
+     than the 1% floor. A 2-sigma move is noise; a 4-sigma move is real. *)
+  let s = stats_of [ 90.0; 100.0; 110.0 ] in
+  Alcotest.(check bool) "stddev 10" true (Float.abs (s.Noise.stddev -. 10.0) < 1e-9);
+  let v, th = Noise.classify Noise.Lower_better ~baseline:s ~fresh:120.0 ~sigma:3.0 ~rel_floor:0.01 in
+  Alcotest.(check (float 1e-9)) "threshold is 3 sigma" 30.0 th;
+  Alcotest.(check bool) "2-sigma move is noise" true (v = Noise.Unchanged);
+  let v, _ = Noise.classify Noise.Lower_better ~baseline:s ~fresh:141.0 ~sigma:3.0 ~rel_floor:0.01 in
+  Alcotest.(check bool) "4-sigma move regressed" true (v = Noise.Regressed)
+
+let test_classify_higher_better () =
+  let s = stats_of [ 1000.0; 1000.0 ] in
+  let v, _ =
+    Noise.classify Noise.Higher_better ~baseline:s ~fresh:900.0 ~sigma:3.0 ~rel_floor:0.01
+  in
+  Alcotest.(check bool) "throughput drop regressed" true (v = Noise.Regressed);
+  let v, _ =
+    Noise.classify Noise.Higher_better ~baseline:s ~fresh:1100.0 ~sigma:3.0 ~rel_floor:0.01
+  in
+  Alcotest.(check bool) "throughput gain improved" true (v = Noise.Improved)
+
+let test_classify_zero_baseline () =
+  (* mean 0, stddev 0: threshold degenerates to 0 and any harmful delta
+     regresses, with no division anywhere. *)
+  let s = stats_of [ 0.0; 0.0 ] in
+  let v, th = Noise.classify Noise.Lower_better ~baseline:s ~fresh:1.0 ~sigma:3.0 ~rel_floor:0.01 in
+  Alcotest.(check (float 0.0)) "zero threshold" 0.0 th;
+  Alcotest.(check bool) "any growth regressed" true (v = Noise.Regressed);
+  let v, _ = Noise.classify Noise.Lower_better ~baseline:s ~fresh:0.0 ~sigma:3.0 ~rel_floor:0.01 in
+  Alcotest.(check bool) "exact zero unchanged" true (v = Noise.Unchanged)
+
+(* --- Prof snapshot JSON round-trip --- *)
+
+let rec snapshot_equal a b =
+  a.Prof.label = b.Prof.label
+  && Float.equal a.Prof.self b.Prof.self
+  && Float.equal a.Prof.total b.Prof.total
+  && a.Prof.calls = b.Prof.calls
+  && List.length a.Prof.children = List.length b.Prof.children
+  && List.for_all2 snapshot_equal a.Prof.children b.Prof.children
+
+let test_snapshot_roundtrip () =
+  let t = base_tree () in
+  match Prof.snapshot_of_json (Prof.json_of_snapshot t) with
+  | Ok t' -> Alcotest.(check bool) "round-trips" true (snapshot_equal t t')
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+
+let test_snapshot_of_json_rejects_garbage () =
+  Alcotest.(check bool)
+    "missing label" true
+    (Result.is_error (Prof.snapshot_of_json (J.Obj [ "self_cycles", J.Float 1.0 ])));
+  Alcotest.(check bool) "non-object" true (Result.is_error (Prof.snapshot_of_json (J.Int 3)))
+
+(* --- Io schema validation --- *)
+
+let test_io_validate_rejects () =
+  let check_err kind j =
+    Alcotest.(check bool) "rejected" true (Result.is_error (Io.validate kind j))
+  in
+  check_err Io.Perfetto (J.Obj [ "traceEvents", J.List [] ]);
+  check_err Io.Bench (J.Obj [ "schema", J.String "bench/2" ]);
+  check_err Io.Bench_diff (J.Obj [ "schema", J.String "bench-diff/1" ]);
+  check_err Io.Profile (J.Obj [ "experiment", J.String "fig8" ]);
+  (* a verdict string outside the enum is caught inside results[] *)
+  let bad_diff =
+    J.Obj
+      [
+        "schema", J.String "bench-diff/1";
+        "sigma", J.Float 3.0;
+        "regressed", J.Bool false;
+        ( "results",
+          J.List
+            [
+              J.Obj
+                [
+                  "experiment", J.String "fig8";
+                  ( "verdicts",
+                    J.List [ J.Obj [ "name", J.String "m"; "verdict", J.String "meh" ] ] );
+                  "regressed", J.Bool false;
+                ];
+            ] );
+        "attribution", J.List [];
+      ]
+  in
+  check_err Io.Bench_diff bad_diff
+
+let test_io_write_read_roundtrip () =
+  match Runner.run ~id:"table1" ~trials:2 ~seed:7 ~smoke:true with
+  | Error e -> Alcotest.failf "runner: %s" e
+  | Ok r -> (
+      let path = Filename.temp_file "bench_io" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          (match Io.write ~path Io.Bench (Runner.to_json r) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "write: %s" e);
+          match Io.read ~path Io.Bench with
+          | Error e -> Alcotest.failf "read: %s" e
+          | Ok j -> (
+              match Runner.of_json j with
+              | Error e -> Alcotest.failf "of_json: %s" e
+              | Ok r' ->
+                  Alcotest.(check string) "id" r.Runner.r_id r'.Runner.r_id;
+                  Alcotest.(check int) "trials" r.Runner.r_trials r'.Runner.r_trials;
+                  let means rep =
+                    List.map
+                      (fun m -> m.Runner.ms_name, m.Runner.ms_stats.Noise.mean)
+                      rep.Runner.r_metrics
+                  in
+                  Alcotest.(check bool) "means survive" true (means r = means r');
+                  Alcotest.(check bool)
+                    "profile survives" true
+                    (snapshot_equal r.Runner.r_profile r'.Runner.r_profile))))
+
+(* --- Runner determinism + gate end-to-end --- *)
+
+let test_runner_deterministic () =
+  let run () =
+    match Runner.run ~id:"fig8" ~trials:2 ~seed:3 ~smoke:true with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "runner: %s" e
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "attribution exact" true a.Runner.r_attribution_exact;
+  List.iter2
+    (fun (ma : Runner.metric_stats) (mb : Runner.metric_stats) ->
+      Alcotest.(check string) "same metric" ma.Runner.ms_name mb.Runner.ms_name;
+      Alcotest.(check bool)
+        ("identical samples for " ^ ma.Runner.ms_name)
+        true
+        (List.for_all2 Float.equal ma.Runner.ms_stats.Noise.samples
+           mb.Runner.ms_stats.Noise.samples))
+    a.Runner.r_metrics b.Runner.r_metrics;
+  Alcotest.(check bool)
+    "identical profile" true
+    (snapshot_equal a.Runner.r_profile b.Runner.r_profile)
+
+let test_gate_unchanged_on_identical_runs () =
+  match Runner.run ~id:"table1" ~trials:2 ~seed:5 ~smoke:true with
+  | Error e -> Alcotest.failf "runner: %s" e
+  | Ok r ->
+      let d = Gate.diff ~baseline:r ~fresh:r ~sigma:3.0 ~rel_floor:0.01 in
+      Alcotest.(check bool) "not regressed" false d.Gate.d_regressed;
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            ("unchanged: " ^ v.Gate.v_name)
+            true
+            (v.Gate.v_verdict = Noise.Unchanged))
+        d.Gate.d_verdicts;
+      Alcotest.(check (list string)) "no drift" [] d.Gate.d_missing
+
+let with_plant plant f =
+  Mpk_hw.Cpu.set_plant_slowdown (Some plant);
+  Fun.protect ~finally:(fun () -> Mpk_hw.Cpu.set_plant_slowdown None) f
+
+let test_gate_catches_planted_slowdown () =
+  let baseline =
+    match Runner.run ~id:"table1" ~trials:2 ~seed:5 ~smoke:true with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "baseline: %s" e
+  in
+  let fresh =
+    with_plant ("wrpkru", 40.0) (fun () ->
+        match Runner.run ~id:"table1" ~trials:2 ~seed:5 ~smoke:true with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "planted run: %s" e)
+  in
+  let d = Gate.diff ~baseline ~fresh ~sigma:3.0 ~rel_floor:0.01 in
+  Alcotest.(check bool) "regressed" true d.Gate.d_regressed;
+  let wrpkru_verdict =
+    List.find (fun v -> v.Gate.v_name = "table1.pkey_set_wrpkru_cycles") d.Gate.d_verdicts
+  in
+  Alcotest.(check bool)
+    "wrpkru metric regressed" true
+    (wrpkru_verdict.Gate.v_verdict = Noise.Regressed);
+  Alcotest.(check (float 1e-6)) "delta is the plant" 40.0 wrpkru_verdict.Gate.v_delta;
+  (* attribution names a frame ending in wrpkru *)
+  let frames = Gate.hot_frames d in
+  Alcotest.(check bool) "has attribution" true (frames <> []);
+  Alcotest.(check bool)
+    "top frame is wrpkru" true
+    (match frames with
+    | f :: _ -> List.exists (fun l -> l = "wrpkru") f.Tree.path
+    | [] -> false)
+
+let test_gate_metric_set_drift_regresses () =
+  match Runner.run ~id:"table1" ~trials:1 ~seed:5 ~smoke:true with
+  | Error e -> Alcotest.failf "runner: %s" e
+  | Ok r ->
+      let truncated = { r with Runner.r_metrics = List.tl r.Runner.r_metrics } in
+      let d = Gate.diff ~baseline:r ~fresh:truncated ~sigma:3.0 ~rel_floor:0.01 in
+      Alcotest.(check bool) "drift regresses" true d.Gate.d_regressed;
+      Alcotest.(check bool)
+        "drift named" true
+        (List.exists
+           (fun s -> String.length s > 13 && String.sub s 0 13 = "baseline-only")
+           d.Gate.d_missing)
+
+let () =
+  Alcotest.run "bench"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "identical trees diff to zero" `Quick test_tree_identity;
+          Alcotest.test_case "added/removed reported" `Quick test_tree_added_removed;
+          Alcotest.test_case "rename detected" `Quick test_tree_renamed;
+          Alcotest.test_case "rename needs identical cost" `Quick
+            test_tree_rename_needs_identical_cost;
+          Alcotest.test_case "pct_change zero base" `Quick test_pct_change_zero_base;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "of_samples stats" `Quick test_noise_of_samples;
+          Alcotest.test_case "deterministic floor" `Quick test_classify_deterministic_floor;
+          Alcotest.test_case "sigma band" `Quick test_classify_sigma_band;
+          Alcotest.test_case "higher-better direction" `Quick test_classify_higher_better;
+          Alcotest.test_case "zero baseline no div" `Quick test_classify_zero_baseline;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "snapshot json round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "snapshot rejects garbage" `Quick
+            test_snapshot_of_json_rejects_garbage;
+          Alcotest.test_case "validate rejects" `Quick test_io_validate_rejects;
+          Alcotest.test_case "write/read round-trip" `Quick test_io_write_read_roundtrip;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "runner deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "identical runs unchanged" `Quick
+            test_gate_unchanged_on_identical_runs;
+          Alcotest.test_case "planted slowdown caught" `Quick
+            test_gate_catches_planted_slowdown;
+          Alcotest.test_case "metric-set drift regresses" `Quick
+            test_gate_metric_set_drift_regresses;
+        ] );
+    ]

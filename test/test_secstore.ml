@@ -143,6 +143,53 @@ let test_serve_charges_by_size () =
   let large = measure (512 * 1024) in
   Alcotest.(check bool) "large costs more" true (large > 100.0 *. small)
 
+let test_latency_histogram_and_stats_reply () =
+  let proc, main, _ = make_env () in
+  let server = Tls_server.create ~mode:Keystore.Insecure proc main ~seed:8L () in
+  let h = Tls_server.latency server in
+  Alcotest.(check int) "empty before traffic" 0 (Mpk_util.Stats.Histogram.count h);
+  let prng = Mpk_util.Prng.create ~seed:10L in
+  let blob, _ = Tls_server.client_hello server prng in
+  let session = Tls_server.accept server main blob in
+  ignore (Tls_server.serve server main session ~size:1024);
+  ignore (Tls_server.serve server main session ~size:4096);
+  ignore (Tls_server.handle_heartbeat server main ~payload:(Bytes.of_string "hb") ~claimed_len:2);
+  (* one handshake + two serves + one heartbeat, each timed once *)
+  Alcotest.(check int) "4 samples" 4 (Mpk_util.Stats.Histogram.count h);
+  Alcotest.(check bool) "positive latency" true (Mpk_util.Stats.Histogram.minimum h > 0.0);
+  let reply = Tls_server.stats_reply server in
+  let get k =
+    match List.assoc_opt k reply with
+    | Some v -> v
+    | None -> Alcotest.failf "stats_reply missing %S" k
+  in
+  Alcotest.(check string) "handshakes" "1" (get "handshakes");
+  Alcotest.(check string) "requests" "2" (get "requests");
+  Alcotest.(check string) "heartbeats" "1" (get "heartbeats");
+  Alcotest.(check string) "none rejected" "0" (get "heartbeats_rejected");
+  Alcotest.(check string) "sample count" "4" (get "latency_samples");
+  (* percentiles only appear once there are samples, and parse as numbers *)
+  List.iter
+    (fun k ->
+      match float_of_string_opt (get k) with
+      | Some v -> Alcotest.(check bool) (k ^ " positive") true (v > 0.0)
+      | None -> Alcotest.failf "%s is not a number: %s" k (get k))
+    [ "latency_p50_cycles"; "latency_p95_cycles"; "latency_p99_cycles" ]
+
+let test_rejected_heartbeat_counted () =
+  let proc, main, _ = make_env () in
+  let mpk = Libmpk.init ~evict_rate:1.0 proc main in
+  let server = Tls_server.create ~mode:Keystore.Protected proc main ~mpk ~seed:31L () in
+  (match Tls_server.handle_heartbeat server main ~payload:(Bytes.of_string "ping") ~claimed_len:65536 with
+  | Tls_server.Served _ -> Alcotest.fail "probe served"
+  | Tls_server.Rejected _ -> ());
+  let reply = Tls_server.stats_reply server in
+  Alcotest.(check (option string)) "rejection counted" (Some "1")
+    (List.assoc_opt "heartbeats_rejected" reply);
+  (* the rejected request still shows up in the latency histogram *)
+  Alcotest.(check int) "timed anyway" 1
+    (Mpk_util.Stats.Histogram.count (Tls_server.latency server))
+
 let test_heartbeat_rejected_then_serves () =
   (* the Heartbleed probe against the hardened server: the over-read hits
      the keystore's pkey, the worker's signal handler rejects the one
@@ -216,6 +263,8 @@ let () =
           tc "handshake agrees" `Quick test_handshake_agrees;
           tc "authenticated handshake" `Quick test_authenticated_handshake;
           tc "serve charges by size" `Quick test_serve_charges_by_size;
+          tc "latency histogram + stats reply" `Quick test_latency_histogram_and_stats_reply;
+          tc "rejected heartbeat counted" `Quick test_rejected_heartbeat_counted;
           tc "heartbeat rejected, server survives" `Quick test_heartbeat_rejected_then_serves;
           tc "libmpk overhead <1%" `Quick test_loadgen_overhead_under_one_percent;
         ] );
